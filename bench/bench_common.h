@@ -1,0 +1,104 @@
+// Shared plumbing for the figure/table regeneration benches.
+//
+// Every bench accepts:
+//   --paper           exact paper scale (k = 20000, 100 trials/cell)
+//   --k=<N>           override object size
+//   --trials=<N>      override trials per grid cell
+//   --seed=<N>        override the master seed
+// or the environment variable FECSCHED_PAPER=1 for paper scale.
+// The default scale (k = 4000, 30 trials) keeps every bench in the
+// seconds range while preserving every qualitative shape; EXPERIMENTS.md
+// records results at both scales.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.h"
+#include "sim/grid.h"
+#include "sim/table_io.h"
+
+namespace fecsched::bench {
+
+/// Scale knobs resolved from argv/environment.
+struct Scale {
+  std::uint32_t k = 4000;
+  std::uint32_t trials = 30;
+  std::uint64_t seed = 0x5eedf00dULL;
+  bool paper = false;
+};
+
+inline Scale parse_scale(int argc, char** argv) {
+  Scale s;
+  const char* env = std::getenv("FECSCHED_PAPER");
+  if (env != nullptr && std::strcmp(env, "0") != 0) s.paper = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--paper") s.paper = true;
+    else if (arg.rfind("--k=", 0) == 0) s.k = static_cast<std::uint32_t>(std::stoul(arg.substr(4)));
+    else if (arg.rfind("--trials=", 0) == 0) s.trials = static_cast<std::uint32_t>(std::stoul(arg.substr(9)));
+    else if (arg.rfind("--seed=", 0) == 0) s.seed = std::stoull(arg.substr(7));
+  }
+  if (s.paper) {
+    s.k = 20000;
+    s.trials = 100;
+  }
+  return s;
+}
+
+inline GridRunOptions run_options(const Scale& s) {
+  GridRunOptions opt;
+  opt.trials_per_cell = s.trials;
+  opt.master_seed = s.seed;
+  return opt;
+}
+
+inline void print_banner(const std::string& title, const Scale& s) {
+  std::cout << "==================================================================\n"
+            << title << "\n"
+            << "k = " << s.k << " source packets, " << s.trials
+            << " trials per (p, q) cell"
+            << (s.paper ? " [paper scale]" : " [default scale; --paper for k=20000/100]")
+            << "\n"
+            << "==================================================================\n";
+}
+
+/// Run one experiment sweep and print it in the paper's appendix format.
+inline GridResult run_and_print(const ExperimentConfig& cfg,
+                                const GridSpec& spec, const Scale& s,
+                                const std::string& caption,
+                                bool print_received_ratio = false) {
+  const Experiment experiment(cfg);
+  const GridResult grid = experiment.run(spec, run_options(s));
+  TableOptions topt;
+  topt.caption = caption;
+  std::cout << "\n";
+  write_paper_table(std::cout, grid, topt);
+  if (print_received_ratio) {
+    std::cout << "\n# n_received/k ceiling for the same sweep ('-' never "
+                 "printed: counts all trials)\n";
+    GridResult ceiling = grid;
+    for (auto& cell : ceiling.cells) {
+      cell.inefficiency = cell.received_ratio;
+      cell.failures = 0;  // the ceiling exists for failed trials too
+    }
+    write_paper_table(std::cout, ceiling, {});
+  }
+  return grid;
+}
+
+inline ExperimentConfig make_config(CodeKind code, TxModel tx, double ratio,
+                                    const Scale& s) {
+  ExperimentConfig cfg;
+  cfg.code = code;
+  cfg.tx = tx;
+  cfg.expansion_ratio = ratio;
+  cfg.k = s.k;
+  return cfg;
+}
+
+}  // namespace fecsched::bench

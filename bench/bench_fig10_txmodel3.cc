@@ -1,0 +1,35 @@
+// Fig. 10 regeneration (Tx_model_3: parity sequential, then source
+// random, Sec. 4.5).  Expected shape: at p = 0 every code needs ~ratio*k
+// packets (inefficiency ~1.5 at ratio 2.5 — LDGM needs exactly one source
+// packet after all parities, RSE needs the last block's k_b-th packet);
+// globally unattractive performance.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fecsched;
+  using namespace fecsched::bench;
+  const Scale s = parse_scale(argc, argv);
+  print_banner("Fig. 10: Tx_model_3 (send parity sequentially, then source "
+               "randomly)", s);
+
+  const GridSpec spec = GridSpec::paper();
+  struct Panel {
+    CodeKind code;
+    double ratio;
+    const char* caption;
+  };
+  const Panel panels[] = {
+      {CodeKind::kRse, 2.5, "(a) RSE, ratio 2.5"},
+      {CodeKind::kLdgmStaircase, 2.5, "(b) LDGM Staircase, ratio 2.5"},
+      {CodeKind::kLdgmTriangle, 2.5, "(c) LDGM Triangle, ratio 2.5"},
+      {CodeKind::kRse, 1.5, "(d) RSE, ratio 1.5"},
+      {CodeKind::kLdgmStaircase, 1.5, "(e) LDGM Staircase, ratio 1.5"},
+      {CodeKind::kLdgmTriangle, 1.5, "(f) LDGM Triangle, ratio 1.5"},
+  };
+  for (const Panel& panel : panels)
+    run_and_print(make_config(panel.code, TxModel::kTx3SeqParityRandSource,
+                              panel.ratio, s),
+                  spec, s, panel.caption, /*print_received_ratio=*/true);
+  return 0;
+}

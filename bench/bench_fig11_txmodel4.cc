@@ -1,0 +1,33 @@
+// Fig. 11 + appendix Tables 5-6 regeneration (Tx_model_4: everything in
+// one random order, Sec. 4.6).  Expected shape: RSE worst (~1.25 at paper
+// scale), LDGM Staircase flat (~1.15 / 1.055), LDGM Triangle best and the
+// only one sensitive to p_global (better at small p_global).
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fecsched;
+  using namespace fecsched::bench;
+  const Scale s = parse_scale(argc, argv);
+  print_banner("Fig. 11 / Tables 5-6: Tx_model_4 (send everything randomly)",
+               s);
+
+  const GridSpec spec = GridSpec::paper();
+  run_and_print(make_config(CodeKind::kRse, TxModel::kTx4AllRandom, 2.5, s),
+                spec, s, "Fig. 11(a): RSE, ratio 2.5");
+  run_and_print(
+      make_config(CodeKind::kLdgmStaircase, TxModel::kTx4AllRandom, 2.5, s),
+      spec, s, "Fig. 11(a,b): LDGM Staircase, ratio 2.5");
+  run_and_print(
+      make_config(CodeKind::kLdgmTriangle, TxModel::kTx4AllRandom, 2.5, s),
+      spec, s, "Table 5: Tx_model_4, LDGM Triangle, FEC expansion ratio = 2.5");
+  run_and_print(make_config(CodeKind::kRse, TxModel::kTx4AllRandom, 1.5, s),
+                spec, s, "Fig. 11(c): RSE, ratio 1.5");
+  run_and_print(
+      make_config(CodeKind::kLdgmStaircase, TxModel::kTx4AllRandom, 1.5, s),
+      spec, s, "Fig. 11(c,d): LDGM Staircase, ratio 1.5");
+  run_and_print(
+      make_config(CodeKind::kLdgmTriangle, TxModel::kTx4AllRandom, 1.5, s),
+      spec, s, "Table 6: Tx_model_4, LDGM Triangle, FEC expansion ratio = 1.5");
+  return 0;
+}

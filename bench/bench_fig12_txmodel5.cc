@@ -1,0 +1,26 @@
+// Fig. 12 + appendix Tables 7-8 regeneration (Tx_model_5: interleaving,
+// Sec. 4.7).  Expected shape: RSE's best transmission scheme — low and
+// flat inefficiency for every loss pattern, the largest decodable area;
+// the p = q = 100% corner decodes with inefficiency ~1.0 (alternating
+// losses align perfectly with the interleaving).  The LDGM interleave is
+// included for comparison even though the paper's figure is RSE-only.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fecsched;
+  using namespace fecsched::bench;
+  const Scale s = parse_scale(argc, argv);
+  print_banner("Fig. 12 / Tables 7-8: Tx_model_5 (packet interleaving)", s);
+
+  const GridSpec spec = GridSpec::paper();
+  run_and_print(make_config(CodeKind::kRse, TxModel::kTx5Interleaved, 2.5, s),
+                spec, s, "Table 7: Tx_model_5, RSE, FEC expansion ratio = 2.5");
+  run_and_print(make_config(CodeKind::kRse, TxModel::kTx5Interleaved, 1.5, s),
+                spec, s, "Table 8: Tx_model_5, RSE, FEC expansion ratio = 1.5");
+  run_and_print(
+      make_config(CodeKind::kLdgmTriangle, TxModel::kTx5Interleaved, 2.5, s),
+      spec, s, "(extra) Tx_model_5 source/parity interleave, LDGM Triangle, "
+               "ratio 2.5");
+  return 0;
+}

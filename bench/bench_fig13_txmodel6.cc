@@ -1,0 +1,28 @@
+// Fig. 13 + appendix Table 9 regeneration (Tx_model_6: a random 20% of the
+// source packets plus all parity packets, shuffled, Sec. 4.8).  Expected
+// shape: all three codes flat; LDGM Staircase clearly best ("rather
+// unusual" vs Triangle); requires the high expansion ratio (2.5).
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fecsched;
+  using namespace fecsched::bench;
+  const Scale s = parse_scale(argc, argv);
+  print_banner("Fig. 13 / Table 9: Tx_model_6 (random 20% of source + all "
+               "parity)", s);
+
+  const GridSpec spec = GridSpec::paper();
+  run_and_print(
+      make_config(CodeKind::kLdgmStaircase, TxModel::kTx6FewSourceRandParity,
+                  2.5, s),
+      spec, s, "Table 9: Tx_model_6, LDGM Staircase, FEC expansion ratio = 2.5");
+  run_and_print(
+      make_config(CodeKind::kLdgmTriangle, TxModel::kTx6FewSourceRandParity,
+                  2.5, s),
+      spec, s, "Fig. 13: LDGM Triangle, ratio 2.5");
+  run_and_print(make_config(CodeKind::kRse, TxModel::kTx6FewSourceRandParity,
+                            2.5, s),
+                spec, s, "Fig. 13: RSE, ratio 2.5");
+  return 0;
+}

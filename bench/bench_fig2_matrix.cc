@@ -1,0 +1,41 @@
+// Fig. 2 regeneration: the LDGM Triangle parity-check matrix for k = 400,
+// n = 600, rendered as ASCII art (one '1' per non-zero entry), plus the
+// structural statistics the figure illustrates.
+
+#include <iostream>
+
+#include "fec/ldgm.h"
+
+int main() {
+  using namespace fecsched;
+  LdgmParams params;
+  params.k = 400;
+  params.n = 600;
+  params.variant = LdgmVariant::kTriangle;
+  params.seed = 5578;  // the paper's report number, for flavour
+  const LdgmCode code(params);
+  const auto& h = code.matrix();
+
+  std::cout << "Fig. 2: parity check matrix (H) for LDGM Triangle (k=400, n=600)\n"
+            << "rows (check nodes): " << h.rows()
+            << ", cols (message nodes): " << h.cols()
+            << ", non-zero entries: " << h.nnz() << "\n";
+
+  // Per-region statistics: left (source) part vs lower (parity) part.
+  std::size_t left = 0, stair = 0, triangle = 0;
+  for (std::uint32_t r = 0; r < h.rows(); ++r) {
+    for (std::uint32_t c : h.row(r)) {
+      if (c < params.k)
+        ++left;
+      else if (c == params.k + r || (r >= 1 && c == params.k + r - 1))
+        ++stair;
+      else
+        ++triangle;
+    }
+  }
+  std::cout << "source-part entries (left degree 3): " << left
+            << "\nstaircase entries: " << stair
+            << "\ntriangle-fill entries: " << triangle << "\n\n";
+  std::cout << code.ascii_art();
+  return 0;
+}

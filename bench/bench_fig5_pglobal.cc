@@ -1,0 +1,26 @@
+// Fig. 5 regeneration: the global packet loss probability surface
+// p_global(p, q) = p / (p + q) over the unit square, emitted as gnuplot
+// splot data (the same 3D surface the paper renders).
+
+#include <iomanip>
+#include <iostream>
+
+#include "sim/analytic.h"
+
+int main() {
+  using namespace fecsched;
+  std::cout << "Fig. 5: global loss probability of the Gilbert channel\n"
+            << "# p q p_global\n"
+            << std::fixed << std::setprecision(4);
+  constexpr int kSteps = 21;
+  for (int i = 0; i < kSteps; ++i) {
+    const double p = static_cast<double>(i) / (kSteps - 1);
+    for (int j = 0; j < kSteps; ++j) {
+      const double q = static_cast<double>(j) / (kSteps - 1);
+      std::cout << p << ' ' << q << ' ' << global_loss_probability(p, q)
+                << '\n';
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 6 regeneration: the fundamental decoding-impossibility limits of
+// Sec. 3.2 — for FEC expansion ratios 1.5 and 2.5, the boundary q(p)
+// below which a receiver cannot expect inef_ratio * k = k packets, plus a
+// feasibility map over the paper's grid.
+
+#include <iomanip>
+#include <iostream>
+
+#include "sim/analytic.h"
+#include "sim/grid.h"
+
+int main() {
+  using namespace fecsched;
+  std::cout << "Fig. 6: loss limits (decoding impossible when expected "
+               "deliveries < k)\n";
+  std::cout << std::fixed << std::setprecision(4);
+  for (const double ratio : {1.5, 2.5}) {
+    std::cout << "\n# boundary for FEC expansion ratio = " << std::setprecision(1)
+              << ratio << " (q below the curve => infeasible)\n# p q_limit\n"
+              << std::setprecision(4);
+    for (const LimitPoint& pt : fig6_boundary(ratio, 21))
+      std::cout << pt.p << ' '
+                << (pt.q_limit > 1.0 ? 1.0 : pt.q_limit)
+                << (pt.q_limit > 1.0 ? "  # beyond q=1: infeasible for all q"
+                                     : "")
+                << '\n';
+  }
+
+  std::cout << "\n# feasibility over the paper grid ('.' feasible, 'X' "
+               "impossible), ratio 2.5 then 1.5\n";
+  const GridSpec spec = GridSpec::paper();
+  for (const double ratio : {2.5, 1.5}) {
+    std::cout << "# ratio " << std::setprecision(1) << ratio << "\n";
+    for (const double p : spec.p_values) {
+      for (const double q : spec.q_values)
+        std::cout << (decoding_feasible(p, q, 1.0, ratio) ? '.' : 'X');
+      std::cout << "  # p=" << std::setprecision(2) << p << '\n';
+    }
+  }
+  return 0;
+}

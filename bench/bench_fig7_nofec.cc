@@ -1,0 +1,21 @@
+// Fig. 7 regeneration ("Why is FEC needed?", Sec. 4.2): no FEC, each
+// packet transmitted twice in random order.  Expected shape: decoding only
+// succeeds on the p = 0 row, with inefficiency near 2.0 (the receiver
+// waits almost the whole transmission); every p > 0 row shows "-".
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fecsched;
+  using namespace fecsched::bench;
+  const Scale s = parse_scale(argc, argv);
+  print_banner("Fig. 7: performances without FEC but 2 repetitions", s);
+
+  ExperimentConfig cfg = make_config(CodeKind::kReplication,
+                                     TxModel::kTx4AllRandom, 0.0, s);
+  cfg.replication_copies = 2;
+  run_and_print(cfg, GridSpec::fig7(), s,
+                "No FEC, x2 repetition, random order — average inefficiency "
+                "ratio ('-' = at least one decode failure)");
+  return 0;
+}

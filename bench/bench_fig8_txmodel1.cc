@@ -1,0 +1,36 @@
+// Fig. 8 regeneration (Tx_model_1: source sequential, then parity
+// sequential, Sec. 4.3).  Expected shape: inefficiency hugs the
+// n_received/k ceiling everywhere (the receiver waits out the whole
+// transmission), RSE covers a smaller decodable area than LDGM-* —
+// especially under long bursts (small q) — and p = 0 rows are exactly 1.0.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fecsched;
+  using namespace fecsched::bench;
+  const Scale s = parse_scale(argc, argv);
+  print_banner("Fig. 8: Tx_model_1 (send source sequentially, then parity "
+               "sequentially)", s);
+
+  const GridSpec spec = GridSpec::paper();
+  struct Panel {
+    CodeKind code;
+    double ratio;
+    const char* caption;
+  };
+  const Panel panels[] = {
+      {CodeKind::kRse, 2.5, "(a) RSE, FEC expansion ratio 2.5"},
+      {CodeKind::kLdgmTriangle, 2.5, "(b) LDGM Triangle, ratio 2.5"},
+      {CodeKind::kLdgmStaircase, 2.5, "(b') LDGM Staircase, ratio 2.5 "
+                                      "(paper: similar to Triangle)"},
+      {CodeKind::kRse, 1.5, "(c) RSE, FEC expansion ratio 1.5"},
+      {CodeKind::kLdgmTriangle, 1.5, "(d) LDGM Triangle, ratio 1.5"},
+      {CodeKind::kLdgmStaircase, 1.5, "(d') LDGM Staircase, ratio 1.5"},
+  };
+  for (const Panel& panel : panels)
+    run_and_print(make_config(panel.code, TxModel::kTx1SeqSourceSeqParity,
+                              panel.ratio, s),
+                  spec, s, panel.caption, /*print_received_ratio=*/true);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 9 + appendix Tables 1-4 regeneration (Tx_model_2: source
+// sequential, then parity random, Sec. 4.4).  Expected shape: much better
+// and flatter than Tx_model_1; LDGM Triangle outperforms RSE; LDGM
+// Staircase is excellent at small loss but can fail at high loss rates
+// (the paper's "hole" around p=50, q=70); p = 0 rows are exactly 1.0.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fecsched;
+  using namespace fecsched::bench;
+  const Scale s = parse_scale(argc, argv);
+  print_banner("Fig. 9 / Tables 1-4: Tx_model_2 (send source sequentially, "
+               "then parity randomly)", s);
+
+  const GridSpec spec = GridSpec::paper();
+  run_and_print(make_config(CodeKind::kRse, TxModel::kTx2SeqSourceRandParity,
+                            2.5, s),
+                spec, s, "Fig. 9(a): RSE, ratio 2.5");
+  run_and_print(make_config(CodeKind::kLdgmTriangle,
+                            TxModel::kTx2SeqSourceRandParity, 2.5, s),
+                spec, s,
+                "Table 1: Tx_model_2, LDGM Triangle, FEC expansion ratio = 2.5");
+  run_and_print(make_config(CodeKind::kLdgmStaircase,
+                            TxModel::kTx2SeqSourceRandParity, 2.5, s),
+                spec, s,
+                "Table 2: Tx_model_2, LDGM Staircase, FEC expansion ratio = 2.5");
+  run_and_print(make_config(CodeKind::kRse, TxModel::kTx2SeqSourceRandParity,
+                            1.5, s),
+                spec, s, "Fig. 9(c): RSE, ratio 1.5");
+  run_and_print(make_config(CodeKind::kLdgmTriangle,
+                            TxModel::kTx2SeqSourceRandParity, 1.5, s),
+                spec, s,
+                "Table 3: Tx_model_2, LDGM Triangle, FEC expansion ratio = 1.5");
+  run_and_print(make_config(CodeKind::kLdgmStaircase,
+                            TxModel::kTx2SeqSourceRandParity, 1.5, s),
+                spec, s,
+                "Table 4: Tx_model_2, LDGM Staircase, FEC expansion ratio = 1.5");
+  return 0;
+}

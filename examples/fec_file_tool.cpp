@@ -1,0 +1,174 @@
+// Command-line FEC file tool built on the FLUTE substrate: encode a file
+// into a datagram stream (optionally dropping datagrams through a Gilbert
+// channel to emulate the network), then decode the stream back — a full
+// offline round trip through the wire format.
+//
+//   $ ./fec_file_tool encode <input> <stream> [code] [ratio] [p] [q]
+//   $ ./fec_file_tool decode <stream> <output>
+//
+// `code` is one of: rse, ldgm, ldgm-staircase, ldgm-triangle, replication
+// (default ldgm-triangle); `ratio` defaults to 1.5; `p q` (defaults 0 1)
+// apply a Gilbert loss process while writing the stream, so the decode
+// step demonstrates FEC recovery from a genuinely incomplete stream.
+//
+// Stream format: [u32 big-endian datagram length][datagram bytes]...
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "channel/gilbert.h"
+#include "flute/fdt.h"
+#include "flute/session.h"
+
+namespace {
+
+using namespace fecsched;
+using namespace fecsched::flute;
+
+std::vector<std::uint8_t> read_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_u32(std::ofstream& out, std::uint32_t v) {
+  const char bytes[4] = {static_cast<char>(v >> 24), static_cast<char>(v >> 16),
+                         static_cast<char>(v >> 8), static_cast<char>(v)};
+  out.write(bytes, 4);
+}
+
+int do_encode(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: encode <input> <stream> [code] [ratio] [p] [q]\n");
+    return 1;
+  }
+  const auto content = read_file(argv[2]);
+  SenderConfig fec;
+  fec.code = CodeKind::kLdgmTriangle;
+  fec.tx = TxModel::kTx4AllRandom;
+  fec.expansion_ratio = 1.5;
+  fec.payload_size = 1024;
+  if (argc > 4) {
+    const auto code = code_from_wire_name(argv[4]);
+    if (!code) {
+      std::fprintf(stderr, "unknown code '%s'\n", argv[4]);
+      return 1;
+    }
+    fec.code = *code;
+  }
+  if (argc > 5) fec.expansion_ratio = std::atof(argv[5]);
+  const double p = argc > 6 ? std::atof(argv[6]) : 0.0;
+  const double q = argc > 7 ? std::atof(argv[7]) : 1.0;
+
+  FluteSender sender;
+  sender.add_file("payload", content, fec);
+  sender.seal();
+
+  GilbertModel channel(p, q);
+  channel.reset(0xf11e);
+  std::ofstream out(argv[3], std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", argv[3]);
+    return 1;
+  }
+  std::size_t written = 0, dropped = 0;
+  for (std::size_t seq = 0; seq < sender.datagram_count(); ++seq) {
+    if (channel.lost()) {
+      ++dropped;
+      continue;
+    }
+    const auto dgram = sender.datagram(seq);
+    write_u32(out, static_cast<std::uint32_t>(dgram.size()));
+    out.write(reinterpret_cast<const char*>(dgram.data()),
+              static_cast<std::streamsize>(dgram.size()));
+    ++written;
+  }
+  std::printf("encoded %zu bytes -> %zu datagrams written, %zu dropped by "
+              "the channel (p=%.3f q=%.3f)\n",
+              content.size(), written, dropped, p, q);
+  return 0;
+}
+
+int do_decode(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: decode <stream> <output>\n");
+    return 1;
+  }
+  std::ifstream in(argv[2], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 1;
+  }
+  FluteReceiver receiver;
+  std::size_t datagrams = 0;
+  while (true) {
+    char len_bytes[4];
+    if (!in.read(len_bytes, 4)) break;
+    const std::uint32_t len =
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(len_bytes[0])) << 24) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(len_bytes[1])) << 16) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(len_bytes[2])) << 8) |
+        static_cast<std::uint32_t>(static_cast<unsigned char>(len_bytes[3]));
+    std::vector<std::uint8_t> dgram(len);
+    if (!in.read(reinterpret_cast<char*>(dgram.data()),
+                 static_cast<std::streamsize>(len))) {
+      std::fprintf(stderr, "truncated stream\n");
+      return 1;
+    }
+    ++datagrams;
+    if (receiver.on_datagram(dgram) == DatagramStatus::kSessionComplete) break;
+  }
+  if (!receiver.session_complete()) {
+    std::fprintf(stderr, "decode FAILED after %zu datagrams (need more "
+                         "redundancy or fewer losses)\n",
+                 datagrams);
+    return 1;
+  }
+  const auto content = receiver.file("payload");
+  std::ofstream out(argv[3], std::ios::binary);
+  out.write(reinterpret_cast<const char*>(content.data()),
+            static_cast<std::streamsize>(content.size()));
+  std::printf("decoded %zu bytes from %zu datagrams (rejected %llu)\n",
+              content.size(), datagrams,
+              static_cast<unsigned long long>(receiver.datagrams_rejected()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "encode") == 0)
+    return do_encode(argc, argv);
+  if (argc >= 2 && std::strcmp(argv[1], "decode") == 0)
+    return do_decode(argc, argv);
+
+  // No arguments: self-demonstrating round trip through a lossy channel.
+  std::printf("no command given — running a self-demo: encode /tmp/demo.bin "
+              "through a 10%% bursty channel, then decode\n");
+  {
+    std::ofstream demo("/tmp/fecsched_demo.bin", std::ios::binary);
+    for (int i = 0; i < 300000; ++i)
+      demo.put(static_cast<char>((i * 131) ^ (i >> 7)));
+  }
+  char a0[] = "fec_file_tool";
+  char a1e[] = "encode", a2e[] = "/tmp/fecsched_demo.bin";
+  char a3[] = "/tmp/fecsched_demo.stream", a4[] = "ldgm-triangle";
+  char a5[] = "1.5", a6[] = "0.05", a7[] = "0.45";
+  char* enc_args[] = {a0, a1e, a2e, a3, a4, a5, a6, a7};
+  if (do_encode(8, enc_args) != 0) return 1;
+  char a1d[] = "decode", a2d[] = "/tmp/fecsched_demo.out";
+  char* dec_args[] = {a0, a1d, a3, a2d};
+  if (do_decode(4, dec_args) != 0) return 1;
+  const auto original = read_file("/tmp/fecsched_demo.bin");
+  const auto decoded = read_file("/tmp/fecsched_demo.out");
+  std::printf("round trip bytes match: %s\n",
+              original == decoded ? "YES" : "NO");
+  return original == decoded ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Operability map: for a chosen (code, scheduling, ratio) tuple, sweep the
+// whole Gilbert (p, q) plane and draw an ASCII map of where decoding is
+// reliable, what it costs, and where the fundamental Fig. 6 limit bites —
+// a compact visual companion to the paper's 3D plots.
+//
+//   $ ./loss_map [tx_model 1-6] [ratio]
+//
+// Defaults: Tx_model_4, ratio 2.5, LDGM Triangle (the universal tuple).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/analytic.h"
+#include "sim/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace fecsched;
+
+  const int tx_num = argc > 1 ? std::atoi(argv[1]) : 4;
+  const double ratio = argc > 2 ? std::atof(argv[2]) : 2.5;
+  if (tx_num < 1 || tx_num > 6) {
+    std::fprintf(stderr, "tx_model must be 1..6\n");
+    return 1;
+  }
+
+  ExperimentConfig cfg;
+  cfg.code = CodeKind::kLdgmTriangle;
+  cfg.tx = static_cast<TxModel>(tx_num);
+  cfg.expansion_ratio = ratio;
+  cfg.k = 2000;
+  const Experiment experiment(cfg);
+
+  GridSpec spec = GridSpec::paper();
+  GridRunOptions opt;
+  opt.trials_per_cell = 10;
+  const GridResult grid = experiment.run(spec, opt);
+
+  std::printf("operability map: LDGM Triangle + %s, ratio %.1f, k=%u\n",
+              std::string(to_string(cfg.tx)).c_str(), ratio, cfg.k);
+  std::printf("legend: '.'<=1.05  '+'<=1.15  'o'<=1.30  'O'>1.30  "
+              "'x' unreliable  '#' beyond the Fig. 6 limit\n\n");
+  std::printf("        q -> ");
+  for (double q : spec.q_values) std::printf("%4.0f", q * 100);
+  std::printf("  [%%]\n");
+  for (std::size_t pi = 0; pi < spec.p_values.size(); ++pi) {
+    std::printf("p = %5.1f%%   ", spec.p_values[pi] * 100);
+    for (std::size_t qi = 0; qi < spec.q_values.size(); ++qi) {
+      const CellResult& cell = grid.cell(pi, qi);
+      char ch;
+      if (!decoding_feasible(cell.p, cell.q, 1.0, ratio))
+        ch = '#';
+      else if (!cell.reportable())
+        ch = 'x';
+      else {
+        const double inef = cell.inefficiency.mean();
+        ch = inef <= 1.05 ? '.' : inef <= 1.15 ? '+' : inef <= 1.30 ? 'o' : 'O';
+      }
+      std::printf("   %c", ch);
+    }
+    std::printf("\n");
+  }
+
+  // Summarise the reliable region.
+  std::size_t reliable = 0, feasible = 0;
+  for (const CellResult& cell : grid.cells) {
+    if (decoding_feasible(cell.p, cell.q, 1.0, ratio)) ++feasible;
+    if (cell.reportable()) ++reliable;
+  }
+  std::printf("\nreliable cells: %zu / %zu (fundamental limit allows %zu)\n",
+              reliable, grid.cells.size(), feasible);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: FEC-encode a buffer, push it through a lossy channel, decode
+// it back — the minimal end-to-end use of the public API.
+//
+//   $ ./quickstart
+//
+// Walks through: SenderSession (encode + schedule), GilbertModel (the
+// channel), ReceiverSession (incremental decode), and verifies the
+// recovered bytes match.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "channel/gilbert.h"
+#include "core/session.h"
+
+int main() {
+  using namespace fecsched;
+
+  // 1. Something to broadcast: 1 MB of synthetic content.
+  std::vector<std::uint8_t> object(1 << 20);
+  for (std::size_t i = 0; i < object.size(); ++i)
+    object[i] = static_cast<std::uint8_t>((i * 2654435761u) >> 24);
+
+  // 2. Sender: LDGM Triangle, everything in random order (the paper's
+  //    universal recommendation for unknown channels, Sec. 6.2.2).
+  SenderConfig config;
+  config.code = CodeKind::kLdgmTriangle;
+  config.tx = TxModel::kTx4AllRandom;
+  config.expansion_ratio = 1.5;
+  config.payload_size = 1024;
+  const SenderSession sender(object, config);
+  std::printf("object: %zu bytes -> k=%u source packets, n=%u total\n",
+              object.size(), sender.info().k, sender.info().n);
+
+  // 3. A bursty channel: p=2%, q=50% => p_global ~ 3.8%, mean burst 2.
+  GilbertModel channel(0.02, 0.50);
+  channel.reset(/*seed=*/2024);
+
+  // 4. Receiver: constructed from the out-of-band TransmissionInfo.
+  ReceiverSession receiver(sender.info());
+  std::uint32_t sent = 0, delivered = 0;
+  for (std::uint32_t seq = 0; seq < sender.packet_count(); ++seq) {
+    ++sent;
+    if (channel.lost()) continue;  // erased by the network
+    ++delivered;
+    const WirePacket pkt = sender.packet(seq);
+    if (receiver.on_packet(pkt.id, pkt.payload)) break;  // decoded!
+  }
+
+  if (!receiver.complete()) {
+    std::printf("decode FAILED after %u packets\n", delivered);
+    return 1;
+  }
+  const std::vector<std::uint8_t> recovered = receiver.object();
+  const bool ok = recovered == object;
+  std::printf("sent %u, delivered %u, needed %u packets\n", sent, delivered,
+              receiver.packets_received());
+  std::printf("inefficiency ratio: %.4f (1.0 is optimal)\n",
+              static_cast<double>(receiver.packets_received()) /
+                  sender.info().k);
+  std::printf("bytes match: %s\n", ok ? "YES" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+#include "channel/gilbert.h"
+
+#include <stdexcept>
+
+namespace fecsched {
+
+GilbertModel::GilbertModel(double p, double q) : p_(p), q_(q) {
+  if (!(p >= 0.0 && p <= 1.0) || !(q >= 0.0 && q <= 1.0))
+    throw std::invalid_argument("GilbertModel: p and q must be in [0, 1]");
+  reset(0);
+}
+
+double GilbertModel::global_loss_probability() const noexcept {
+  return (p_ + q_) > 0.0 ? p_ / (p_ + q_) : 0.0;
+}
+
+void GilbertModel::reset(std::uint64_t seed) {
+  rng_.reseed(seed);
+  // Draw the initial state from the stationary distribution.
+  in_loss_state_ = rng_.bernoulli(global_loss_probability());
+}
+
+bool GilbertModel::lost() {
+  // The current state decides the current packet's fate, then the chain
+  // advances.
+  const bool erased = in_loss_state_;
+  if (in_loss_state_)
+    in_loss_state_ = !rng_.bernoulli(q_);
+  else
+    in_loss_state_ = rng_.bernoulli(p_);
+  return erased;
+}
+
+}  // namespace fecsched

@@ -1,0 +1,47 @@
+// Two-state Markov ("Gilbert") packet loss model (Sec. 3.2, Fig. 4).
+//
+// Two states: NO-LOSS (packets delivered) and LOSS (packets erased).
+// p = P[no-loss -> loss], q = P[loss -> no-loss].  The stationary loss
+// probability is p_global = p / (p + q); mean burst length is 1/q.
+// The initial state of each trial is drawn from the stationary
+// distribution so short objects see steady-state behaviour, matching the
+// paper's tables.
+//
+// Special cases covered (paper Sec. 3.2): p = 0 is the perfect channel;
+// q = 1 - p is the memoryless Bernoulli (IID) channel.
+
+#pragma once
+
+#include "channel/loss_model.h"
+#include "util/rng.h"
+
+namespace fecsched {
+
+/// Gilbert two-state Markov erasure process.
+class GilbertModel final : public LossModel {
+ public:
+  /// Probabilities must lie in [0, 1] (throws std::invalid_argument).
+  GilbertModel(double p, double q);
+
+  /// Memoryless channel with loss probability `loss_rate` (q = 1 - p).
+  [[nodiscard]] static GilbertModel bernoulli(double loss_rate) {
+    return GilbertModel(loss_rate, 1.0 - loss_rate);
+  }
+
+  [[nodiscard]] double p() const noexcept { return p_; }
+  [[nodiscard]] double q() const noexcept { return q_; }
+
+  /// Stationary loss probability p/(p+q); 0 when p = q = 0.
+  [[nodiscard]] double global_loss_probability() const noexcept;
+
+  [[nodiscard]] bool lost() override;
+  void reset(std::uint64_t seed) override;
+
+ private:
+  double p_;
+  double q_;
+  bool in_loss_state_ = false;
+  Rng rng_;
+};
+
+}  // namespace fecsched

@@ -1,0 +1,33 @@
+// Packet-erasure channel abstraction (Sec. 3.2).
+//
+// The channel is a "packet erasure channel": each transmitted packet either
+// arrives intact or is lost.  A LossModel answers, per packet in
+// transmission order, whether that packet is erased.  Models are stateful
+// (bursty channels have memory) and are re-seeded per simulation trial.
+
+#pragma once
+
+#include <cstdint>
+
+namespace fecsched {
+
+/// Per-packet erasure process.
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+
+  /// Was the next packet (in transmission order) lost?
+  [[nodiscard]] virtual bool lost() = 0;
+
+  /// Restart the process for a new trial with the given seed.
+  virtual void reset(std::uint64_t seed) = 0;
+};
+
+/// The ideal channel: nothing is ever lost (Gilbert with p = 0).
+class PerfectChannel final : public LossModel {
+ public:
+  [[nodiscard]] bool lost() override { return false; }
+  void reset(std::uint64_t) override {}
+};
+
+}  // namespace fecsched

@@ -1,0 +1,96 @@
+#include "channel/nstate.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fecsched {
+
+NStateMarkovModel::NStateMarkovModel(
+    std::vector<std::vector<double>> transition, std::vector<double> loss_prob)
+    : transition_(std::move(transition)), loss_prob_(std::move(loss_prob)) {
+  const std::size_t s = loss_prob_.size();
+  if (s == 0) throw std::invalid_argument("NStateMarkovModel: no states");
+  if (transition_.size() != s)
+    throw std::invalid_argument("NStateMarkovModel: transition matrix size");
+  for (const auto& row : transition_) {
+    if (row.size() != s)
+      throw std::invalid_argument("NStateMarkovModel: transition row size");
+    double sum = 0.0;
+    for (double v : row) {
+      if (!(v >= 0.0 && v <= 1.0))
+        throw std::invalid_argument("NStateMarkovModel: probability range");
+      sum += v;
+    }
+    if (std::abs(sum - 1.0) > 1e-9)
+      throw std::invalid_argument("NStateMarkovModel: row must sum to 1");
+  }
+  for (double v : loss_prob_)
+    if (!(v >= 0.0 && v <= 1.0))
+      throw std::invalid_argument("NStateMarkovModel: loss probability range");
+
+  // Stationary distribution by power iteration from the uniform vector.
+  stationary_.assign(s, 1.0 / static_cast<double>(s));
+  std::vector<double> next(s, 0.0);
+  for (int iter = 0; iter < 10000; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < s; ++i)
+      for (std::size_t j = 0; j < s; ++j)
+        next[j] += stationary_[i] * transition_[i][j];
+    double delta = 0.0;
+    for (std::size_t j = 0; j < s; ++j)
+      delta += std::abs(next[j] - stationary_[j]);
+    stationary_.swap(next);
+    if (delta < 1e-14) break;
+  }
+  reset(0);
+}
+
+NStateMarkovModel NStateMarkovModel::gilbert(double p, double q) {
+  return NStateMarkovModel({{1.0 - p, p}, {q, 1.0 - q}}, {0.0, 1.0});
+}
+
+NStateMarkovModel NStateMarkovModel::gilbert_elliott(double p, double q,
+                                                     double h_good,
+                                                     double h_bad) {
+  return NStateMarkovModel({{1.0 - p, p}, {q, 1.0 - q}}, {h_good, h_bad});
+}
+
+double NStateMarkovModel::global_loss_probability() const noexcept {
+  double g = 0.0;
+  for (std::size_t i = 0; i < loss_prob_.size(); ++i)
+    g += stationary_[i] * loss_prob_[i];
+  return g;
+}
+
+void NStateMarkovModel::reset(std::uint64_t seed) {
+  rng_.reseed(seed);
+  // Sample the initial state from the stationary distribution.
+  const double u = rng_.uniform01();
+  double cum = 0.0;
+  state_ = loss_prob_.size() - 1;
+  for (std::size_t i = 0; i < loss_prob_.size(); ++i) {
+    cum += stationary_[i];
+    if (u < cum) {
+      state_ = i;
+      break;
+    }
+  }
+}
+
+bool NStateMarkovModel::lost() {
+  const bool erased = rng_.bernoulli(loss_prob_[state_]);
+  const double u = rng_.uniform01();
+  double cum = 0.0;
+  std::size_t next = loss_prob_.size() - 1;
+  for (std::size_t j = 0; j < loss_prob_.size(); ++j) {
+    cum += transition_[state_][j];
+    if (u < cum) {
+      next = j;
+      break;
+    }
+  }
+  state_ = next;
+  return erased;
+}
+
+}  // namespace fecsched

@@ -1,0 +1,63 @@
+// N-state Markov packet loss model — the generalisation the paper lists as
+// future work ("Other more complex models (e.g. the n-state Markov
+// models), that may be required for specific channels, will be considered
+// in future works", Sec. 3.2).
+//
+// Each state carries its own per-packet loss probability (a
+// Gilbert-Elliott-style hidden Markov erasure model); transitions follow a
+// row-stochastic matrix.  The two-state Gilbert model of the paper is the
+// special case {loss_prob = {0, 1}}.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/loss_model.h"
+#include "util/rng.h"
+
+namespace fecsched {
+
+/// Hidden-Markov erasure channel with S states.
+class NStateMarkovModel final : public LossModel {
+ public:
+  /// `transition` is an S x S row-stochastic matrix (row sums within 1e-9
+  /// of 1), `loss_prob` holds S per-state loss probabilities in [0, 1].
+  /// The initial state of each trial is drawn from the stationary
+  /// distribution (computed by power iteration).
+  /// Throws std::invalid_argument on malformed input.
+  NStateMarkovModel(std::vector<std::vector<double>> transition,
+                    std::vector<double> loss_prob);
+
+  /// Convenience: the paper's 2-state Gilbert model as an NState instance
+  /// (for equivalence tests).
+  [[nodiscard]] static NStateMarkovModel gilbert(double p, double q);
+
+  /// The full Gilbert-Elliott channel: two states with their own loss
+  /// probabilities (`h_good` in the good state, `h_bad` in the bad one).
+  /// The paper's model is the h_good = 0, h_bad = 1 special case.
+  [[nodiscard]] static NStateMarkovModel gilbert_elliott(double p, double q,
+                                                         double h_good,
+                                                         double h_bad);
+
+  [[nodiscard]] std::size_t state_count() const noexcept {
+    return loss_prob_.size();
+  }
+  [[nodiscard]] const std::vector<double>& stationary() const noexcept {
+    return stationary_;
+  }
+  /// Long-run packet loss probability: sum_i stationary[i] * loss_prob[i].
+  [[nodiscard]] double global_loss_probability() const noexcept;
+
+  [[nodiscard]] bool lost() override;
+  void reset(std::uint64_t seed) override;
+
+ private:
+  std::vector<std::vector<double>> transition_;
+  std::vector<double> loss_prob_;
+  std::vector<double> stationary_;
+  std::size_t state_ = 0;
+  Rng rng_;
+};
+
+}  // namespace fecsched

@@ -1,0 +1,83 @@
+#include "channel/trace.h"
+
+#include <cctype>
+#include <istream>
+#include <stdexcept>
+#include <string>
+
+namespace fecsched {
+
+TraceModel::TraceModel(std::vector<bool> events, bool random_rotation)
+    : events_(std::move(events)), random_rotation_(random_rotation) {
+  if (events_.empty()) throw std::invalid_argument("TraceModel: empty trace");
+  reset(0);
+}
+
+TraceModel TraceModel::parse(std::string_view text, bool random_rotation) {
+  std::vector<bool> events;
+  events.reserve(text.size());
+  for (char ch : text) {
+    if (std::isspace(static_cast<unsigned char>(ch))) continue;
+    switch (ch) {
+      case '0':
+      case '.': events.push_back(false); break;
+      case '1':
+      case 'x':
+      case 'X': events.push_back(true); break;
+      default:
+        throw std::invalid_argument(std::string("TraceModel: bad character '") +
+                                    ch + "'");
+    }
+  }
+  return TraceModel(std::move(events), random_rotation);
+}
+
+TraceModel TraceModel::load(std::istream& in, bool random_rotation) {
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return parse(text, random_rotation);
+}
+
+double TraceModel::loss_rate() const noexcept {
+  std::size_t losses = 0;
+  for (bool e : events_) losses += e ? 1 : 0;
+  return static_cast<double>(losses) / static_cast<double>(events_.size());
+}
+
+void TraceModel::reset(std::uint64_t seed) {
+  if (random_rotation_) {
+    Rng rng(seed);
+    pos_ = static_cast<std::size_t>(rng.below(events_.size()));
+  } else {
+    pos_ = 0;
+  }
+}
+
+bool TraceModel::lost() {
+  const bool erased = events_[pos_];
+  pos_ = (pos_ + 1) % events_.size();
+  return erased;
+}
+
+GilbertFit fit_gilbert(const std::vector<bool>& events) {
+  // p = P[loss | previous delivered], q = P[delivered | previous lost].
+  std::size_t good_to_bad = 0, good_total = 0;
+  std::size_t bad_to_good = 0, bad_total = 0;
+  for (std::size_t t = 0; t + 1 < events.size(); ++t) {
+    if (!events[t]) {
+      ++good_total;
+      if (events[t + 1]) ++good_to_bad;
+    } else {
+      ++bad_total;
+      if (!events[t + 1]) ++bad_to_good;
+    }
+  }
+  GilbertFit fit{0.0, 0.0};
+  if (good_total > 0)
+    fit.p = static_cast<double>(good_to_bad) / static_cast<double>(good_total);
+  if (bad_total > 0)
+    fit.q = static_cast<double>(bad_to_good) / static_cast<double>(bad_total);
+  return fit;
+}
+
+}  // namespace fecsched

@@ -1,0 +1,44 @@
+#include "core/nsent.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/analytic.h"
+
+namespace fecsched {
+
+NsentResult optimal_nsent(const NsentRequest& request) {
+  if (request.k == 0) throw std::invalid_argument("optimal_nsent: k == 0");
+  if (request.inefficiency < 1.0)
+    throw std::invalid_argument("optimal_nsent: inefficiency < 1");
+  if (request.tolerance_fraction < 0.0)
+    throw std::invalid_argument("optimal_nsent: negative tolerance");
+  const double p_global = global_loss_probability(request.p, request.q);
+  if (p_global >= 1.0)
+    throw std::invalid_argument("optimal_nsent: channel loses every packet");
+
+  NsentResult result;
+  result.p_global = p_global;
+  const double necessary =
+      request.inefficiency * static_cast<double>(request.k);
+  result.exact = necessary / (1.0 - p_global);
+  result.n_sent = static_cast<std::uint32_t>(
+      std::ceil(result.exact * (1.0 + request.tolerance_fraction)));
+  return result;
+}
+
+NsentResult optimal_nsent_bytes(const ByteNsentRequest& request) {
+  if (request.packet_payload_bytes == 0)
+    throw std::invalid_argument("optimal_nsent_bytes: zero payload size");
+  NsentRequest r;
+  r.inefficiency = request.inefficiency;
+  r.k = static_cast<std::uint32_t>(
+      (request.object_bytes + request.packet_payload_bytes - 1) /
+      request.packet_payload_bytes);
+  r.p = request.p;
+  r.q = request.q;
+  r.tolerance_fraction = request.tolerance_fraction;
+  return optimal_nsent(r);
+}
+
+}  // namespace fecsched

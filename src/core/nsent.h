@@ -1,0 +1,48 @@
+// The n_sent optimisation of Sec. 6.2: once the (code, scheduling, ratio)
+// tuple and its inefficiency at the operating point are known, the sender
+// can stop transmitting after
+//     n_sent = n_necessary_for_decoding / (1 - p_global)          (Eq. 3)
+// packets (plus a safety margin), instead of emitting all n packets.
+
+#pragma once
+
+#include <cstdint>
+
+namespace fecsched {
+
+/// Inputs of the optimisation.
+struct NsentRequest {
+  double inefficiency = 1.0;   ///< measured inef_ratio of the chosen tuple
+  std::uint32_t k = 0;         ///< object size in packets
+  double p = 0.0;              ///< Gilbert p of the target channel
+  double q = 1.0;              ///< Gilbert q of the target channel
+  /// Extra packets added on top of the formula ("some tolerance is
+  /// required", Sec. 6.2); expressed as a fraction of the exact n_sent.
+  double tolerance_fraction = 0.0;
+};
+
+/// The recommendation.
+struct NsentResult {
+  double exact = 0.0;          ///< Eq. 3 before rounding
+  std::uint32_t n_sent = 0;    ///< ceil(exact * (1 + tolerance))
+  double p_global = 0.0;       ///< stationary loss probability used
+};
+
+/// Apply Eq. 3.  Throws std::invalid_argument on k == 0, inefficiency < 1,
+/// or a channel that loses everything (p_global == 1).
+[[nodiscard]] NsentResult optimal_nsent(const NsentRequest& request);
+
+/// Convenience for the paper's Sec. 6.2.1 walk-through: object size in
+/// bytes and per-packet payload bytes instead of k.
+struct ByteNsentRequest {
+  double inefficiency = 1.0;
+  std::uint64_t object_bytes = 0;
+  std::uint32_t packet_payload_bytes = 1024;
+  double p = 0.0;
+  double q = 1.0;
+  double tolerance_fraction = 0.0;
+};
+
+[[nodiscard]] NsentResult optimal_nsent_bytes(const ByteNsentRequest& request);
+
+}  // namespace fecsched

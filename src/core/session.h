@@ -1,0 +1,122 @@
+// End-to-end payload sessions: the "real codec" layer a FLUTE-like file
+// broadcasting application would use (Sec. 1.1's use case).
+//
+// A SenderSession FEC-encodes a byte object, fixes a transmission schedule
+// and hands out packets in transmission order.  The receiver needs the
+// session's TransmissionInfo — the analogue of FLUTE's FEC Object
+// Transmission Information carried out-of-band — to construct the same
+// code (same LDGM graph seed, same block structure) and decode.
+//
+// The structure-only simulation (sim/) and these sessions share every
+// building block, so simulated inefficiencies are directly transferable.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fec/types.h"
+
+namespace fecsched {
+
+/// Sender-side configuration.
+struct SenderConfig {
+  CodeKind code = CodeKind::kLdgmStaircase;
+  double expansion_ratio = 1.5;
+  TxModel tx = TxModel::kTx4AllRandom;
+  std::size_t payload_size = 1024;  ///< bytes per packet
+  std::uint64_t seed = 0xfec5e55ULL;  ///< schedule + graph randomness
+  std::uint32_t left_degree = 3;
+  std::uint32_t triangle_extra_per_row = 1;
+  std::uint32_t replication_copies = 2;
+  std::uint32_t max_block_n = 255;
+  double tx6_source_fraction = 0.2;
+  /// Stop after this many packets (0 = full schedule), Sec. 6.2.
+  std::uint32_t n_sent = 0;
+};
+
+/// Everything a receiver must know to decode (travels out-of-band).
+struct TransmissionInfo {
+  CodeKind code = CodeKind::kLdgmStaircase;
+  std::uint32_t k = 0;
+  std::uint32_t n = 0;
+  std::size_t payload_size = 0;
+  std::uint64_t object_size = 0;      ///< true byte length (strips padding)
+  std::uint64_t graph_seed = 0;       ///< LDGM graph construction seed
+  std::uint32_t left_degree = 3;
+  std::uint32_t triangle_extra_per_row = 1;
+  std::uint32_t replication_copies = 2;
+  std::uint32_t max_block_n = 255;
+  double expansion_ratio = 1.5;
+};
+
+/// One packet on the wire.
+struct WirePacket {
+  PacketId id = 0;
+  std::span<const std::uint8_t> payload;
+};
+
+/// FEC-encodes an object and emits packets in schedule order.
+class SenderSession {
+ public:
+  /// Encodes eagerly; throws std::invalid_argument on empty objects or
+  /// inconsistent configuration.
+  SenderSession(std::span<const std::uint8_t> object, const SenderConfig& config);
+  ~SenderSession();
+  SenderSession(SenderSession&&) noexcept;
+  SenderSession& operator=(SenderSession&&) noexcept;
+  SenderSession(const SenderSession&) = delete;
+  SenderSession& operator=(const SenderSession&) = delete;
+
+  [[nodiscard]] const TransmissionInfo& info() const noexcept;
+  /// Packets this session will transmit (n, or the truncated n_sent).
+  [[nodiscard]] std::uint32_t packet_count() const noexcept;
+  /// The seq-th packet of the schedule (seq < packet_count()).
+  [[nodiscard]] WirePacket packet(std::uint32_t seq) const;
+  /// The full transmission order.
+  [[nodiscard]] const std::vector<PacketId>& schedule() const noexcept;
+  /// Payload of an arbitrary packet id (for carousel / custom schedules).
+  [[nodiscard]] std::span<const std::uint8_t> payload_of(PacketId id) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Incrementally decodes an object from received packets.
+class ReceiverSession {
+ public:
+  /// `ge_fallback` enables the ML completion pass on finish() for LDGM.
+  explicit ReceiverSession(const TransmissionInfo& info, bool ge_fallback = false);
+  ~ReceiverSession();
+  ReceiverSession(ReceiverSession&&) noexcept;
+  ReceiverSession& operator=(ReceiverSession&&) noexcept;
+  ReceiverSession(const ReceiverSession&) = delete;
+  ReceiverSession& operator=(const ReceiverSession&) = delete;
+
+  /// Feed one packet; duplicates are ignored.  Returns true once the
+  /// object is fully decodable.
+  bool on_packet(PacketId id, std::span<const std::uint8_t> payload);
+
+  [[nodiscard]] bool complete() const noexcept;
+  /// Packets that arrived (including duplicates) — the receiver-side cost,
+  /// numerator of the inefficiency ratio.
+  [[nodiscard]] std::uint32_t packets_received() const noexcept;
+
+  /// Last-resort ML pass (LDGM + ge_fallback only): try to finish a stuck
+  /// decode.  Returns completeness afterwards.
+  bool finish();
+
+  /// The decoded object (exact original bytes).  Throws std::logic_error
+  /// if not complete.
+  [[nodiscard]] std::vector<std::uint8_t> object() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fecsched

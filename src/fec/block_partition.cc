@@ -1,0 +1,95 @@
+#include "fec/block_partition.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fecsched {
+
+RsePlan::RsePlan(std::uint32_t k_total, double expansion_ratio,
+                 std::uint32_t max_block_n)
+    : k_total_(k_total) {
+  if (k_total == 0) throw std::invalid_argument("RsePlan: k_total == 0");
+  if (!(expansion_ratio >= 1.0))
+    throw std::invalid_argument("RsePlan: expansion ratio must be >= 1");
+  if (max_block_n == 0 || max_block_n > 255)
+    throw std::invalid_argument("RsePlan: max_block_n must be in [1, 255]");
+
+  // Largest k_b such that floor(k_b * ratio) <= max_block_n.
+  const auto max_kb = static_cast<std::uint32_t>(
+      std::floor(static_cast<double>(max_block_n) / expansion_ratio));
+  if (max_kb == 0)
+    throw std::invalid_argument("RsePlan: ratio too large for block cap");
+
+  // RFC 5052 partitioning: B blocks, sizes A_large / A_small differing by 1.
+  const std::uint32_t num_blocks = (k_total + max_kb - 1) / max_kb;
+  const std::uint32_t a_large = (k_total + num_blocks - 1) / num_blocks;
+  const std::uint32_t a_small = k_total / num_blocks;
+  const std::uint32_t num_large = k_total - a_small * num_blocks;
+
+  blocks_.reserve(num_blocks);
+  std::uint32_t source_offset = 0;
+  std::uint32_t parity_total = 0;
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    const std::uint32_t kb = (b < num_large) ? a_large : a_small;
+    auto nb = static_cast<std::uint32_t>(
+        std::floor(static_cast<double>(kb) * expansion_ratio));
+    if (nb < kb) nb = kb;
+    if (nb > max_block_n) nb = max_block_n;
+    blocks_.push_back(BlockInfo{kb, nb, source_offset, /*parity_offset=*/0});
+    source_offset += kb;
+    parity_total += nb - kb;
+  }
+  n_total_ = k_total_ + parity_total;
+  std::uint32_t parity_offset = k_total_;
+  for (auto& blk : blocks_) {
+    blk.parity_offset = parity_offset;
+    parity_offset += blk.n - blk.k;
+  }
+}
+
+BlockPosition RsePlan::position(PacketId id) const {
+  if (id >= n_total_) throw std::invalid_argument("RsePlan::position: bad id");
+  // Blocks have at most two distinct sizes, so a linear scan would do, but
+  // binary search keeps this O(log B) for the per-packet hot path.
+  if (id < k_total_) {
+    std::uint32_t lo = 0, hi = block_count() - 1;
+    while (lo < hi) {
+      const std::uint32_t mid = (lo + hi + 1) / 2;
+      if (blocks_[mid].source_offset <= id)
+        lo = mid;
+      else
+        hi = mid - 1;
+    }
+    return {lo, id - blocks_[lo].source_offset};
+  }
+  std::uint32_t lo = 0, hi = block_count() - 1;
+  while (lo < hi) {
+    const std::uint32_t mid = (lo + hi + 1) / 2;
+    if (blocks_[mid].parity_offset <= id)
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  return {lo, blocks_[lo].k + (id - blocks_[lo].parity_offset)};
+}
+
+PacketId RsePlan::packet_id(std::uint32_t b, std::uint32_t index) const {
+  const BlockInfo& blk = blocks_.at(b);
+  if (index >= blk.n)
+    throw std::invalid_argument("RsePlan::packet_id: index out of range");
+  return index < blk.k ? blk.source_offset + index
+                       : blk.parity_offset + (index - blk.k);
+}
+
+std::vector<PacketId> RsePlan::interleaved_order() const {
+  std::vector<PacketId> order;
+  order.reserve(n_total_);
+  std::uint32_t max_nb = 0;
+  for (const auto& blk : blocks_) max_nb = std::max(max_nb, blk.n);
+  for (std::uint32_t round = 0; round < max_nb; ++round)
+    for (std::uint32_t b = 0; b < block_count(); ++b)
+      if (round < blocks_[b].n) order.push_back(packet_id(b, round));
+  return order;
+}
+
+}  // namespace fecsched

@@ -1,0 +1,75 @@
+// Segmentation of a large object into Reed-Solomon blocks.
+//
+// GF(2^8) caps one RS block at n <= 255 packets, so an object of k_total
+// source packets must be split into B blocks (the paper's "Coupon
+// Collector" penalty comes from this segmentation).  We follow the RFC
+// 5052 block-partitioning algorithm: blocks come in at most two sizes
+// (A_large and A_small = A_large - 1 source packets) so no block is more
+// than one packet larger than another.
+//
+// Global packet-id convention (see fec/types.h): all source packets first,
+// in object order (block 0's sources, then block 1's, ...), then all
+// parity packets (block 0's parities, then block 1's, ...).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fec/plan.h"
+#include "fec/types.h"
+
+namespace fecsched {
+
+/// Geometry of one RS block within the object.
+struct BlockInfo {
+  std::uint32_t k;              ///< source packets in this block
+  std::uint32_t n;              ///< total packets in this block
+  std::uint32_t source_offset;  ///< global id of this block's first source packet
+  std::uint32_t parity_offset;  ///< global id of this block's first parity packet
+};
+
+/// Decomposition of a global packet id.
+struct BlockPosition {
+  std::uint32_t block;  ///< block index
+  std::uint32_t index;  ///< index within the block, in [0, n_b); < k_b => source
+};
+
+/// Structural plan for a blocked Reed-Solomon encoding of an object.
+class RsePlan final : public PacketPlan {
+ public:
+  /// Partition an object of `k_total` source packets with the given FEC
+  /// expansion ratio (n/k >= 1).  Each block gets
+  /// n_b = floor(k_b * ratio) packets, capped at `max_block_n` (<= 255).
+  /// Throws std::invalid_argument on k_total == 0, ratio < 1, or a cap so
+  /// small no source packet fits.
+  explicit RsePlan(std::uint32_t k_total, double expansion_ratio,
+                   std::uint32_t max_block_n = 255);
+
+  [[nodiscard]] std::uint32_t k() const noexcept override { return k_total_; }
+  [[nodiscard]] std::uint32_t n() const noexcept override { return n_total_; }
+  [[nodiscard]] std::uint32_t block_count() const noexcept override {
+    return static_cast<std::uint32_t>(blocks_.size());
+  }
+  [[nodiscard]] const BlockInfo& block(std::uint32_t b) const {
+    return blocks_.at(b);
+  }
+
+  /// Locate a global packet id inside its block.
+  [[nodiscard]] BlockPosition position(PacketId id) const;
+
+  /// Global id of packet `index` (in [0, n_b)) of block `b`.
+  [[nodiscard]] PacketId packet_id(std::uint32_t b, std::uint32_t index) const;
+
+  /// Tx_model_5 for RSE (Sec. 4.7): one packet of each block in turn —
+  /// packet 0 of every block, then packet 1 of every block, ... Blocks
+  /// shorter than the current round are skipped.
+  [[nodiscard]] std::vector<PacketId> interleaved_order() const override;
+
+ private:
+  std::uint32_t k_total_;
+  std::uint32_t n_total_;
+  std::vector<BlockInfo> blocks_;
+};
+
+}  // namespace fecsched

@@ -1,0 +1,112 @@
+#include "fec/ge_decoder.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+namespace fecsched {
+
+namespace {
+
+// One GE pass.  Returns the number of variables solved and fed back.
+std::uint32_t ge_pass(PeelingDecoder& d, GeStats& stats) {
+  const SparseBinaryMatrix& h = d.matrix();
+  const std::size_t sym = d.symbol_size();
+
+  // Collect residual rows (>= 2 unknowns; rows with 1 would have peeled).
+  std::vector<std::uint32_t> rows;
+  for (std::uint32_t r = 0; r < h.rows(); ++r)
+    if (d.unknowns_in_row(r) >= 2) rows.push_back(r);
+  if (rows.empty()) return 0;
+
+  // Compact column index for every unknown variable in those rows.
+  std::unordered_map<std::uint32_t, std::uint32_t> var_to_col;
+  std::vector<std::uint32_t> col_to_var;
+  for (std::uint32_t r : rows)
+    for (std::uint32_t v : h.row(r))
+      if (!d.is_known(v) && !var_to_col.contains(v)) {
+        var_to_col.emplace(v, static_cast<std::uint32_t>(col_to_var.size()));
+        col_to_var.push_back(v);
+      }
+  const std::size_t u = col_to_var.size();
+  stats.residual_rows = static_cast<std::uint32_t>(rows.size());
+  stats.residual_vars = static_cast<std::uint32_t>(u);
+
+  // Bit-packed residual matrix plus (payload mode) RHS accumulators.
+  const std::size_t words = (u + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> m(rows.size());
+  std::vector<std::vector<std::uint8_t>> rhs(sym > 0 ? rows.size() : 0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    m[i].assign(words, 0);
+    for (std::uint32_t v : h.row(rows[i]))
+      if (!d.is_known(v)) {
+        const std::uint32_t c = var_to_col.at(v);
+        m[i][c / 64] |= std::uint64_t{1} << (c % 64);
+      }
+    if (sym > 0) {
+      const auto acc = d.row_accumulator(rows[i]);
+      rhs[i].assign(acc.begin(), acc.end());
+    }
+  }
+
+  // Gauss-Jordan to reduced row-echelon form.
+  std::vector<std::size_t> pivot_row_of_col(u, SIZE_MAX);
+  std::size_t next_row = 0;
+  for (std::size_t c = 0; c < u && next_row < m.size(); ++c) {
+    std::size_t p = next_row;
+    while (p < m.size() && !(m[p][c / 64] >> (c % 64) & 1)) ++p;
+    if (p == m.size()) continue;  // free column
+    std::swap(m[p], m[next_row]);
+    if (sym > 0) std::swap(rhs[p], rhs[next_row]);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (i == next_row) continue;
+      if (m[i][c / 64] >> (c % 64) & 1) {
+        for (std::size_t w = 0; w < words; ++w) m[i][w] ^= m[next_row][w];
+        if (sym > 0)
+          for (std::size_t b = 0; b < sym; ++b) rhs[i][b] ^= rhs[next_row][b];
+      }
+    }
+    pivot_row_of_col[c] = next_row;
+    ++next_row;
+  }
+
+  // A pivot variable is uniquely determined iff its row has exactly one 1
+  // (no free variables left in the equation).
+  std::uint32_t solved = 0;
+  for (std::size_t c = 0; c < u; ++c) {
+    const std::size_t r = pivot_row_of_col[c];
+    if (r == SIZE_MAX) continue;
+    std::size_t ones = 0;
+    for (std::size_t w = 0; w < words; ++w) ones += static_cast<std::size_t>(
+        __builtin_popcountll(m[r][w]));
+    if (ones != 1) continue;
+    const std::uint32_t var = col_to_var[c];
+    if (d.is_known(var)) continue;  // solved by an earlier feedback cascade
+    if (sym > 0)
+      solved += d.force_known(var, rhs[r]);
+    else
+      solved += d.force_known(var);
+  }
+  return solved;
+}
+
+}  // namespace
+
+GeStats ge_solve(PeelingDecoder& decoder) {
+  GeStats stats;
+  // Feedback can unlock new peeling which changes the residual; iterate.
+  while (true) {
+    GeStats pass_stats;
+    const std::uint32_t solved = ge_pass(decoder, pass_stats);
+    if (stats.residual_rows == 0) {
+      stats.residual_rows = pass_stats.residual_rows;
+      stats.residual_vars = pass_stats.residual_vars;
+    }
+    stats.solved_vars += solved;
+    if (solved == 0) break;
+  }
+  stats.complete_after = decoder.source_complete();
+  return stats;
+}
+
+}  // namespace fecsched

@@ -1,0 +1,34 @@
+// Gaussian-elimination (maximum-likelihood) fallback for LDGM decoding.
+//
+// The paper evaluates pure iterative decoding; ML decoding on the residual
+// system is the natural extension (and is what later generations of the
+// authors' codec adopted).  When peeling is stuck, the unsolved equations
+// still constrain the unknown variables; solving them exactly over GF(2)
+// recovers every uniquely determined variable, at O(r * u^2 / 64) cost for
+// r residual rows and u unknowns.  Intended for small-to-moderate
+// residuals (ablation studies, final-gap recovery), not for the paper's
+// large-scale sweeps.
+
+#pragma once
+
+#include <cstdint>
+
+#include "fec/peeling_decoder.h"
+
+namespace fecsched {
+
+/// Outcome of one ML pass over the residual system.
+struct GeStats {
+  std::uint32_t residual_rows = 0;  ///< unsatisfied equations examined
+  std::uint32_t residual_vars = 0;  ///< unknown variables entering GE
+  std::uint32_t solved_vars = 0;    ///< variables recovered by GE (plus cascades)
+  bool complete_after = false;      ///< decoder.source_complete() afterwards
+};
+
+/// Run Gauss-Jordan elimination on the decoder's residual system and feed
+/// every uniquely determined variable back (triggering normal peeling
+/// cascades).  Works in both payload and structure-only modes.  Repeats
+/// until no further progress.
+GeStats ge_solve(PeelingDecoder& decoder);
+
+}  // namespace fecsched

@@ -1,0 +1,124 @@
+#include "fec/peeling_decoder.h"
+
+#include <stdexcept>
+
+namespace fecsched {
+
+PeelingDecoder::PeelingDecoder(const SparseBinaryMatrix& h, std::uint32_t k,
+                               std::size_t symbol_size)
+    : h_(&h), k_(k), symbol_size_(symbol_size) {
+  if (k == 0 || k >= h.cols())
+    throw std::invalid_argument("PeelingDecoder: require 0 < k < n");
+  if (h.rows() + k != h.cols())
+    throw std::invalid_argument("PeelingDecoder: H must be (n-k) x n");
+  known_.assign(h.cols(), 0);
+  row_unknowns_.resize(h.rows());
+  row_xor_id_.resize(h.rows());
+  if (symbol_size_ > 0) {
+    symbols_.assign(static_cast<std::size_t>(h.cols()) * symbol_size_, 0);
+    row_acc_.assign(static_cast<std::size_t>(h.rows()) * symbol_size_, 0);
+  }
+  reset();
+}
+
+void PeelingDecoder::reset() {
+  std::fill(known_.begin(), known_.end(), 0);
+  for (std::uint32_t r = 0; r < h_->rows(); ++r) {
+    const auto cols = h_->row(r);
+    row_unknowns_[r] = static_cast<std::uint32_t>(cols.size());
+    std::uint32_t x = 0;
+    for (std::uint32_t c : cols) x ^= c;
+    row_xor_id_[r] = x;
+  }
+  if (symbol_size_ > 0) {
+    std::fill(symbols_.begin(), symbols_.end(), 0);
+    std::fill(row_acc_.begin(), row_acc_.end(), 0);
+  }
+  known_sources_ = 0;
+  known_total_ = 0;
+  ready_rows_.clear();
+}
+
+std::span<const std::uint8_t> PeelingDecoder::symbol(PacketId id) const {
+  if (symbol_size_ == 0)
+    throw std::logic_error("PeelingDecoder::symbol: structure-only mode");
+  if (id >= n() || !known_[id])
+    throw std::logic_error("PeelingDecoder::symbol: variable unknown");
+  return {symbols_.data() + static_cast<std::size_t>(id) * symbol_size_,
+          symbol_size_};
+}
+
+std::span<const std::uint8_t>
+PeelingDecoder::row_accumulator(std::uint32_t row) const {
+  if (symbol_size_ == 0)
+    throw std::logic_error("PeelingDecoder::row_accumulator: structure-only mode");
+  if (row >= h_->rows())
+    throw std::invalid_argument("PeelingDecoder::row_accumulator: bad row");
+  return {row_acc_.data() + static_cast<std::size_t>(row) * symbol_size_,
+          symbol_size_};
+}
+
+std::uint32_t PeelingDecoder::make_known(PacketId id, const std::uint8_t* payload) {
+  known_[id] = 1;
+  ++known_total_;
+  if (id < k_) ++known_sources_;
+  std::uint8_t* stored = nullptr;
+  if (symbol_size_ > 0) {
+    stored = symbols_.data() + static_cast<std::size_t>(id) * symbol_size_;
+    if (payload != nullptr && payload != stored)
+      std::copy(payload, payload + symbol_size_, stored);
+  }
+  for (std::uint32_t r : h_->col(id)) {
+    row_xor_id_[r] ^= id;
+    if (symbol_size_ > 0) {
+      std::uint8_t* acc = row_acc_.data() + static_cast<std::size_t>(r) * symbol_size_;
+      for (std::size_t b = 0; b < symbol_size_; ++b) acc[b] ^= stored[b];
+    }
+    if (--row_unknowns_[r] == 1) ready_rows_.push_back(r);
+  }
+  return 1;
+}
+
+void PeelingDecoder::cascade(std::vector<std::uint32_t>& ready,
+                             std::uint32_t& newly) {
+  while (!ready.empty()) {
+    const std::uint32_t r = ready.back();
+    ready.pop_back();
+    if (row_unknowns_[r] != 1) continue;  // stale entry: solved meanwhile
+    const PacketId missing = row_xor_id_[r];
+    if (known_[missing]) continue;  // defensive; cannot normally happen
+    const std::uint8_t* payload =
+        symbol_size_ > 0
+            ? row_acc_.data() + static_cast<std::size_t>(r) * symbol_size_
+            : nullptr;
+    // The single unknown of an equation equals the XOR of its known
+    // members, which is exactly the row accumulator.
+    newly += make_known(missing, payload);
+  }
+}
+
+std::uint32_t PeelingDecoder::add_packet(PacketId id,
+                                         std::span<const std::uint8_t> payload) {
+  if (id >= n())
+    throw std::invalid_argument("PeelingDecoder::add_packet: bad id");
+  if (symbol_size_ > 0 && payload.size() != symbol_size_)
+    throw std::invalid_argument("PeelingDecoder::add_packet: bad payload size");
+  if (known_[id]) return 0;  // duplicate packet: no new information
+  std::uint32_t newly = make_known(id, payload.data());
+  cascade(ready_rows_, newly);
+  return newly;
+}
+
+std::uint32_t PeelingDecoder::force_known(PacketId id,
+                                          std::span<const std::uint8_t> payload) {
+  if (id >= n())
+    throw std::invalid_argument("PeelingDecoder::force_known: bad id");
+  if (symbol_size_ > 0 && payload.size() != symbol_size_)
+    throw std::invalid_argument("PeelingDecoder::force_known: bad payload size");
+  if (known_[id]) return 0;
+  std::uint32_t newly = make_known(id, payload.data());
+  cascade(ready_rows_, newly);
+  return newly;
+}
+
+}  // namespace fecsched

@@ -1,0 +1,46 @@
+// The "no FEC" baseline of Sec. 4.2: every source packet is simply
+// transmitted `copies` times.  Modelled as a PacketPlan whose ids
+// [0, k*copies) all map onto a source packet (id modulo k), so the
+// standard schedulers and trial runner apply unchanged.
+
+#pragma once
+
+#include <stdexcept>
+
+#include "fec/plan.h"
+
+namespace fecsched {
+
+/// Structural plan for x-times repetition of k source packets.
+class ReplicationPlan final : public PacketPlan {
+ public:
+  ReplicationPlan(std::uint32_t k, std::uint32_t copies) : k_(k), copies_(copies) {
+    if (k == 0 || copies == 0)
+      throw std::invalid_argument("ReplicationPlan: k and copies must be >= 1");
+  }
+
+  [[nodiscard]] std::uint32_t k() const noexcept override { return k_; }
+  [[nodiscard]] std::uint32_t n() const noexcept override { return k_ * copies_; }
+  [[nodiscard]] std::uint32_t copies() const noexcept { return copies_; }
+
+  /// The source packet a transmission id carries.
+  [[nodiscard]] PacketId source_of(PacketId id) const {
+    if (id >= n()) throw std::invalid_argument("ReplicationPlan::source_of: bad id");
+    return id % k_;
+  }
+
+  /// Interleaved order: full passes over the object, one copy per pass
+  /// (maximises the distance between two copies of the same packet).
+  [[nodiscard]] std::vector<PacketId> interleaved_order() const override {
+    std::vector<PacketId> out;
+    out.reserve(n());
+    for (PacketId id = 0; id < n(); ++id) out.push_back(id);
+    return out;
+  }
+
+ private:
+  std::uint32_t k_;
+  std::uint32_t copies_;
+};
+
+}  // namespace fecsched

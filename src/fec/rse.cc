@@ -1,0 +1,174 @@
+#include "fec/rse.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "gf/gf256.h"
+
+namespace fecsched {
+
+namespace {
+
+// Dense row-major matrix product: out(a x c) = lhs(a x b) * rhs(b x c).
+std::vector<std::uint8_t> gf_matmul(const std::vector<std::uint8_t>& lhs,
+                                    const std::vector<std::uint8_t>& rhs,
+                                    std::uint32_t a, std::uint32_t b,
+                                    std::uint32_t c) {
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(a) * c, 0);
+  for (std::uint32_t i = 0; i < a; ++i) {
+    for (std::uint32_t t = 0; t < b; ++t) {
+      const std::uint8_t coeff = lhs[static_cast<std::size_t>(i) * b + t];
+      if (coeff == 0) continue;
+      gf::addmul(std::span(out).subspan(static_cast<std::size_t>(i) * c, c),
+                 std::span(rhs).subspan(static_cast<std::size_t>(t) * c, c),
+                 coeff);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void gf256_invert_matrix(std::vector<std::uint8_t>& m, std::uint32_t size) {
+  if (m.size() != static_cast<std::size_t>(size) * size)
+    throw std::invalid_argument("gf256_invert_matrix: bad dimensions");
+  const std::size_t s = size;
+  std::vector<std::uint8_t> inv(s * s, 0);
+  for (std::size_t i = 0; i < s; ++i) inv[i * s + i] = 1;
+
+  for (std::size_t col = 0; col < s; ++col) {
+    // Find a non-zero pivot in this column.
+    std::size_t pivot = col;
+    while (pivot < s && m[pivot * s + col] == 0) ++pivot;
+    if (pivot == s)
+      throw std::invalid_argument("gf256_invert_matrix: singular matrix");
+    if (pivot != col) {
+      for (std::size_t j = 0; j < s; ++j) {
+        std::swap(m[pivot * s + j], m[col * s + j]);
+        std::swap(inv[pivot * s + j], inv[col * s + j]);
+      }
+    }
+    // Normalise the pivot row.
+    const std::uint8_t piv_inv = gf::inv(m[col * s + col]);
+    gf::scale(std::span(m).subspan(col * s, s), piv_inv);
+    gf::scale(std::span(inv).subspan(col * s, s), piv_inv);
+    // Eliminate the column from every other row.
+    for (std::size_t row = 0; row < s; ++row) {
+      if (row == col) continue;
+      const std::uint8_t factor = m[row * s + col];
+      if (factor == 0) continue;
+      gf::addmul(std::span(m).subspan(row * s, s),
+                 std::span(m).subspan(col * s, s), factor);
+      gf::addmul(std::span(inv).subspan(row * s, s),
+                 std::span(inv).subspan(col * s, s), factor);
+    }
+  }
+  m = std::move(inv);
+}
+
+RseCodec::RseCodec(std::uint32_t k, std::uint32_t n) : k_(k), n_(n) {
+  if (k == 0 || k > n || n > kMaxN)
+    throw std::invalid_argument("RseCodec: require 1 <= k <= n <= 255, got k=" +
+                                std::to_string(k) + " n=" + std::to_string(n));
+  // Vandermonde V (n x k): V[i][j] = (alpha^i)^j.
+  std::vector<std::uint8_t> v(static_cast<std::size_t>(n) * k);
+  for (std::uint32_t i = 0; i < n; ++i)
+    for (std::uint32_t j = 0; j < k; ++j)
+      v[static_cast<std::size_t>(i) * k + j] =
+          gf::alpha_pow(i * j);
+  // Invert the top k x k square and form the systematic generator
+  // M = V * inv(V_top); only the parity rows (k..n-1) need materialising.
+  std::vector<std::uint8_t> top(v.begin(),
+                                v.begin() + static_cast<std::size_t>(k) * k);
+  gf256_invert_matrix(top, k);
+  const std::uint32_t parity = n - k;
+  std::vector<std::uint8_t> bottom(
+      v.begin() + static_cast<std::size_t>(k) * k, v.end());
+  parity_rows_ = gf_matmul(bottom, top, parity, k, k);
+}
+
+std::uint8_t RseCodec::coefficient(std::uint32_t i, std::uint32_t j) const {
+  if (i >= n_ || j >= k_)
+    throw std::invalid_argument("RseCodec::coefficient: index out of range");
+  if (i < k_) return i == j ? 1 : 0;
+  return parity_rows_[static_cast<std::size_t>(i - k_) * k_ + j];
+}
+
+std::vector<std::vector<std::uint8_t>>
+RseCodec::encode(std::span<const std::vector<std::uint8_t>> source) const {
+  if (source.size() != k_)
+    throw std::invalid_argument("RseCodec::encode: expected k source symbols");
+  const std::size_t sym = source.empty() ? 0 : source[0].size();
+  for (const auto& s : source)
+    if (s.size() != sym)
+      throw std::invalid_argument("RseCodec::encode: symbol size mismatch");
+  std::vector<std::vector<std::uint8_t>> parity(n_ - k_);
+  for (std::uint32_t i = 0; i < n_ - k_; ++i) {
+    parity[i].assign(sym, 0);
+    for (std::uint32_t j = 0; j < k_; ++j) {
+      const std::uint8_t c = parity_rows_[static_cast<std::size_t>(i) * k_ + j];
+      gf::addmul(parity[i], source[j], c);
+    }
+  }
+  return parity;
+}
+
+std::vector<std::vector<std::uint8_t>>
+RseCodec::decode(std::span<const Received> received) const {
+  if (received.size() < k_)
+    throw std::invalid_argument("RseCodec::decode: fewer than k packets");
+  const std::size_t sym = received[0].payload.size();
+
+  std::vector<char> seen(n_, 0);
+  std::vector<std::vector<std::uint8_t>> source(k_);
+  std::vector<const Received*> parity_pkts;
+  for (const auto& r : received) {
+    if (r.index >= n_)
+      throw std::invalid_argument("RseCodec::decode: index out of range");
+    if (r.payload.size() != sym)
+      throw std::invalid_argument("RseCodec::decode: symbol size mismatch");
+    if (seen[r.index])
+      throw std::invalid_argument("RseCodec::decode: duplicate index");
+    seen[r.index] = 1;
+    if (r.index < k_)
+      source[r.index] = r.payload;  // systematic: source arrives verbatim
+    else
+      parity_pkts.push_back(&r);
+  }
+
+  // Erased source positions.
+  std::vector<std::uint32_t> erased;
+  for (std::uint32_t j = 0; j < k_; ++j)
+    if (!seen[j]) erased.push_back(j);
+  const std::uint32_t e = static_cast<std::uint32_t>(erased.size());
+  if (e == 0) return source;
+  if (parity_pkts.size() < e)
+    throw std::invalid_argument("RseCodec::decode: not enough parity packets");
+
+  // Build the e x e system over the erased columns using the first e
+  // parity packets: A * s_erased = rhs, where rhs is the parity payload
+  // minus the known-source contributions.
+  std::vector<std::uint8_t> a(static_cast<std::size_t>(e) * e);
+  std::vector<std::vector<std::uint8_t>> rhs(e);
+  for (std::uint32_t t = 0; t < e; ++t) {
+    const Received& pkt = *parity_pkts[t];
+    const std::uint32_t prow = pkt.index - k_;
+    const auto row =
+        std::span(parity_rows_).subspan(static_cast<std::size_t>(prow) * k_, k_);
+    for (std::uint32_t u = 0; u < e; ++u)
+      a[static_cast<std::size_t>(t) * e + u] = row[erased[u]];
+    rhs[t] = pkt.payload;
+    for (std::uint32_t j = 0; j < k_; ++j)
+      if (seen[j]) gf::addmul(rhs[t], source[j], row[j]);
+  }
+  gf256_invert_matrix(a, e);
+  for (std::uint32_t u = 0; u < e; ++u) {
+    std::vector<std::uint8_t> sol(sym, 0);
+    for (std::uint32_t t = 0; t < e; ++t)
+      gf::addmul(sol, rhs[t], a[static_cast<std::size_t>(u) * e + t]);
+    source[erased[u]] = std::move(sol);
+  }
+  return source;
+}
+
+}  // namespace fecsched

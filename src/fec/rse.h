@@ -1,0 +1,71 @@
+// Single-block Reed-Solomon erasure codec over GF(2^8).
+//
+// Construction follows Rizzo (CCR 1997): an n x k Vandermonde matrix over
+// distinct evaluation points alpha^0..alpha^(n-1) is turned systematic by
+// right-multiplying with the inverse of its top k x k square, so the first
+// k rows become the identity (source packets are transmitted verbatim) and
+// rows k..n-1 generate the parity packets.  Any k of the n rows remain
+// linearly independent, which makes the code MDS: a receiver decodes from
+// *exactly* k received packets of the block, whatever their mix of source
+// and parity.
+//
+// Limits: 1 <= k <= n <= 255 (the evaluation points must be distinct
+// non-zero field elements).  Larger objects are segmented into blocks by
+// BlockPartition / RseObjectCodec.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fecsched {
+
+/// Systematic Reed-Solomon erasure code for one block.
+class RseCodec {
+ public:
+  /// Maximum block length imposed by GF(2^8).
+  static constexpr std::uint32_t kMaxN = 255;
+
+  /// Builds the generator for a (k, n) block.
+  /// Throws std::invalid_argument unless 1 <= k <= n <= 255.
+  RseCodec(std::uint32_t k, std::uint32_t n);
+
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+
+  /// Encode: produce the n-k parity symbols for the given k source symbols.
+  /// All symbols must have identical size.  Returns parity[i] = packet k+i.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>>
+  encode(std::span<const std::vector<std::uint8_t>> source) const;
+
+  /// One received packet of the block: its index within [0, n) and payload.
+  struct Received {
+    std::uint32_t index;
+    std::vector<std::uint8_t> payload;
+  };
+
+  /// Decode: recover the k source symbols from >= k received packets with
+  /// distinct indices.  Throws std::invalid_argument if fewer than k
+  /// packets, a duplicate / out-of-range index, or inconsistent sizes are
+  /// supplied.  Exactly k packets are used (MDS); extras are ignored.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>>
+  decode(std::span<const Received> received) const;
+
+  /// Generator coefficient for packet row `i` (0-based, i in [0,n)) and
+  /// source column `j`.  Rows < k form the identity.  Exposed for tests.
+  [[nodiscard]] std::uint8_t coefficient(std::uint32_t i, std::uint32_t j) const;
+
+ private:
+  std::uint32_t k_;
+  std::uint32_t n_;
+  // Parity part of the systematic generator, (n-k) x k, row-major.
+  std::vector<std::uint8_t> parity_rows_;
+};
+
+/// Invert a dense size x size matrix over GF(2^8) in place (row-major).
+/// Throws std::invalid_argument if the matrix is singular.
+/// Exposed for reuse by tests and by future codec variants.
+void gf256_invert_matrix(std::vector<std::uint8_t>& m, std::uint32_t size);
+
+}  // namespace fecsched

@@ -1,0 +1,80 @@
+#include "fec/rse_object.h"
+
+#include <stdexcept>
+
+namespace fecsched {
+
+RseObjectEncoder::RseObjectEncoder(
+    std::shared_ptr<const RsePlan> plan,
+    std::span<const std::vector<std::uint8_t>> source)
+    : plan_(std::move(plan)) {
+  if (!plan_) throw std::invalid_argument("RseObjectEncoder: null plan");
+  if (source.size() != plan_->k())
+    throw std::invalid_argument("RseObjectEncoder: expected k source symbols");
+  source_.assign(source.begin(), source.end());
+  parity_.resize(plan_->n() - plan_->k());
+  for (std::uint32_t b = 0; b < plan_->block_count(); ++b) {
+    const BlockInfo& blk = plan_->block(b);
+    const RseCodec codec(blk.k, blk.n);
+    const std::span<const std::vector<std::uint8_t>> block_src(
+        source_.data() + blk.source_offset, blk.k);
+    auto parity = codec.encode(block_src);
+    for (std::uint32_t i = 0; i < blk.n - blk.k; ++i)
+      parity_[blk.parity_offset - plan_->k() + i] = std::move(parity[i]);
+  }
+}
+
+const std::vector<std::uint8_t>& RseObjectEncoder::payload(PacketId id) const {
+  if (id >= plan_->n())
+    throw std::invalid_argument("RseObjectEncoder::payload: bad id");
+  return id < plan_->k() ? source_[id] : parity_[id - plan_->k()];
+}
+
+RseObjectDecoder::RseObjectDecoder(std::shared_ptr<const RsePlan> plan,
+                                   std::size_t symbol_size)
+    : plan_(std::move(plan)), symbol_size_(symbol_size) {
+  if (!plan_) throw std::invalid_argument("RseObjectDecoder: null plan");
+  blocks_.resize(plan_->block_count());
+  seen_.assign(plan_->n(), 0);
+}
+
+bool RseObjectDecoder::on_packet(PacketId id,
+                                 std::span<const std::uint8_t> payload) {
+  if (id >= plan_->n())
+    throw std::invalid_argument("RseObjectDecoder::on_packet: bad id");
+  if (payload.size() != symbol_size_)
+    throw std::invalid_argument("RseObjectDecoder::on_packet: bad symbol size");
+  if (seen_[id]) return false;
+  seen_[id] = 1;
+
+  const BlockPosition pos = plan_->position(id);
+  BlockState& st = blocks_[pos.block];
+  if (st.decoded) return false;
+  ++used_;
+  st.received.push_back(
+      RseCodec::Received{pos.index, {payload.begin(), payload.end()}});
+
+  const BlockInfo& blk = plan_->block(pos.block);
+  if (st.received.size() < blk.k) return false;
+
+  const RseCodec codec(blk.k, blk.n);
+  st.source = codec.decode(st.received);
+  st.received.clear();
+  st.received.shrink_to_fit();
+  st.decoded = true;
+  ++decoded_blocks_;
+  return complete();
+}
+
+const std::vector<std::uint8_t>&
+RseObjectDecoder::source_symbol(PacketId id) const {
+  if (id >= plan_->k())
+    throw std::invalid_argument("RseObjectDecoder::source_symbol: not a source id");
+  const BlockPosition pos = plan_->position(id);
+  const BlockState& st = blocks_[pos.block];
+  if (!st.decoded)
+    throw std::logic_error("RseObjectDecoder::source_symbol: block not decoded");
+  return st.source[pos.index];
+}
+
+}  // namespace fecsched

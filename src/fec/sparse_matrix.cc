@@ -1,0 +1,55 @@
+#include "fec/sparse_matrix.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fecsched {
+
+SparseBinaryMatrix::SparseBinaryMatrix(std::uint32_t rows, std::uint32_t cols,
+                                       std::vector<Entry> entries)
+    : rows_(rows), cols_(cols) {
+  for (const Entry& e : entries)
+    if (e.row >= rows || e.col >= cols)
+      throw std::invalid_argument("SparseBinaryMatrix: entry out of range");
+
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](const Entry& a, const Entry& b) {
+                              return a.row == b.row && a.col == b.col;
+                            }),
+                entries.end());
+
+  row_ptr_.assign(rows_ + 1, 0);
+  row_cols_.reserve(entries.size());
+  for (const Entry& e : entries) {
+    ++row_ptr_[e.row + 1];
+    row_cols_.push_back(e.col);
+  }
+  for (std::uint32_t r = 0; r < rows_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+
+  col_ptr_.assign(cols_ + 1, 0);
+  for (const Entry& e : entries) ++col_ptr_[e.col + 1];
+  for (std::uint32_t c = 0; c < cols_; ++c) col_ptr_[c + 1] += col_ptr_[c];
+  col_rows_.resize(entries.size());
+  std::vector<std::uint32_t> next(col_ptr_.begin(), col_ptr_.end() - 1);
+  for (const Entry& e : entries) col_rows_[next[e.col]++] = e.row;
+}
+
+std::span<const std::uint32_t> SparseBinaryMatrix::row(std::uint32_t r) const {
+  if (r >= rows_) throw std::invalid_argument("SparseBinaryMatrix::row: range");
+  return {row_cols_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+std::span<const std::uint32_t> SparseBinaryMatrix::col(std::uint32_t c) const {
+  if (c >= cols_) throw std::invalid_argument("SparseBinaryMatrix::col: range");
+  return {col_rows_.data() + col_ptr_[c], col_ptr_[c + 1] - col_ptr_[c]};
+}
+
+bool SparseBinaryMatrix::at(std::uint32_t r, std::uint32_t c) const {
+  const auto cols_of_row = row(r);
+  return std::binary_search(cols_of_row.begin(), cols_of_row.end(), c);
+}
+
+}  // namespace fecsched

@@ -1,0 +1,162 @@
+#include "flute/fdt.h"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace fecsched::flute {
+
+std::string code_wire_name(CodeKind code) {
+  switch (code) {
+    case CodeKind::kRse: return "rse";
+    case CodeKind::kLdgmIdentity: return "ldgm";
+    case CodeKind::kLdgmStaircase: return "ldgm-staircase";
+    case CodeKind::kLdgmTriangle: return "ldgm-triangle";
+    case CodeKind::kReplication: return "replication";
+  }
+  return "?";
+}
+
+std::optional<CodeKind> code_from_wire_name(const std::string& name) {
+  if (name == "rse") return CodeKind::kRse;
+  if (name == "ldgm") return CodeKind::kLdgmIdentity;
+  if (name == "ldgm-staircase") return CodeKind::kLdgmStaircase;
+  if (name == "ldgm-triangle") return CodeKind::kLdgmTriangle;
+  if (name == "replication") return CodeKind::kReplication;
+  return std::nullopt;
+}
+
+void Fdt::add(FdtEntry entry) {
+  if (entry.toi == 0)
+    throw std::invalid_argument("Fdt::add: TOI 0 is reserved for the FDT");
+  if (entry.name.find('\n') != std::string::npos)
+    throw std::invalid_argument("Fdt::add: name must not contain newlines");
+  if (find_toi(entry.toi) != nullptr)
+    throw std::invalid_argument("Fdt::add: duplicate TOI");
+  entries_.push_back(std::move(entry));
+}
+
+const FdtEntry* Fdt::find_toi(std::uint32_t toi) const noexcept {
+  for (const FdtEntry& e : entries_)
+    if (e.toi == toi) return &e;
+  return nullptr;
+}
+
+const FdtEntry* Fdt::find_name(const std::string& name) const noexcept {
+  for (const FdtEntry& e : entries_)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+std::vector<std::uint8_t> Fdt::serialize() const {
+  std::ostringstream os;
+  os << "fdt-version=1\n";
+  for (const FdtEntry& e : entries_) {
+    os << "entry\n";
+    os << "toi=" << e.toi << '\n';
+    os << "name=" << e.name << '\n';
+    os << "code=" << code_wire_name(e.info.code) << '\n';
+    os << "k=" << e.info.k << '\n';
+    os << "n=" << e.info.n << '\n';
+    os << "payload-size=" << e.info.payload_size << '\n';
+    os << "object-size=" << e.info.object_size << '\n';
+    os << "graph-seed=" << e.info.graph_seed << '\n';
+    os << "left-degree=" << e.info.left_degree << '\n';
+    os << "triangle-fill=" << e.info.triangle_extra_per_row << '\n';
+    os << "replication-copies=" << e.info.replication_copies << '\n';
+    os << "max-block-n=" << e.info.max_block_n << '\n';
+    char ratio[64];
+    std::snprintf(ratio, sizeof ratio, "%.17g", e.info.expansion_ratio);
+    os << "expansion-ratio=" << ratio << '\n';
+    os << "end\n";
+  }
+  const std::string text = os.str();
+  return {text.begin(), text.end()};
+}
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& value, const char* key) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size())
+    throw std::invalid_argument(std::string("Fdt::parse: bad integer for ") +
+                                key);
+  return out;
+}
+
+}  // namespace
+
+Fdt Fdt::parse(std::span<const std::uint8_t> bytes) {
+  const std::string text(bytes.begin(), bytes.end());
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "fdt-version=1")
+    throw std::invalid_argument("Fdt::parse: missing/unsupported version");
+
+  Fdt fdt;
+  bool in_entry = false;
+  FdtEntry entry;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line == "entry") {
+      if (in_entry) throw std::invalid_argument("Fdt::parse: nested entry");
+      in_entry = true;
+      entry = FdtEntry{};
+      continue;
+    }
+    if (line == "end") {
+      if (!in_entry) throw std::invalid_argument("Fdt::parse: stray end");
+      fdt.add(std::move(entry));
+      in_entry = false;
+      continue;
+    }
+    if (!in_entry)
+      throw std::invalid_argument("Fdt::parse: data outside entry");
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("Fdt::parse: malformed line");
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "toi") {
+      entry.toi = static_cast<std::uint32_t>(parse_u64(value, "toi"));
+    } else if (key == "name") {
+      entry.name = value;
+    } else if (key == "code") {
+      const auto code = code_from_wire_name(value);
+      if (!code) throw std::invalid_argument("Fdt::parse: unknown code");
+      entry.info.code = *code;
+    } else if (key == "k") {
+      entry.info.k = static_cast<std::uint32_t>(parse_u64(value, "k"));
+    } else if (key == "n") {
+      entry.info.n = static_cast<std::uint32_t>(parse_u64(value, "n"));
+    } else if (key == "payload-size") {
+      entry.info.payload_size =
+          static_cast<std::size_t>(parse_u64(value, "payload-size"));
+    } else if (key == "object-size") {
+      entry.info.object_size = parse_u64(value, "object-size");
+    } else if (key == "graph-seed") {
+      entry.info.graph_seed = parse_u64(value, "graph-seed");
+    } else if (key == "left-degree") {
+      entry.info.left_degree =
+          static_cast<std::uint32_t>(parse_u64(value, "left-degree"));
+    } else if (key == "triangle-fill") {
+      entry.info.triangle_extra_per_row =
+          static_cast<std::uint32_t>(parse_u64(value, "triangle-fill"));
+    } else if (key == "replication-copies") {
+      entry.info.replication_copies =
+          static_cast<std::uint32_t>(parse_u64(value, "replication-copies"));
+    } else if (key == "max-block-n") {
+      entry.info.max_block_n =
+          static_cast<std::uint32_t>(parse_u64(value, "max-block-n"));
+    } else if (key == "expansion-ratio") {
+      entry.info.expansion_ratio = std::stod(value);
+    }
+    // Unknown keys are ignored for forward compatibility.
+  }
+  if (in_entry) throw std::invalid_argument("Fdt::parse: unterminated entry");
+  return fdt;
+}
+
+}  // namespace fecsched::flute

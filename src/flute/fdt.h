@@ -1,0 +1,58 @@
+// File Delivery Table (FDT) for the FLUTE-like substrate.
+//
+// FLUTE receivers learn what a session carries from the FDT: one entry
+// per transport object, mapping the TOI to a file name and to the FEC
+// Object Transmission Information needed to build the decoder (RFC 3926
+// carries this as XML; this library uses a line-oriented key=value format
+// that is deterministic and easy to parse without an XML stack).  The FDT
+// itself travels in-band as TOI 0.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+
+namespace fecsched::flute {
+
+/// One file announced by the session.
+struct FdtEntry {
+  std::uint32_t toi = 0;       ///< transport object id (>= 1; 0 is the FDT)
+  std::string name;            ///< file name (no newlines)
+  TransmissionInfo info;       ///< FEC parameters for the decoder
+};
+
+/// The session's table of contents.
+class Fdt {
+ public:
+  Fdt() = default;
+
+  /// Add an entry.  Throws std::invalid_argument on TOI 0, duplicate TOI,
+  /// or a name containing a newline.
+  void add(FdtEntry entry);
+
+  [[nodiscard]] const std::vector<FdtEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] const FdtEntry* find_toi(std::uint32_t toi) const noexcept;
+  [[nodiscard]] const FdtEntry* find_name(const std::string& name) const noexcept;
+
+  /// Serialize to the canonical byte representation.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parse a serialized FDT.  Throws std::invalid_argument on malformed
+  /// input (unknown keys are ignored for forward compatibility).
+  [[nodiscard]] static Fdt parse(std::span<const std::uint8_t> bytes);
+
+ private:
+  std::vector<FdtEntry> entries_;
+};
+
+/// Stable wire names for CodeKind (used by the FDT).
+[[nodiscard]] std::string code_wire_name(CodeKind code);
+[[nodiscard]] std::optional<CodeKind> code_from_wire_name(const std::string& name);
+
+}  // namespace fecsched::flute

@@ -1,0 +1,62 @@
+#include "flute/lct_header.h"
+
+#include "util/crc32.h"
+
+namespace fecsched::flute {
+
+namespace {
+
+void put_u16(std::uint8_t* at, std::uint16_t v) noexcept {
+  at[0] = static_cast<std::uint8_t>(v >> 8);
+  at[1] = static_cast<std::uint8_t>(v);
+}
+
+void put_u32(std::uint8_t* at, std::uint32_t v) noexcept {
+  at[0] = static_cast<std::uint8_t>(v >> 24);
+  at[1] = static_cast<std::uint8_t>(v >> 16);
+  at[2] = static_cast<std::uint8_t>(v >> 8);
+  at[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint16_t get_u16(const std::uint8_t* at) noexcept {
+  return static_cast<std::uint16_t>((at[0] << 8) | at[1]);
+}
+
+std::uint32_t get_u32(const std::uint8_t* at) noexcept {
+  return (static_cast<std::uint32_t>(at[0]) << 24) |
+         (static_cast<std::uint32_t>(at[1]) << 16) |
+         (static_cast<std::uint32_t>(at[2]) << 8) |
+         static_cast<std::uint32_t>(at[3]);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, kHeaderSize> encode_header(
+    const LctHeader& header) noexcept {
+  std::array<std::uint8_t, kHeaderSize> out{};
+  out[0] = header.version;
+  out[1] = header.close_session ? 0x01 : 0x00;
+  put_u16(&out[2], header.payload_length);
+  put_u32(&out[4], header.session_id);
+  put_u32(&out[8], header.toi);
+  put_u32(&out[12], header.packet_id);
+  put_u32(&out[16], crc32(std::span(out).first(16)));
+  return out;
+}
+
+std::optional<LctHeader> parse_header(
+    std::span<const std::uint8_t> bytes) noexcept {
+  if (bytes.size() < kHeaderSize) return std::nullopt;
+  if (get_u32(&bytes[16]) != crc32(bytes.first(16))) return std::nullopt;
+  LctHeader h;
+  h.version = bytes[0];
+  if (h.version != kVersion) return std::nullopt;
+  h.close_session = (bytes[1] & 0x01) != 0;
+  h.payload_length = get_u16(&bytes[2]);
+  h.session_id = get_u32(&bytes[4]);
+  h.toi = get_u32(&bytes[8]);
+  h.packet_id = get_u32(&bytes[12]);
+  return h;
+}
+
+}  // namespace fecsched::flute

@@ -1,0 +1,56 @@
+// Wire header for the FLUTE-like delivery substrate (Sec. 1.1: ALC [9] +
+// FLUTE [13] are the paper's carrier protocols).
+//
+// A real LCT header is variable length with extension fields; this
+// library uses a fixed 20-byte layout carrying exactly what the
+// receiver-side FEC needs, with a CRC-32 guarding the header so corrupted
+// datagrams are dropped rather than fed to the decoder ("packets either
+// arrive (with no error) or are lost"):
+//
+//   offset  size  field
+//        0     1  version (kVersion)
+//        1     1  flags (bit 0: close-session "A" flag)
+//        2     2  payload length in bytes          (big-endian)
+//        4     4  transport session id (TSI)       (big-endian)
+//        8     4  transport object id  (TOI)       (big-endian)
+//       12     4  FEC payload id: global packet id (big-endian)
+//       16     4  CRC-32 over bytes [0, 16)        (big-endian)
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "fec/types.h"
+
+namespace fecsched::flute {
+
+/// Protocol version emitted by this implementation.
+inline constexpr std::uint8_t kVersion = 1;
+/// Serialized header size in bytes.
+inline constexpr std::size_t kHeaderSize = 20;
+/// TOI reserved for the File Delivery Table (FLUTE convention).
+inline constexpr std::uint32_t kFdtToi = 0;
+
+/// Parsed LCT-like header.
+struct LctHeader {
+  std::uint8_t version = kVersion;
+  bool close_session = false;       ///< the "A" flag: sender is done
+  std::uint16_t payload_length = 0; ///< bytes following the header
+  std::uint32_t session_id = 0;     ///< TSI
+  std::uint32_t toi = 0;            ///< which object the packet belongs to
+  PacketId packet_id = 0;           ///< FEC payload id (global packet id)
+};
+
+/// Serialize into exactly kHeaderSize bytes (CRC filled in).
+[[nodiscard]] std::array<std::uint8_t, kHeaderSize> encode_header(
+    const LctHeader& header) noexcept;
+
+/// Parse and validate (size, version, CRC).  Returns std::nullopt on any
+/// mismatch — a corrupted datagram is treated as lost.
+[[nodiscard]] std::optional<LctHeader> parse_header(
+    std::span<const std::uint8_t> bytes) noexcept;
+
+}  // namespace fecsched::flute

@@ -1,0 +1,290 @@
+#include "flute/session.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fecsched::flute {
+
+namespace {
+
+constexpr std::size_t kFdtPrefixSize = 8;  // u32 fdt_size + u32 chunk_count
+
+void put_u32(std::uint8_t* at, std::uint32_t v) noexcept {
+  at[0] = static_cast<std::uint8_t>(v >> 24);
+  at[1] = static_cast<std::uint8_t>(v >> 16);
+  at[2] = static_cast<std::uint8_t>(v >> 8);
+  at[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint32_t get_u32(const std::uint8_t* at) noexcept {
+  return (static_cast<std::uint32_t>(at[0]) << 24) |
+         (static_cast<std::uint32_t>(at[1]) << 16) |
+         (static_cast<std::uint32_t>(at[2]) << 8) |
+         static_cast<std::uint32_t>(at[3]);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- sender
+
+FluteSender::FluteSender(const FluteSenderConfig& config) : config_(config) {
+  if (config.fdt_copies == 0)
+    throw std::invalid_argument("FluteSender: fdt_copies must be >= 1");
+  if (config.fdt_chunk_size == 0 ||
+      config.fdt_chunk_size + kFdtPrefixSize > 0xffff)
+    throw std::invalid_argument("FluteSender: bad fdt_chunk_size");
+}
+
+std::uint32_t FluteSender::add_file(const std::string& name,
+                                    std::span<const std::uint8_t> content,
+                                    const SenderConfig& fec_config) {
+  if (sealed_) throw std::logic_error("FluteSender::add_file: session sealed");
+  if (fec_config.payload_size > 0xffff)
+    throw std::invalid_argument("FluteSender::add_file: payload too large "
+                                "for the 16-bit length field");
+  const auto toi = static_cast<std::uint32_t>(objects_.size() + 1);
+  ObjectState state;
+  state.toi = toi;
+  state.session = std::make_unique<SenderSession>(content, fec_config);
+  FdtEntry entry;
+  entry.toi = toi;
+  entry.name = name;
+  entry.info = state.session->info();
+  fdt_.add(std::move(entry));
+  objects_.push_back(std::move(state));
+  return toi;
+}
+
+void FluteSender::seal() {
+  if (sealed_) return;
+  if (objects_.empty())
+    throw std::logic_error("FluteSender::seal: no files added");
+  fdt_bytes_ = fdt_.serialize();
+  fdt_chunks_ = static_cast<std::uint32_t>(
+      (fdt_bytes_.size() + config_.fdt_chunk_size - 1) / config_.fdt_chunk_size);
+  object_offset_.clear();
+  std::size_t offset =
+      static_cast<std::size_t>(fdt_chunks_) * config_.fdt_copies;
+  for (const ObjectState& obj : objects_) {
+    object_offset_.push_back(offset);
+    offset += obj.session->packet_count();
+  }
+  total_datagrams_ = offset;
+  sealed_ = true;
+}
+
+const Fdt& FluteSender::fdt() const {
+  if (!sealed_) throw std::logic_error("FluteSender::fdt: seal() first");
+  return fdt_;
+}
+
+std::size_t FluteSender::datagram_count() const {
+  if (!sealed_)
+    throw std::logic_error("FluteSender::datagram_count: seal() first");
+  return total_datagrams_;
+}
+
+std::vector<std::uint8_t> FluteSender::datagram(std::size_t seq) const {
+  if (!sealed_) throw std::logic_error("FluteSender::datagram: seal() first");
+  if (seq >= total_datagrams_)
+    throw std::invalid_argument("FluteSender::datagram: seq out of range");
+
+  LctHeader header;
+  header.session_id = config_.session_id;
+  header.close_session = seq + 1 == total_datagrams_;
+
+  std::vector<std::uint8_t> payload;
+  const std::size_t fdt_total =
+      static_cast<std::size_t>(fdt_chunks_) * config_.fdt_copies;
+  if (seq < fdt_total) {
+    // FDT packet: replication id; payload = self-description + chunk.
+    header.toi = kFdtToi;
+    header.packet_id = static_cast<PacketId>(seq);
+    const std::uint32_t chunk = static_cast<std::uint32_t>(seq) % fdt_chunks_;
+    payload.assign(kFdtPrefixSize + config_.fdt_chunk_size, 0);
+    put_u32(payload.data(), static_cast<std::uint32_t>(fdt_bytes_.size()));
+    put_u32(payload.data() + 4, fdt_chunks_);
+    const std::size_t off = static_cast<std::size_t>(chunk) * config_.fdt_chunk_size;
+    const std::size_t len =
+        std::min(config_.fdt_chunk_size, fdt_bytes_.size() - off);
+    std::copy_n(fdt_bytes_.begin() + static_cast<std::ptrdiff_t>(off), len,
+                payload.begin() + kFdtPrefixSize);
+  } else {
+    // Object packet: locate the owning object by offset.
+    std::size_t obj = object_offset_.size() - 1;
+    while (object_offset_[obj] > seq) --obj;
+    const ObjectState& state = objects_[obj];
+    const auto local = static_cast<std::uint32_t>(seq - object_offset_[obj]);
+    const WirePacket pkt = state.session->packet(local);
+    header.toi = state.toi;
+    header.packet_id = pkt.id;
+    payload.assign(pkt.payload.begin(), pkt.payload.end());
+  }
+
+  header.payload_length = static_cast<std::uint16_t>(payload.size());
+  const auto head = encode_header(header);
+  std::vector<std::uint8_t> out;
+  out.reserve(head.size() + payload.size());
+  out.insert(out.end(), head.begin(), head.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+// -------------------------------------------------------------- receiver
+
+FluteReceiver::FluteReceiver(const FluteReceiverConfig& config)
+    : config_(config) {}
+
+const Fdt& FluteReceiver::fdt() const {
+  if (!fdt_) throw std::logic_error("FluteReceiver::fdt: not yet complete");
+  return *fdt_;
+}
+
+bool FluteReceiver::session_complete() const noexcept {
+  if (!fdt_) return false;
+  for (const FdtEntry& e : fdt_->entries()) {
+    const auto it = done_.find(e.toi);
+    if (it == done_.end() || !it->second) return false;
+  }
+  return true;
+}
+
+bool FluteReceiver::object_complete(const std::string& name) const {
+  if (!fdt_) return false;
+  const FdtEntry* entry = fdt_->find_name(name);
+  if (entry == nullptr) return false;
+  const auto it = done_.find(entry->toi);
+  return it != done_.end() && it->second;
+}
+
+std::vector<std::uint8_t> FluteReceiver::file(const std::string& name) const {
+  if (!fdt_) throw std::logic_error("FluteReceiver::file: FDT unknown");
+  const FdtEntry* entry = fdt_->find_name(name);
+  if (entry == nullptr)
+    throw std::logic_error("FluteReceiver::file: no such file");
+  const auto it = sessions_.find(entry->toi);
+  if (it == sessions_.end() || !it->second->complete())
+    throw std::logic_error("FluteReceiver::file: object not decoded");
+  return it->second->object();
+}
+
+void FluteReceiver::handle_fdt_packet(PacketId packet_id,
+                                      std::span<const std::uint8_t> payload) {
+  if (fdt_) return;  // already bootstrapped; FDT repeats are expected
+  if (payload.size() <= kFdtPrefixSize) {
+    ++rejected_;
+    return;
+  }
+  const std::uint32_t size = get_u32(payload.data());
+  const std::uint32_t chunks = get_u32(payload.data() + 4);
+  const std::size_t chunk_payload = payload.size() - kFdtPrefixSize;
+  if (chunks == 0 || size == 0 ||
+      size > static_cast<std::uint64_t>(chunks) * chunk_payload) {
+    ++rejected_;
+    return;
+  }
+  if (fdt_chunks_ == 0) {
+    fdt_size_ = size;
+    fdt_chunks_ = chunks;
+    fdt_chunk_payload_ = chunk_payload;
+    fdt_have_.assign(chunks, std::nullopt);
+    fdt_have_count_ = 0;
+  } else if (size != fdt_size_ || chunks != fdt_chunks_ ||
+             chunk_payload != fdt_chunk_payload_) {
+    ++rejected_;  // inconsistent with the first-seen FDT instance
+    return;
+  }
+  const std::uint32_t chunk = packet_id % fdt_chunks_;
+  if (fdt_have_[chunk]) return;  // duplicate chunk
+  fdt_have_[chunk].emplace(payload.begin() + kFdtPrefixSize, payload.end());
+  if (++fdt_have_count_ < fdt_chunks_) return;
+
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(fdt_size_);
+  for (const auto& c : fdt_have_) {
+    const std::size_t want =
+        std::min<std::size_t>(c->size(), fdt_size_ - bytes.size());
+    bytes.insert(bytes.end(), c->begin(),
+                 c->begin() + static_cast<std::ptrdiff_t>(want));
+  }
+  try {
+    fdt_ = Fdt::parse(bytes);
+  } catch (const std::invalid_argument&) {
+    // Malformed table: restart the bootstrap (a later repetition may be
+    // consistent).
+    ++rejected_;
+    fdt_chunks_ = 0;
+    fdt_have_.clear();
+    return;
+  }
+  replay_pending();
+}
+
+void FluteReceiver::replay_pending() {
+  std::deque<PendingDatagram> pending;
+  pending.swap(pending_);
+  for (PendingDatagram& d : pending)
+    (void)feed_object(d.toi, d.packet_id, d.payload);
+}
+
+DatagramStatus FluteReceiver::feed_object(std::uint32_t toi, PacketId packet_id,
+                                          std::span<const std::uint8_t> payload) {
+  const FdtEntry* entry = fdt_->find_toi(toi);
+  if (entry == nullptr) {
+    ++rejected_;  // TOI not announced by the FDT
+    return DatagramStatus::kRejected;
+  }
+  auto it = sessions_.find(toi);
+  if (it == sessions_.end()) {
+    it = sessions_
+             .emplace(toi, std::make_unique<ReceiverSession>(
+                               entry->info, config_.ge_fallback))
+             .first;
+    done_[toi] = false;
+  }
+  if (done_[toi]) return DatagramStatus::kAccepted;  // late duplicate
+  bool complete = false;
+  try {
+    complete = it->second->on_packet(packet_id, payload);
+  } catch (const std::invalid_argument&) {
+    ++rejected_;  // bad packet id / payload size for this object
+    return DatagramStatus::kRejected;
+  }
+  if (!complete) return DatagramStatus::kAccepted;
+  done_[toi] = true;
+  return session_complete() ? DatagramStatus::kSessionComplete
+                            : DatagramStatus::kObjectComplete;
+}
+
+DatagramStatus FluteReceiver::on_datagram(std::span<const std::uint8_t> bytes) {
+  ++received_;
+  const std::optional<LctHeader> header = parse_header(bytes);
+  if (!header || header->session_id != config_.session_id ||
+      bytes.size() != kHeaderSize + header->payload_length) {
+    ++rejected_;
+    return DatagramStatus::kRejected;
+  }
+  const auto payload = bytes.subspan(kHeaderSize);
+
+  if (header->toi == kFdtToi) {
+    const bool had_fdt = fdt_.has_value();
+    handle_fdt_packet(header->packet_id, payload);
+    if (!had_fdt && fdt_ && session_complete())
+      return DatagramStatus::kSessionComplete;
+    return fdt_ ? DatagramStatus::kAccepted : DatagramStatus::kPending;
+  }
+
+  if (!fdt_) {
+    if (pending_.size() >= config_.pending_limit) {
+      pending_.pop_front();  // oldest first: the carousel will resend it
+      ++dropped_pending_;
+    }
+    pending_.push_back(PendingDatagram{
+        header->toi, header->packet_id,
+        std::vector<std::uint8_t>(payload.begin(), payload.end())});
+    return DatagramStatus::kPending;
+  }
+  return feed_object(header->toi, header->packet_id, payload);
+}
+
+}  // namespace fecsched::flute

@@ -1,0 +1,158 @@
+// FLUTE-like multi-file delivery sessions over the FEC layer — the
+// paper's application context (Sec. 1.1): unidirectional file broadcast
+// with no back channel, receivers joining asynchronously, reliability from
+// FEC plus cyclic (carousel) transmission.
+//
+// The sender packs any number of files into one session.  Each file is an
+// independent FEC object (own code/scheduling, Sec. 6 lets them differ);
+// the File Delivery Table (TOI 0) announces name -> FEC parameters and is
+// itself carried in-band, chunked and repeated, with a self-describing
+// per-packet prefix so a receiver can bootstrap from any FDT packet.
+// Datagrams are plain byte strings: LCT-like header (CRC-protected) +
+// payload — corrupted datagrams are dropped, matching the paper's erasure
+// channel assumption.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "flute/fdt.h"
+#include "flute/lct_header.h"
+
+namespace fecsched::flute {
+
+/// Sender-side session configuration.
+struct FluteSenderConfig {
+  std::uint32_t session_id = 1;
+  /// Each FDT chunk is transmitted this many times per full pass.
+  std::uint32_t fdt_copies = 3;
+  /// FDT chunk payload bytes (before the 8-byte self-description prefix).
+  std::size_t fdt_chunk_size = 512;
+};
+
+/// Packs files into FEC objects and emits the session's datagrams.
+class FluteSender {
+ public:
+  explicit FluteSender(const FluteSenderConfig& config = {});
+
+  /// Add one file (copied).  Must precede seal().  Returns the file's TOI.
+  std::uint32_t add_file(const std::string& name,
+                         std::span<const std::uint8_t> content,
+                         const SenderConfig& fec_config);
+
+  /// Freeze the session: builds the FDT object and the datagram order
+  /// (FDT packets first, then each object's schedule).  No more files can
+  /// be added afterwards.
+  void seal();
+
+  [[nodiscard]] bool sealed() const noexcept { return sealed_; }
+  [[nodiscard]] const Fdt& fdt() const;
+
+  /// Total datagrams in one full session pass.
+  [[nodiscard]] std::size_t datagram_count() const;
+  /// Serialize the seq-th datagram of the pass.  The last datagram of the
+  /// pass carries the close-session flag.
+  [[nodiscard]] std::vector<std::uint8_t> datagram(std::size_t seq) const;
+
+ private:
+  struct ObjectState {
+    std::uint32_t toi;
+    std::unique_ptr<SenderSession> session;
+  };
+
+  FluteSenderConfig config_;
+  Fdt fdt_;
+  std::vector<ObjectState> objects_;
+  std::vector<std::uint8_t> fdt_bytes_;
+  std::uint32_t fdt_chunks_ = 0;  // k of the FDT replication object
+  std::vector<std::size_t> object_offset_;  // datagram seq of each object
+  std::size_t total_datagrams_ = 0;
+  bool sealed_ = false;
+};
+
+/// Receiver-side session state.
+struct FluteReceiverConfig {
+  std::uint32_t session_id = 1;
+  /// Datagrams for still-unknown objects held until the FDT arrives.
+  std::size_t pending_limit = 4096;
+  /// Enable the ML (Gaussian elimination) finishing pass on LDGM objects.
+  bool ge_fallback = false;
+};
+
+/// Outcome of feeding one datagram.
+enum class DatagramStatus {
+  kRejected,         ///< corrupted header / wrong session / malformed
+  kPending,          ///< FDT not yet known; datagram buffered (or dropped)
+  kAccepted,         ///< consumed by an object decoder
+  kObjectComplete,   ///< this datagram completed one object
+  kSessionComplete,  ///< ... and with it the whole session
+};
+
+/// Reassembles a FLUTE session from datagrams in any order.
+class FluteReceiver {
+ public:
+  explicit FluteReceiver(const FluteReceiverConfig& config = {});
+
+  /// Feed one datagram as received from the network.
+  DatagramStatus on_datagram(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] bool fdt_complete() const noexcept { return fdt_.has_value(); }
+  /// The decoded FDT (throws std::logic_error before fdt_complete()).
+  [[nodiscard]] const Fdt& fdt() const;
+
+  [[nodiscard]] bool session_complete() const noexcept;
+  [[nodiscard]] bool object_complete(const std::string& name) const;
+  /// Decoded file content (throws std::logic_error unless complete).
+  [[nodiscard]] std::vector<std::uint8_t> file(const std::string& name) const;
+
+  /// Diagnostics.
+  [[nodiscard]] std::uint64_t datagrams_received() const noexcept {
+    return received_;
+  }
+  [[nodiscard]] std::uint64_t datagrams_rejected() const noexcept {
+    return rejected_;
+  }
+  [[nodiscard]] std::uint64_t datagrams_dropped_pending() const noexcept {
+    return dropped_pending_;
+  }
+
+ private:
+  struct PendingDatagram {
+    std::uint32_t toi;
+    PacketId packet_id;
+    std::vector<std::uint8_t> payload;
+  };
+
+  DatagramStatus feed_object(std::uint32_t toi, PacketId packet_id,
+                             std::span<const std::uint8_t> payload);
+  void handle_fdt_packet(PacketId packet_id,
+                         std::span<const std::uint8_t> payload);
+  void replay_pending();
+
+  FluteReceiverConfig config_;
+  std::optional<Fdt> fdt_;
+
+  // FDT bootstrap state (before fdt_ is set).
+  std::uint64_t fdt_size_ = 0;
+  std::uint32_t fdt_chunks_ = 0;
+  std::size_t fdt_chunk_payload_ = 0;
+  std::vector<std::optional<std::vector<std::uint8_t>>> fdt_have_;
+  std::uint32_t fdt_have_count_ = 0;
+
+  std::deque<PendingDatagram> pending_;
+  std::map<std::uint32_t, std::unique_ptr<ReceiverSession>> sessions_;
+  std::map<std::uint32_t, bool> done_;
+  std::uint64_t received_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t dropped_pending_ = 0;
+};
+
+}  // namespace fecsched::flute

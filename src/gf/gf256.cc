@@ -1,0 +1,87 @@
+#include "gf/gf256.h"
+
+#include <stdexcept>
+
+namespace fecsched::gf {
+namespace detail {
+
+namespace {
+
+Tables build_tables() {
+  Tables t{};
+  constexpr unsigned kPrimPoly = 0x11d;  // x^8+x^4+x^3+x^2+1
+  unsigned x = 1;
+  for (int i = 0; i < kGroupOrder; ++i) {
+    t.exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+    t.exp[static_cast<std::size_t>(i + kGroupOrder)] = static_cast<std::uint8_t>(x);
+    t.log[x] = static_cast<std::uint16_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= kPrimPoly;
+  }
+  t.log[0] = 0xffff;  // sentinel: log of zero is undefined
+  for (int a = 0; a < kFieldSize; ++a) {
+    for (int b = 0; b < kFieldSize; ++b) {
+      std::uint8_t r = 0;
+      if (a != 0 && b != 0) {
+        r = t.exp[static_cast<std::size_t>(t.log[static_cast<std::size_t>(a)] +
+                                           t.log[static_cast<std::size_t>(b)])];
+      }
+      t.mul_row[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = r;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+const Tables& tables() noexcept {
+  static const Tables t = build_tables();
+  return t;
+}
+
+}  // namespace detail
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  if (b == 0) throw std::domain_error("gf256: division by zero");
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  const int e = t.log[a] - t.log[b] + kGroupOrder;
+  return t.exp[static_cast<std::size_t>(e % kGroupOrder)];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  if (a == 0) throw std::domain_error("gf256: inverse of zero");
+  const auto& t = detail::tables();
+  return t.exp[static_cast<std::size_t>((kGroupOrder - t.log[a]) % kGroupOrder)];
+}
+
+std::uint8_t pow(std::uint8_t a, unsigned exponent) noexcept {
+  if (exponent == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  // log(a^exponent) = log(a)*exponent mod 255; compute in 64 bits to be safe.
+  const std::uint64_t le =
+      (static_cast<std::uint64_t>(t.log[a]) * exponent) % kGroupOrder;
+  return t.exp[static_cast<std::size_t>(le)];
+}
+
+void addmul(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src,
+            std::uint8_t coeff) {
+  if (dst.size() != src.size())
+    throw std::invalid_argument("gf256::addmul: span size mismatch");
+  if (coeff == 0) return;
+  if (coeff == 1) {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+    return;
+  }
+  const auto& row = detail::tables().mul_row[coeff];
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= row[src[i]];
+}
+
+void scale(std::span<std::uint8_t> dst, std::uint8_t coeff) {
+  if (coeff == 1) return;
+  const auto& row = detail::tables().mul_row[coeff];
+  for (auto& b : dst) b = row[b];
+}
+
+}  // namespace fecsched::gf

@@ -1,0 +1,21 @@
+#include "sched/carousel.h"
+
+#include <stdexcept>
+
+namespace fecsched {
+
+Carousel::Carousel(std::vector<PacketId> schedule)
+    : schedule_(std::move(schedule)) {
+  if (schedule_.empty()) throw std::invalid_argument("Carousel: empty schedule");
+}
+
+PacketId Carousel::next() {
+  const PacketId id = schedule_[pos_];
+  if (++pos_ == schedule_.size()) {
+    pos_ = 0;
+    ++cycles_;
+  }
+  return id;
+}
+
+}  // namespace fecsched

@@ -1,0 +1,45 @@
+// Cyclic ("carousel") transmission — the complementary reliability
+// technique the paper's conclusion mentions for FLUTE-style broadcast:
+// the sender loops over its schedule indefinitely so late joiners and
+// deeply lossy receivers eventually decode, still with no back channel.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fec/types.h"
+
+namespace fecsched {
+
+/// Endless cyclic iterator over one transmission schedule.
+class Carousel {
+ public:
+  /// The schedule is copied; it must not be empty.
+  explicit Carousel(std::vector<PacketId> schedule);
+
+  /// Next packet id to transmit (wraps around forever).
+  [[nodiscard]] PacketId next();
+
+  /// Completed full cycles so far.
+  [[nodiscard]] std::size_t cycles() const noexcept { return cycles_; }
+  /// Position within the current cycle.
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t cycle_length() const noexcept {
+    return schedule_.size();
+  }
+
+  /// Restart from the beginning of the schedule.
+  void rewind() noexcept {
+    pos_ = 0;
+    cycles_ = 0;
+  }
+
+ private:
+  std::vector<PacketId> schedule_;
+  std::size_t pos_ = 0;
+  std::size_t cycles_ = 0;
+};
+
+}  // namespace fecsched

@@ -1,0 +1,24 @@
+#include "sched/rx_model.h"
+
+#include <stdexcept>
+
+namespace fecsched {
+
+std::vector<PacketId> make_rx_model1_sequence(const PacketPlan& plan,
+                                              std::uint32_t source_count,
+                                              Rng& rng) {
+  const PacketId k = plan.k();
+  const PacketId n = plan.n();
+  if (source_count > k)
+    throw std::invalid_argument("make_rx_model1_sequence: source_count > k");
+  std::vector<PacketId> out = sample_without_replacement(k, source_count, rng);
+  out.reserve(source_count + (n - k));
+  std::vector<PacketId> parity;
+  parity.reserve(n - k);
+  for (PacketId id = k; id < n; ++id) parity.push_back(id);
+  shuffle(parity, rng);
+  out.insert(out.end(), parity.begin(), parity.end());
+  return out;
+}
+
+}  // namespace fecsched

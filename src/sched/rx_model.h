@@ -1,0 +1,24 @@
+// Reception model of Sec. 5 (Rx_model_1): the receiver is *guaranteed* to
+// get a chosen number of source packets first, then all parity packets in
+// random order, with no channel in between.  This isolates the FEC code's
+// behaviour from the transmission/loss models ("a completely controlled
+// environment").
+
+#pragma once
+
+#include <vector>
+
+#include "fec/plan.h"
+#include "fec/types.h"
+#include "util/rng.h"
+
+namespace fecsched {
+
+/// Build the Rx_model_1 arrival sequence: `source_count` distinct source
+/// packets (chosen uniformly at random), followed by every parity packet
+/// in random order.  Meant to be replayed through a PerfectChannel.
+/// Throws std::invalid_argument if source_count > plan.k().
+[[nodiscard]] std::vector<PacketId> make_rx_model1_sequence(
+    const PacketPlan& plan, std::uint32_t source_count, Rng& rng);
+
+}  // namespace fecsched

@@ -1,0 +1,78 @@
+#include "sched/tx_models.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fecsched {
+
+namespace {
+
+void append_range(std::vector<PacketId>& out, PacketId first, PacketId last) {
+  for (PacketId id = first; id < last; ++id) out.push_back(id);
+}
+
+}  // namespace
+
+std::vector<PacketId> make_schedule(const PacketPlan& plan, TxModel m, Rng& rng,
+                                    const ScheduleOptions& opt) {
+  const PacketId k = plan.k();
+  const PacketId n = plan.n();
+  std::vector<PacketId> out;
+  out.reserve(n);
+
+  switch (m) {
+    case TxModel::kTx1SeqSourceSeqParity:
+      append_range(out, 0, k);
+      append_range(out, k, n);
+      break;
+
+    case TxModel::kTx2SeqSourceRandParity: {
+      append_range(out, 0, k);
+      std::vector<PacketId> parity;
+      parity.reserve(n - k);
+      for (PacketId id = k; id < n; ++id) parity.push_back(id);
+      shuffle(parity, rng);
+      out.insert(out.end(), parity.begin(), parity.end());
+      break;
+    }
+
+    case TxModel::kTx3SeqParityRandSource: {
+      append_range(out, k, n);
+      std::vector<PacketId> source;
+      source.reserve(k);
+      for (PacketId id = 0; id < k; ++id) source.push_back(id);
+      shuffle(source, rng);
+      out.insert(out.end(), source.begin(), source.end());
+      break;
+    }
+
+    case TxModel::kTx4AllRandom:
+      append_range(out, 0, n);
+      shuffle(out, rng);
+      break;
+
+    case TxModel::kTx5Interleaved:
+      out = plan.interleaved_order();
+      break;
+
+    case TxModel::kTx6FewSourceRandParity: {
+      if (!(opt.source_fraction >= 0.0 && opt.source_fraction <= 1.0))
+        throw std::invalid_argument("make_schedule: source_fraction in [0,1]");
+      const auto picked = static_cast<std::uint32_t>(
+          std::llround(opt.source_fraction * static_cast<double>(k)));
+      out = sample_without_replacement(k, picked, rng);
+      append_range(out, k, n);
+      shuffle(out, rng);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<PacketId> truncate_schedule(std::vector<PacketId> schedule,
+                                        std::size_t n_sent) {
+  if (n_sent < schedule.size()) schedule.resize(n_sent);
+  return schedule;
+}
+
+}  // namespace fecsched

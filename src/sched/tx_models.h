@@ -1,0 +1,43 @@
+// The six packet transmission models of Sec. 4.
+//
+// A schedule is the exact sequence of packet ids the sender emits.  All
+// randomness comes from the caller's Rng so trials are reproducible.
+//
+//  Tx_model_1  source packets sequentially, then parity sequentially
+//  Tx_model_2  source sequentially, then parity in random order
+//  Tx_model_3  parity sequentially, then source in random order
+//  Tx_model_4  one random permutation of everything
+//  Tx_model_5  code-specific interleaving (PacketPlan::interleaved_order)
+//  Tx_model_6  a random fraction (default 20%) of the source packets plus
+//              all parity packets, shuffled together (n_sent < n)
+
+#pragma once
+
+#include <vector>
+
+#include "fec/plan.h"
+#include "fec/types.h"
+#include "util/rng.h"
+
+namespace fecsched {
+
+/// Options for make_schedule.
+struct ScheduleOptions {
+  /// Fraction of source packets transmitted by Tx_model_6.
+  double source_fraction = 0.2;
+};
+
+/// Build the transmission schedule for `plan` under transmission model `m`.
+/// The schedule length is plan.n() for models 1-5 and
+/// round(source_fraction * k) + (n - k) for model 6.
+[[nodiscard]] std::vector<PacketId> make_schedule(const PacketPlan& plan,
+                                                  TxModel m, Rng& rng,
+                                                  const ScheduleOptions& opt = {});
+
+/// Truncate a schedule to its first `n_sent` packets (Sec. 6.2: stopping
+/// transmission early without changing the scheduling).  n_sent is clamped
+/// to the schedule length.
+[[nodiscard]] std::vector<PacketId> truncate_schedule(std::vector<PacketId> schedule,
+                                                      std::size_t n_sent);
+
+}  // namespace fecsched

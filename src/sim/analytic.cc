@@ -1,0 +1,45 @@
+#include "sim/analytic.h"
+
+#include <limits>
+
+namespace fecsched {
+
+double global_loss_probability(double p, double q) noexcept {
+  return (p + q) > 0.0 ? p / (p + q) : 0.0;
+}
+
+double expected_received(double n_sent, double p, double q) noexcept {
+  return n_sent * (1.0 - global_loss_probability(p, q));
+}
+
+double loss_limit_q(double p, double inef_ratio, double nsent_over_k) noexcept {
+  // Decoding needs n_sent*(1 - p/(p+q)) >= inef*k, i.e.
+  // q/(p+q) >= inef/(nsent/k)  =>  q >= p*inef / (nsent/k - inef).
+  const double budget = nsent_over_k;
+  if (budget <= inef_ratio) {
+    // Even a lossless channel delivers too few packets — unless p == 0 and
+    // the budget exactly suffices.
+    if (p == 0.0 && budget >= inef_ratio) return 0.0;
+    return std::numeric_limits<double>::infinity();
+  }
+  if (p == 0.0) return 0.0;
+  return p * inef_ratio / (budget - inef_ratio);
+}
+
+bool decoding_feasible(double p, double q, double inef_ratio,
+                       double nsent_over_k) noexcept {
+  if (p == 0.0) return nsent_over_k >= inef_ratio;
+  return q >= loss_limit_q(p, inef_ratio, nsent_over_k);
+}
+
+std::vector<LimitPoint> fig6_boundary(double expansion_ratio, int samples) {
+  std::vector<LimitPoint> pts;
+  pts.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const double p = static_cast<double>(i) / (samples - 1);
+    pts.push_back({p, loss_limit_q(p, 1.0, expansion_ratio)});
+  }
+  return pts;
+}
+
+}  // namespace fecsched

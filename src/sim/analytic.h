@@ -1,0 +1,43 @@
+// Closed-form results of Sec. 3.2: the global loss probability of the
+// Gilbert channel (Fig. 5) and the fundamental decoding-impossibility
+// limits (Fig. 6, "When is Decoding Impossible?").
+
+#pragma once
+
+#include <vector>
+
+namespace fecsched {
+
+/// Stationary loss probability of the Gilbert channel: p / (p + q)
+/// (0 when p = q = 0).
+[[nodiscard]] double global_loss_probability(double p, double q) noexcept;
+
+/// Expected packets received out of n_sent (Eq. 1):
+///   n_received = n_sent * (1 - p_global).
+[[nodiscard]] double expected_received(double n_sent, double p, double q) noexcept;
+
+/// The q value below which decoding becomes impossible in expectation for
+/// a given p, decoding inefficiency and normalized transmission budget
+/// (Sec. 3.2):  q = -p * inef / (inef - n_sent/k).
+/// Returns +infinity when no q in (0,1] suffices and 0 when every q works.
+[[nodiscard]] double loss_limit_q(double p, double inef_ratio,
+                                  double nsent_over_k) noexcept;
+
+/// Is the channel point (p, q) outside the fundamental limit, i.e. does
+/// the receiver expect at least inef_ratio * k packets out of
+/// nsent_over_k * k sent? (Fig. 6's complement of the hatched area.)
+[[nodiscard]] bool decoding_feasible(double p, double q, double inef_ratio,
+                                     double nsent_over_k) noexcept;
+
+/// One (p, q_limit) sample of a Fig. 6 boundary curve.
+struct LimitPoint {
+  double p;
+  double q_limit;  ///< minimum q enabling decoding (may exceed 1: infeasible)
+};
+
+/// Sample the Fig. 6 boundary for a FEC expansion ratio (== nsent_over_k
+/// when everything is sent and inef_ratio = 1, the paper's assumption).
+[[nodiscard]] std::vector<LimitPoint> fig6_boundary(double expansion_ratio,
+                                                    int samples = 101);
+
+}  // namespace fecsched

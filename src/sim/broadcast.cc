@@ -1,0 +1,80 @@
+#include "sim/broadcast.h"
+
+#include <memory>
+
+#include "channel/gilbert.h"
+#include "util/rng.h"
+
+namespace fecsched {
+
+BroadcastResult run_broadcast(const Experiment& experiment,
+                              const std::vector<ReceiverProfile>& receivers,
+                              const BroadcastOptions& options) {
+  struct RxState {
+    std::unique_ptr<ErasureTracker> tracker;
+    GilbertModel channel;
+    std::uint32_t n_received = 0;
+    bool decoded = false;
+    std::uint64_t completed_at = 0;  // packets broadcast when finished
+  };
+
+  const std::vector<PacketId> schedule =
+      experiment.new_schedule(derive_seed(options.seed, {0}));
+
+  std::vector<RxState> states;
+  states.reserve(receivers.size());
+  for (std::size_t i = 0; i < receivers.size(); ++i) {
+    RxState st{experiment.new_tracker(derive_seed(options.seed, {1, i})),
+               GilbertModel(receivers[i].p, receivers[i].q)};
+    st.channel.reset(derive_seed(options.seed, {2, i}));
+    states.push_back(std::move(st));
+  }
+
+  BroadcastResult result;
+  const auto cap = static_cast<std::uint64_t>(
+      options.max_cycles * static_cast<double>(schedule.size()));
+  std::size_t done = 0;
+  std::uint64_t broadcast = 0;
+  while (done < states.size() && broadcast < cap) {
+    const PacketId id = schedule[broadcast % schedule.size()];
+    ++broadcast;
+    for (RxState& st : states) {
+      if (st.decoded) continue;
+      if (st.channel.lost()) continue;
+      ++st.n_received;
+      st.tracker->on_packet(id);
+      if (st.tracker->complete()) {
+        st.decoded = true;
+        st.completed_at = broadcast;
+        ++done;
+      }
+    }
+  }
+
+  result.packets_broadcast = broadcast;
+  result.cycles_used =
+      static_cast<double>(broadcast) / static_cast<double>(schedule.size());
+  const double k = experiment.k();
+  for (std::size_t i = 0; i < receivers.size(); ++i) {
+    const RxState& st = states[i];
+    ReceiverOutcome out;
+    out.label = receivers[i].label;
+    out.p = receivers[i].p;
+    out.q = receivers[i].q;
+    out.decoded = st.decoded;
+    out.n_received = st.n_received;
+    if (st.decoded) {
+      out.n_needed = st.n_received;
+      out.inefficiency = static_cast<double>(st.n_received) / k;
+      out.completion_cycles = static_cast<double>(st.completed_at) /
+                              static_cast<double>(schedule.size());
+      result.inefficiency.add(out.inefficiency);
+    } else {
+      ++result.failures;
+    }
+    result.receivers.push_back(std::move(out));
+  }
+  return result;
+}
+
+}  // namespace fecsched

@@ -1,0 +1,63 @@
+// Multi-receiver broadcast simulation — the heterogeneous-receivers
+// scenario of Sec. 6.2.2: one sender (optionally looping its schedule in a
+// carousel), many receivers behind different Gilbert channels, all
+// consuming the *same* packet sequence.  Reports per-receiver decoding
+// cost and population-level statistics, which is what the "universal
+// scheme" recommendation is about.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "util/stats.h"
+
+namespace fecsched {
+
+/// One receiver's channel.
+struct ReceiverProfile {
+  std::string label;
+  double p = 0.0;
+  double q = 1.0;
+};
+
+/// Per-receiver outcome of a broadcast run.
+struct ReceiverOutcome {
+  std::string label;
+  double p = 0.0;
+  double q = 0.0;
+  bool decoded = false;
+  std::uint32_t n_received = 0;     ///< packets delivered until completion
+  std::uint32_t n_needed = 0;       ///< deliveries consumed when complete
+  double completion_cycles = 0.0;   ///< sender cycles elapsed at completion
+  double inefficiency = 0.0;        ///< n_needed / k
+};
+
+/// Population result.
+struct BroadcastResult {
+  std::vector<ReceiverOutcome> receivers;
+  std::uint64_t packets_broadcast = 0;  ///< total sender transmissions
+  double cycles_used = 0.0;             ///< schedule passes consumed
+  RunningStats inefficiency;            ///< over receivers that decoded
+  std::uint32_t failures = 0;           ///< receivers that never finished
+
+  [[nodiscard]] bool all_decoded() const noexcept { return failures == 0; }
+};
+
+/// Broadcast execution knobs.
+struct BroadcastOptions {
+  /// Sender stops after this many full schedule passes even if receivers
+  /// are still incomplete (no back channel: it cannot know).
+  double max_cycles = 10.0;
+  std::uint64_t seed = 0xb04dca57ULL;
+};
+
+/// Run one broadcast of `experiment`'s object to `receivers`.
+/// The sender transmits its (seeded) schedule cyclically; each receiver
+/// filters it through its own independently-seeded Gilbert channel.
+[[nodiscard]] BroadcastResult run_broadcast(
+    const Experiment& experiment, const std::vector<ReceiverProfile>& receivers,
+    const BroadcastOptions& options = {});
+
+}  // namespace fecsched

@@ -1,0 +1,177 @@
+#include "sim/experiment.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "channel/gilbert.h"
+#include "fec/block_partition.h"
+#include "fec/ldgm.h"
+#include "fec/replication.h"
+#include "sched/rx_model.h"
+#include "sched/tx_models.h"
+#include "sim/tracker.h"
+#include "util/rng.h"
+
+namespace fecsched {
+
+namespace {
+
+// Seed-path tags keeping the schedule, channel and graph streams apart.
+constexpr std::uint64_t kTagSchedule = 1;
+constexpr std::uint64_t kTagChannel = 2;
+constexpr std::uint64_t kTagGraphPick = 3;
+
+LdgmVariant variant_of(CodeKind code) {
+  switch (code) {
+    case CodeKind::kLdgmIdentity: return LdgmVariant::kIdentity;
+    case CodeKind::kLdgmStaircase: return LdgmVariant::kStaircase;
+    case CodeKind::kLdgmTriangle: return LdgmVariant::kTriangle;
+    default: throw std::invalid_argument("variant_of: not an LDGM code");
+  }
+}
+
+std::uint32_t ldgm_n(std::uint32_t k, double ratio) {
+  if (!(ratio > 1.0))
+    throw std::invalid_argument("ExperimentConfig: LDGM needs ratio > 1");
+  return static_cast<std::uint32_t>(std::llround(ratio * k));
+}
+
+}  // namespace
+
+struct Experiment::State {
+  std::shared_ptr<const RsePlan> rse_plan;
+  std::shared_ptr<const ReplicationPlan> repl_plan;
+  std::vector<std::shared_ptr<const LdgmCode>> graphs;
+
+  [[nodiscard]] const PacketPlan& plan_for(std::uint64_t graph_pick) const {
+    if (rse_plan) return *rse_plan;
+    if (repl_plan) return *repl_plan;
+    return *graphs[graph_pick % graphs.size()];
+  }
+};
+
+Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
+  auto state = std::make_shared<State>();
+  switch (config.code) {
+    case CodeKind::kRse:
+      state->rse_plan = std::make_shared<const RsePlan>(
+          config.k, config.expansion_ratio, config.max_block_n);
+      n_total_ = state->rse_plan->n();
+      break;
+    case CodeKind::kReplication:
+      state->repl_plan = std::make_shared<const ReplicationPlan>(
+          config.k, config.replication_copies);
+      n_total_ = state->repl_plan->n();
+      break;
+    default: {
+      if (config.graph_count == 0)
+        throw std::invalid_argument("ExperimentConfig: graph_count >= 1");
+      LdgmParams params;
+      params.k = config.k;
+      params.n = ldgm_n(config.k, config.expansion_ratio);
+      params.variant = variant_of(config.code);
+      params.left_degree = config.left_degree;
+      params.triangle_extra_per_row = config.triangle_extra_per_row;
+      state->graphs.reserve(config.graph_count);
+      for (std::uint32_t g = 0; g < config.graph_count; ++g) {
+        params.seed = derive_seed(config.code_seed, {g});
+        state->graphs.push_back(std::make_shared<const LdgmCode>(params));
+      }
+      n_total_ = params.n;
+      break;
+    }
+  }
+  state_ = std::move(state);
+}
+
+std::vector<PacketId> Experiment::new_schedule(std::uint64_t seed) const {
+  const std::uint64_t graph_pick = derive_seed(seed, {kTagGraphPick});
+  const PacketPlan& plan = state_->plan_for(graph_pick);
+  Rng sched_rng(derive_seed(seed, {kTagSchedule}));
+  std::vector<PacketId> schedule =
+      make_schedule(plan, config_.tx, sched_rng, {config_.tx6_source_fraction});
+  if (config_.n_sent != 0)
+    schedule = truncate_schedule(std::move(schedule), config_.n_sent);
+  return schedule;
+}
+
+std::unique_ptr<ErasureTracker> Experiment::new_tracker(
+    std::uint64_t seed) const {
+  if (state_->rse_plan)
+    return std::make_unique<RseTracker>(state_->rse_plan);
+  if (state_->repl_plan)
+    return std::make_unique<ReplicationTracker>(state_->repl_plan);
+  const std::uint64_t graph_pick = derive_seed(seed, {kTagGraphPick});
+  return std::make_unique<LdgmTracker>(
+      state_->graphs[graph_pick % state_->graphs.size()], config_.ge_fallback);
+}
+
+TrialResult Experiment::run_once(double p, double q, std::uint64_t seed) const {
+  const std::vector<PacketId> schedule = new_schedule(seed);
+  const std::unique_ptr<ErasureTracker> tracker = new_tracker(seed);
+  GilbertModel channel(p, q);
+  channel.reset(derive_seed(seed, {kTagChannel}));
+  return run_trial(*tracker, schedule, channel);
+}
+
+TrialFn Experiment::trial_fn() const {
+  // Copy `this`'s shared state into the closure so the Experiment object
+  // itself need not outlive the returned function.
+  Experiment self = *this;
+  return [self](double p, double q, std::uint64_t seed) {
+    return self.run_once(p, q, seed);
+  };
+}
+
+GridResult Experiment::run(const GridSpec& spec,
+                           const GridRunOptions& options) const {
+  return run_grid(spec, config_.k, trial_fn(), options);
+}
+
+std::vector<RxModelPoint> run_rx_model1_series(
+    const ExperimentConfig& config,
+    const std::vector<std::uint32_t>& source_counts, std::uint32_t trials,
+    std::uint64_t master_seed) {
+  if (config.code == CodeKind::kRse || config.code == CodeKind::kReplication)
+    throw std::invalid_argument("run_rx_model1_series: LDGM codes only");
+  if (config.graph_count == 0)
+    throw std::invalid_argument("run_rx_model1_series: graph_count >= 1");
+
+  LdgmParams params;
+  params.k = config.k;
+  params.n = ldgm_n(config.k, config.expansion_ratio);
+  params.variant = variant_of(config.code);
+  params.left_degree = config.left_degree;
+  params.triangle_extra_per_row = config.triangle_extra_per_row;
+
+  std::vector<std::shared_ptr<const LdgmCode>> graphs;
+  for (std::uint32_t g = 0; g < config.graph_count; ++g) {
+    params.seed = derive_seed(config.code_seed, {g});
+    graphs.push_back(std::make_shared<const LdgmCode>(params));
+  }
+
+  std::vector<RxModelPoint> series;
+  series.reserve(source_counts.size());
+  for (std::size_t i = 0; i < source_counts.size(); ++i) {
+    RxModelPoint point;
+    point.source_count = source_counts[i];
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      const std::uint64_t seed = derive_seed(master_seed, {i, t});
+      const auto& code = graphs[t % graphs.size()];
+      Rng rng(derive_seed(seed, {kTagSchedule}));
+      const std::vector<PacketId> seq =
+          make_rx_model1_sequence(*code, point.source_count, rng);
+      PerfectChannel channel;
+      LdgmTracker tracker(code, config.ge_fallback);
+      const TrialResult r = run_trial(tracker, seq, channel);
+      if (r.decoded)
+        point.inefficiency.add(r.inefficiency(config.k));
+      else
+        ++point.failures;
+    }
+    series.push_back(point);
+  }
+  return series;
+}
+
+}  // namespace fecsched

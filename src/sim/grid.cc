@@ -1,0 +1,67 @@
+#include "sim/grid.h"
+
+#include <atomic>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace fecsched {
+
+GridSpec GridSpec::paper() {
+  const std::vector<double> axis = {0.00, 0.01, 0.05, 0.10, 0.15, 0.20, 0.30,
+                                    0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 1.00};
+  return GridSpec{axis, axis};
+}
+
+GridSpec GridSpec::fig7() {
+  GridSpec spec = paper();
+  spec.p_values = {0.00, 0.01, 0.02, 0.03, 0.04, 0.05};
+  return spec;
+}
+
+GridResult run_grid(const GridSpec& spec, std::uint32_t k,
+                    const TrialFn& trial_fn, const GridRunOptions& options) {
+  GridResult result;
+  result.spec = spec;
+  result.k = k;
+  result.cells.resize(spec.cell_count());
+
+  const std::size_t q_count = spec.q_values.size();
+  std::atomic<std::size_t> next_cell{0};
+
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t c = next_cell.fetch_add(1);
+      if (c >= result.cells.size()) return;
+      CellResult& cell = result.cells[c];
+      cell.p = spec.p_values[c / q_count];
+      cell.q = spec.q_values[c % q_count];
+      for (std::uint32_t t = 0; t < options.trials_per_cell; ++t) {
+        const std::uint64_t seed = derive_seed(options.master_seed, {c, t});
+        const TrialResult r = trial_fn(cell.p, cell.q, seed);
+        ++cell.trials;
+        cell.received_ratio.add(r.received_ratio(k));
+        if (r.decoded)
+          cell.inefficiency.add(r.inefficiency(k));
+        else
+          ++cell.failures;
+      }
+    }
+  };
+
+  unsigned threads = options.threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(
+      threads, static_cast<unsigned>(std::max<std::size_t>(1, result.cells.size())));
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  return result;
+}
+
+}  // namespace fecsched

@@ -1,0 +1,81 @@
+// The paper's experimental sweep (Sec. 4.1): for every (p, q) point of a
+// grid, run many independent reception trials and aggregate the
+// inefficiency ratio.  The paper's strict rule applies: a cell whose
+// trials did not *all* decode publishes no average (rendered "-").
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/trial.h"
+#include "util/stats.h"
+
+namespace fecsched {
+
+/// The set of (p, q) probabilities to sweep.
+struct GridSpec {
+  std::vector<double> p_values;  ///< probabilities in [0, 1]
+  std::vector<double> q_values;  ///< probabilities in [0, 1]
+
+  /// The paper's 14x14 grid: {0, 1, 5, 10, 15, 20, 30, ..., 100} percent
+  /// on both axes.
+  [[nodiscard]] static GridSpec paper();
+
+  /// Fig. 7's zoom: p in {0..5} percent, q on the paper grid.
+  [[nodiscard]] static GridSpec fig7();
+
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return p_values.size() * q_values.size();
+  }
+};
+
+/// Aggregated outcome of one grid cell.
+struct CellResult {
+  double p = 0.0;
+  double q = 0.0;
+  RunningStats inefficiency;    ///< over decoded trials only
+  RunningStats received_ratio;  ///< n_received/k over all trials
+  std::uint32_t failures = 0;   ///< trials that did not decode
+  std::uint32_t trials = 0;
+
+  /// Paper rule: report a value only when every trial decoded.
+  [[nodiscard]] bool reportable() const noexcept {
+    return trials > 0 && failures == 0;
+  }
+};
+
+/// A completed sweep.
+struct GridResult {
+  GridSpec spec;
+  std::uint32_t k = 0;             ///< source packet count (for ratios)
+  std::vector<CellResult> cells;   ///< row-major: [p_index][q_index]
+
+  [[nodiscard]] const CellResult& cell(std::size_t p_index,
+                                       std::size_t q_index) const {
+    return cells.at(p_index * spec.q_values.size() + q_index);
+  }
+};
+
+/// One reception trial at channel point (p, q); must be thread-safe and
+/// fully determined by `seed`.
+using TrialFn =
+    std::function<TrialResult(double p, double q, std::uint64_t seed)>;
+
+/// Sweep execution knobs.
+struct GridRunOptions {
+  std::uint32_t trials_per_cell = 30;
+  std::uint64_t master_seed = 0x5eedf00dULL;
+  /// Worker threads; 0 = one per hardware thread.
+  unsigned threads = 0;
+};
+
+/// Run the sweep.  Cells are processed in parallel; per-trial seeds are
+/// derived from (master_seed, cell, trial) so the result is independent of
+/// thread count.
+[[nodiscard]] GridResult run_grid(const GridSpec& spec, std::uint32_t k,
+                                  const TrialFn& trial_fn,
+                                  const GridRunOptions& options = {});
+
+}  // namespace fecsched

@@ -1,0 +1,92 @@
+#include "sim/table_io.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace fecsched {
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+namespace {
+
+std::string percent_label(double probability) {
+  const double pct = probability * 100.0;
+  const double rounded = std::round(pct);
+  if (std::abs(pct - rounded) < 1e-9)
+    return std::to_string(static_cast<long long>(rounded));
+  return format_fixed(pct, 2);
+}
+
+}  // namespace
+
+void write_paper_table(std::ostream& out, const GridResult& grid,
+                       const TableOptions& options) {
+  if (!options.caption.empty()) out << "# " << options.caption << "\n";
+  const int width = options.precision + 4;
+  out << std::left << std::setw(8) << "p \\ q" << std::right;
+  for (double q : grid.spec.q_values) out << std::setw(width) << percent_label(q);
+  out << "\n";
+  for (std::size_t pi = 0; pi < grid.spec.p_values.size(); ++pi) {
+    out << std::left << std::setw(8) << percent_label(grid.spec.p_values[pi])
+        << std::right;
+    for (std::size_t qi = 0; qi < grid.spec.q_values.size(); ++qi) {
+      const CellResult& cell = grid.cell(pi, qi);
+      if (cell.reportable())
+        out << std::setw(width)
+            << format_fixed(cell.inefficiency.mean(), options.precision);
+      else
+        out << std::setw(width) << "-";
+    }
+    out << "\n";
+  }
+}
+
+void write_gnuplot_surface(std::ostream& out, const GridResult& grid,
+                           bool received_ratio) {
+  for (std::size_t pi = 0; pi < grid.spec.p_values.size(); ++pi) {
+    for (std::size_t qi = 0; qi < grid.spec.q_values.size(); ++qi) {
+      const CellResult& cell = grid.cell(pi, qi);
+      const bool has_value = received_ratio ? cell.trials > 0 : cell.reportable();
+      if (!has_value) continue;
+      const double value = received_ratio ? cell.received_ratio.mean()
+                                          : cell.inefficiency.mean();
+      out << format_fixed(cell.p * 100.0, 2) << ' '
+          << format_fixed(cell.q * 100.0, 2) << ' ' << format_fixed(value, 6)
+          << "\n";
+    }
+    out << "\n";  // gnuplot grid row separator
+  }
+}
+
+void write_series_table(std::ostream& out, const std::string& x_label,
+                        const std::vector<Series>& series, int precision) {
+  int width = std::max<int>(precision + 6, 12);
+  for (const Series& s : series)
+    width = std::max(width, static_cast<int>(s.name.size()) + 2);
+  width = std::max(width, static_cast<int>(x_label.size()) + 2);
+  out << std::left << std::setw(width) << x_label << std::right;
+  for (const Series& s : series) out << std::setw(width) << s.name;
+  out << "\n";
+  std::size_t rows = 0;
+  for (const Series& s : series) rows = std::max(rows, s.x.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double x = series.empty() || r >= series[0].x.size() ? 0.0
+                                                               : series[0].x[r];
+    out << std::left << std::setw(width) << format_fixed(x, 4) << std::right;
+    for (const Series& s : series) {
+      if (r < s.y.size() && !std::isnan(s.y[r]))
+        out << std::setw(width) << format_fixed(s.y[r], precision);
+      else
+        out << std::setw(width) << "-";
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace fecsched

@@ -1,0 +1,51 @@
+// Rendering of sweep results in the paper's formats:
+//  * the appendix tables ("p \ q" matrix, 3-decimal means, "-" whenever at
+//    least one of the cell's trials failed to decode, Tables 1-9);
+//  * gnuplot-ready 3D surfaces (the Figs. 7-13 representation);
+//  * simple x/y series (Figs. 14 and 15).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/grid.h"
+
+namespace fecsched {
+
+/// Options for the appendix-style matrix rendering.
+struct TableOptions {
+  /// Caption printed above the table (e.g. the paper's table title).
+  std::string caption;
+  /// Decimal places of the mean inefficiency.
+  int precision = 3;
+};
+
+/// Render a GridResult as the paper's appendix matrix (rows = p, columns =
+/// q, in percent).  Cells where any trial failed print "-", matching the
+/// paper's convention.
+void write_paper_table(std::ostream& out, const GridResult& grid,
+                       const TableOptions& options = {});
+
+/// Render as gnuplot `splot` data: one "p q value" line per reportable
+/// cell (percent axes), blank line between p-rows.  `received_ratio`
+/// selects the n_received/k surface instead of the inefficiency.
+void write_gnuplot_surface(std::ostream& out, const GridResult& grid,
+                           bool received_ratio = false);
+
+/// One labelled (x, y) series, e.g. Fig. 14/15 curves.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Render aligned columns: x then one column per series ("-" for NaN).
+void write_series_table(std::ostream& out, const std::string& x_label,
+                        const std::vector<Series>& series, int precision = 3);
+
+/// Format a double with fixed precision (shared helper).
+[[nodiscard]] std::string format_fixed(double value, int precision);
+
+}  // namespace fecsched

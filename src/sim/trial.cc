@@ -1,0 +1,27 @@
+#include "sim/trial.h"
+
+#include <algorithm>
+
+namespace fecsched {
+
+TrialResult run_trial(ErasureTracker& tracker,
+                      std::span<const PacketId> schedule, LossModel& channel) {
+  TrialResult r;
+  r.n_sent = static_cast<std::uint32_t>(schedule.size());
+  r.peak_memory_symbols = tracker.working_memory_symbols();
+  for (const PacketId id : schedule) {
+    if (channel.lost()) continue;
+    ++r.n_received;
+    if (r.decoded) continue;  // drain remaining losses for n_received only
+    tracker.on_packet(id);
+    r.peak_memory_symbols =
+        std::max(r.peak_memory_symbols, tracker.working_memory_symbols());
+    if (tracker.complete()) {
+      r.decoded = true;
+      r.n_needed = r.n_received;
+    }
+  }
+  return r;
+}
+
+}  // namespace fecsched

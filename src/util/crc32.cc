@@ -1,0 +1,39 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace fecsched {
+
+namespace {
+
+std::array<std::uint32_t, 256> build_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = build_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc,
+                           std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t c = crc ^ 0xffffffffu;
+  const auto& t = table();
+  for (const std::uint8_t byte : data) c = t[(c ^ byte) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  return crc32_update(0, data);
+}
+
+}  // namespace fecsched

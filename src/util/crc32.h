@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected), used to protect FLUTE
+// datagram headers and payloads against corruption.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace fecsched {
+
+/// CRC-32/ISO-HDLC of `data` (init 0xffffffff, reflected, final XOR).
+/// Matches zlib's crc32() so values can be cross-checked externally.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+/// Incremental form: continue a CRC computed so far (pass the previous
+/// return value; start with crc = 0).
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t crc,
+                                         std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace fecsched

@@ -1,0 +1,36 @@
+// Small online-statistics helpers used by the simulation harness.
+
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace fecsched {
+
+/// Welford online accumulator for mean / variance / extrema.
+/// Numerically stable; O(1) memory regardless of sample count.
+class RunningStats {
+ public:
+  /// Add one observation.
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two observations).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace fecsched

@@ -1,0 +1,261 @@
+// Loss models: Gilbert stationary behaviour, burst statistics, special
+// cases (perfect / Bernoulli / always-lossy), N-state generalisation and
+// trace replay + Gilbert fitting.
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "channel/gilbert.h"
+#include "channel/loss_model.h"
+#include "channel/nstate.h"
+#include "channel/trace.h"
+#include "sim/analytic.h"
+
+namespace fecsched {
+namespace {
+
+double measured_loss(LossModel& m, int samples) {
+  int losses = 0;
+  for (int i = 0; i < samples; ++i) losses += m.lost() ? 1 : 0;
+  return static_cast<double>(losses) / samples;
+}
+
+TEST(PerfectChannel, NeverLoses) {
+  PerfectChannel ch;
+  ch.reset(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(ch.lost());
+}
+
+TEST(GilbertModel, RejectsOutOfRange) {
+  EXPECT_THROW(GilbertModel(-0.1, 0.5), std::invalid_argument);
+  EXPECT_THROW(GilbertModel(0.5, 1.1), std::invalid_argument);
+}
+
+TEST(GilbertModel, PZeroIsPerfect) {
+  GilbertModel ch(0.0, 0.5);
+  ch.reset(7);
+  for (int i = 0; i < 5000; ++i) EXPECT_FALSE(ch.lost());
+}
+
+TEST(GilbertModel, GlobalLossFormula) {
+  EXPECT_DOUBLE_EQ(GilbertModel(0.0, 0.0).global_loss_probability(), 0.0);
+  EXPECT_DOUBLE_EQ(GilbertModel(0.2, 0.8).global_loss_probability(), 0.2);
+  EXPECT_DOUBLE_EQ(GilbertModel(1.0, 1.0).global_loss_probability(), 0.5);
+  EXPECT_DOUBLE_EQ(GilbertModel(0.3, 0.0).global_loss_probability(), 1.0);
+}
+
+class GilbertStationaryTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(GilbertStationaryTest, LongRunLossMatchesPGlobal) {
+  const auto [p, q] = GetParam();
+  GilbertModel ch(p, q);
+  ch.reset(42);
+  const double expected = ch.global_loss_probability();
+  const double measured = measured_loss(ch, 400000);
+  // Bursty chains mix slowly; tolerance scales with burstiness.
+  const double tol = 0.01 + 0.05 * (1.0 - std::min(p + q, 1.0));
+  EXPECT_NEAR(measured, expected, tol) << "p=" << p << " q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Points, GilbertStationaryTest,
+    ::testing::Values(std::make_pair(0.01, 0.79), std::make_pair(0.05, 0.5),
+                      std::make_pair(0.1, 0.1), std::make_pair(0.3, 0.7),
+                      std::make_pair(0.5, 0.5), std::make_pair(0.8, 0.2),
+                      std::make_pair(1.0, 1.0), std::make_pair(0.2, 0.05)));
+
+TEST(GilbertModel, MeanBurstLengthIsOneOverQ) {
+  // Burst = maximal run of losses; its length is geometric with mean 1/q.
+  GilbertModel ch(0.05, 0.25);
+  ch.reset(99);
+  std::vector<int> bursts;
+  int current = 0;
+  for (int i = 0; i < 500000; ++i) {
+    if (ch.lost()) {
+      ++current;
+    } else if (current > 0) {
+      bursts.push_back(current);
+      current = 0;
+    }
+  }
+  ASSERT_GT(bursts.size(), 1000u);
+  double mean = 0;
+  for (int b : bursts) mean += b;
+  mean /= static_cast<double>(bursts.size());
+  EXPECT_NEAR(mean, 4.0, 0.25);  // 1/q = 4
+}
+
+TEST(GilbertModel, BernoulliFactoryIsMemoryless) {
+  auto ch = GilbertModel::bernoulli(0.3);
+  EXPECT_DOUBLE_EQ(ch.p(), 0.3);
+  EXPECT_DOUBLE_EQ(ch.q(), 0.7);
+  ch.reset(123);
+  // Memorylessness: P[loss | prev loss] == P[loss | prev ok] == 0.3.
+  int after_loss = 0, after_loss_total = 0;
+  int after_ok = 0, after_ok_total = 0;
+  bool prev = ch.lost();
+  for (int i = 0; i < 200000; ++i) {
+    const bool cur = ch.lost();
+    if (prev) {
+      ++after_loss_total;
+      after_loss += cur ? 1 : 0;
+    } else {
+      ++after_ok_total;
+      after_ok += cur ? 1 : 0;
+    }
+    prev = cur;
+  }
+  EXPECT_NEAR(static_cast<double>(after_loss) / after_loss_total, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(after_ok) / after_ok_total, 0.3, 0.02);
+}
+
+TEST(GilbertModel, QZeroAbsorbs) {
+  // Once lost, always lost (q = 0): after the first loss everything drops.
+  GilbertModel ch(0.2, 0.0);
+  ch.reset(5);
+  bool seen_loss = false;
+  for (int i = 0; i < 10000; ++i) {
+    const bool lost = ch.lost();
+    if (seen_loss) ASSERT_TRUE(lost) << "packet " << i;
+    seen_loss |= lost;
+  }
+  EXPECT_TRUE(seen_loss);
+}
+
+TEST(GilbertModel, AlternatingAtPQOne) {
+  // p = q = 1: the chain flips every packet — strictly alternating.
+  GilbertModel ch(1.0, 1.0);
+  ch.reset(11);
+  bool prev = ch.lost();
+  for (int i = 0; i < 1000; ++i) {
+    const bool cur = ch.lost();
+    ASSERT_NE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(GilbertModel, SameSeedSameSequence) {
+  GilbertModel a(0.1, 0.4), b(0.1, 0.4);
+  a.reset(77);
+  b.reset(77);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.lost(), b.lost());
+  a.reset(77);
+  b.reset(78);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) same += a.lost() == b.lost() ? 1 : 0;
+  EXPECT_LT(same, 1000);
+}
+
+// ----------------------------------------------------------- N-state
+
+TEST(NStateMarkov, ValidatesInput) {
+  EXPECT_THROW(NStateMarkovModel({}, {}), std::invalid_argument);
+  EXPECT_THROW(NStateMarkovModel({{0.5, 0.4}}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(NStateMarkovModel({{0.5, 0.5}, {0.3, 0.3}}, {0.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(NStateMarkovModel({{1.0}}, {1.5}), std::invalid_argument);
+}
+
+TEST(NStateMarkov, GilbertEquivalenceStationary) {
+  const double p = 0.1, q = 0.4;
+  auto n2 = NStateMarkovModel::gilbert(p, q);
+  EXPECT_NEAR(n2.global_loss_probability(), p / (p + q), 1e-9);
+  n2.reset(13);
+  EXPECT_NEAR(measured_loss(n2, 300000), p / (p + q), 0.01);
+}
+
+TEST(NStateMarkov, StationaryDistributionSumsToOne) {
+  const NStateMarkovModel m({{0.7, 0.2, 0.1}, {0.3, 0.5, 0.2}, {0.1, 0.1, 0.8}},
+                            {0.0, 0.3, 0.9});
+  double sum = 0;
+  for (double v : m.stationary()) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(NStateMarkov, ThreeStateLongRunLoss) {
+  NStateMarkovModel m({{0.9, 0.1, 0.0}, {0.2, 0.6, 0.2}, {0.0, 0.3, 0.7}},
+                      {0.01, 0.2, 0.8});
+  const double expected = m.global_loss_probability();
+  m.reset(17);
+  EXPECT_NEAR(measured_loss(m, 400000), expected, 0.01);
+}
+
+TEST(NStateMarkov, SingleAbsorbingState) {
+  NStateMarkovModel m({{1.0}}, {0.25});
+  m.reset(19);
+  EXPECT_NEAR(measured_loss(m, 100000), 0.25, 0.01);
+}
+
+// -------------------------------------------------------------- traces
+
+TEST(TraceModel, ParseAndReplay) {
+  auto tm = TraceModel::parse("0 1 1 0\n.xX0", /*random_rotation=*/false);
+  EXPECT_EQ(tm.length(), 8u);
+  EXPECT_NEAR(tm.loss_rate(), 4.0 / 8.0, 1e-12);
+  tm.reset(0);
+  const bool expected[] = {false, true, true, false, false, true, true, false};
+  for (bool e : expected) EXPECT_EQ(tm.lost(), e);
+  // Wraps around cyclically.
+  EXPECT_FALSE(tm.lost());
+  EXPECT_TRUE(tm.lost());
+}
+
+TEST(TraceModel, ParseRejectsGarbage) {
+  EXPECT_THROW(TraceModel::parse("01a1"), std::invalid_argument);
+  EXPECT_THROW(TraceModel::parse(""), std::invalid_argument);
+  EXPECT_THROW(TraceModel::parse("   \n"), std::invalid_argument);
+}
+
+TEST(TraceModel, LoadFromStream) {
+  std::istringstream in("1100\n0011\n");
+  auto tm = TraceModel::load(in, false);
+  EXPECT_EQ(tm.length(), 8u);
+  EXPECT_NEAR(tm.loss_rate(), 0.5, 1e-12);
+}
+
+TEST(TraceModel, RandomRotationChangesPhase) {
+  auto tm = TraceModel::parse("10000000");
+  tm.reset(1);
+  std::vector<bool> run1;
+  for (int i = 0; i < 8; ++i) run1.push_back(tm.lost());
+  // Some seed must produce a different phase.
+  bool differs = false;
+  for (std::uint64_t seed = 2; seed < 12 && !differs; ++seed) {
+    tm.reset(seed);
+    for (int i = 0; i < 8; ++i)
+      if (tm.lost() != run1[static_cast<std::size_t>(i)]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FitGilbert, RecoversTransitionRates) {
+  // Generate a long Gilbert sequence, then fit: estimates within 10%.
+  const double p = 0.05, q = 0.3;
+  GilbertModel ch(p, q);
+  ch.reset(23);
+  std::vector<bool> trace;
+  trace.reserve(500000);
+  for (int i = 0; i < 500000; ++i) trace.push_back(ch.lost());
+  const GilbertFit fit = fit_gilbert(trace);
+  EXPECT_NEAR(fit.p, p, 0.005);
+  EXPECT_NEAR(fit.q, q, 0.03);
+}
+
+TEST(FitGilbert, DegenerateTraces) {
+  const GilbertFit all_good = fit_gilbert({false, false, false});
+  EXPECT_EQ(all_good.p, 0.0);
+  const GilbertFit all_bad = fit_gilbert({true, true, true});
+  EXPECT_EQ(all_bad.q, 0.0);
+}
+
+TEST(Analytic, GlobalLossProbability) {
+  EXPECT_DOUBLE_EQ(global_loss_probability(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(global_loss_probability(0.2, 0.8), 0.2);
+  EXPECT_NEAR(global_loss_probability(0.0109, 0.7915), 0.0135, 0.0005);
+}
+
+}  // namespace
+}  // namespace fecsched

@@ -1,0 +1,389 @@
+// FLUTE substrate: CRC32 vectors, LCT header round-trip and corruption
+// rejection, FDT serialization, and full multi-file sessions over lossy /
+// corrupting channels with carousel recovery.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "channel/gilbert.h"
+#include "flute/fdt.h"
+#include "flute/lct_header.h"
+#include "flute/session.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+
+namespace fecsched::flute {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+// ------------------------------------------------------------------ CRC
+
+TEST(Crc32, KnownVectors) {
+  // Standard CRC-32/ISO-HDLC check values.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xcbf43926u);
+  EXPECT_EQ(crc32(bytes_of("")), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("a")), 0xe8b7be43u);
+  EXPECT_EQ(crc32(bytes_of("The quick brown fox jumps over the lazy dog")),
+            0x414fa339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const auto data = bytes_of("hello, fec world");
+  const std::uint32_t whole = crc32(data);
+  std::uint32_t inc = 0;
+  inc = crc32_update(inc, std::span(data).first(5));
+  inc = crc32_update(inc, std::span(data).subspan(5));
+  EXPECT_EQ(inc, whole);
+}
+
+TEST(Crc32, DetectsBitFlips) {
+  auto data = bytes_of("some payload bytes");
+  const std::uint32_t orig = crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(crc32(data), orig) << "flip at " << i;
+    data[i] ^= 0x01;
+  }
+}
+
+// ------------------------------------------------------------ LCT header
+
+TEST(LctHeader, RoundTrip) {
+  LctHeader h;
+  h.close_session = true;
+  h.payload_length = 1024;
+  h.session_id = 0xdeadbeef;
+  h.toi = 42;
+  h.packet_id = 123456;
+  const auto wire = encode_header(h);
+  const auto parsed = parse_header(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->version, kVersion);
+  EXPECT_TRUE(parsed->close_session);
+  EXPECT_EQ(parsed->payload_length, 1024);
+  EXPECT_EQ(parsed->session_id, 0xdeadbeefu);
+  EXPECT_EQ(parsed->toi, 42u);
+  EXPECT_EQ(parsed->packet_id, 123456u);
+}
+
+TEST(LctHeader, RejectsTruncated) {
+  const auto wire = encode_header(LctHeader{});
+  for (std::size_t len = 0; len < kHeaderSize; ++len)
+    EXPECT_FALSE(parse_header(std::span(wire).first(len)).has_value());
+}
+
+TEST(LctHeader, RejectsAnySingleBitCorruption) {
+  LctHeader h;
+  h.payload_length = 7;
+  h.session_id = 3;
+  h.toi = 9;
+  h.packet_id = 77;
+  auto wire = encode_header(h);
+  for (std::size_t byte = 0; byte < kHeaderSize; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      wire[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_FALSE(parse_header(wire).has_value())
+          << "byte " << byte << " bit " << bit;
+      wire[byte] ^= static_cast<std::uint8_t>(1 << bit);
+    }
+  }
+  EXPECT_TRUE(parse_header(wire).has_value());
+}
+
+TEST(LctHeader, RejectsWrongVersion) {
+  LctHeader h;
+  h.version = kVersion + 1;
+  // encode_header embeds the version as-is; the CRC is valid, but the
+  // parser rejects the unknown version.
+  const auto wire = encode_header(h);
+  EXPECT_FALSE(parse_header(wire).has_value());
+}
+
+// -------------------------------------------------------------------- FDT
+
+FdtEntry sample_entry(std::uint32_t toi, const std::string& name) {
+  FdtEntry e;
+  e.toi = toi;
+  e.name = name;
+  e.info.code = CodeKind::kLdgmTriangle;
+  e.info.k = 1000;
+  e.info.n = 2500;
+  e.info.payload_size = 1024;
+  e.info.object_size = 1023007;
+  e.info.graph_seed = 0x1234567890abcdefULL;
+  e.info.left_degree = 3;
+  e.info.triangle_extra_per_row = 1;
+  e.info.expansion_ratio = 2.5;
+  return e;
+}
+
+TEST(Fdt, SerializeParseRoundTrip) {
+  Fdt fdt;
+  fdt.add(sample_entry(1, "video.mp4"));
+  auto e2 = sample_entry(2, "metadata with spaces.xml");
+  e2.info.code = CodeKind::kRse;
+  e2.info.expansion_ratio = 1.5;
+  e2.info.max_block_n = 255;
+  fdt.add(e2);
+
+  const Fdt parsed = Fdt::parse(fdt.serialize());
+  ASSERT_EQ(parsed.entries().size(), 2u);
+  const FdtEntry* a = parsed.find_toi(1);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->name, "video.mp4");
+  EXPECT_EQ(a->info.code, CodeKind::kLdgmTriangle);
+  EXPECT_EQ(a->info.k, 1000u);
+  EXPECT_EQ(a->info.n, 2500u);
+  EXPECT_EQ(a->info.object_size, 1023007u);
+  EXPECT_EQ(a->info.graph_seed, 0x1234567890abcdefULL);
+  EXPECT_DOUBLE_EQ(a->info.expansion_ratio, 2.5);
+  const FdtEntry* b = parsed.find_name("metadata with spaces.xml");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->info.code, CodeKind::kRse);
+}
+
+TEST(Fdt, RejectsInvalidEntries) {
+  Fdt fdt;
+  EXPECT_THROW(fdt.add(sample_entry(0, "fdt-toi")), std::invalid_argument);
+  fdt.add(sample_entry(1, "a"));
+  EXPECT_THROW(fdt.add(sample_entry(1, "dup")), std::invalid_argument);
+  auto bad = sample_entry(2, "evil\nname");
+  EXPECT_THROW(fdt.add(bad), std::invalid_argument);
+}
+
+TEST(Fdt, ParseRejectsMalformed) {
+  EXPECT_THROW((void)Fdt::parse(bytes_of("")), std::invalid_argument);
+  EXPECT_THROW((void)Fdt::parse(bytes_of("fdt-version=2\n")),
+               std::invalid_argument);
+  EXPECT_THROW((void)Fdt::parse(bytes_of("fdt-version=1\nentry\ntoi=1\n")),
+               std::invalid_argument);  // unterminated
+  EXPECT_THROW((void)Fdt::parse(bytes_of("fdt-version=1\nend\n")),
+               std::invalid_argument);  // stray end
+  EXPECT_THROW((void)Fdt::parse(bytes_of("fdt-version=1\ngarbage\n")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)Fdt::parse(bytes_of("fdt-version=1\nentry\ntoi=abc\nend\n")),
+      std::invalid_argument);
+}
+
+TEST(Fdt, CodeWireNamesRoundTrip) {
+  for (const CodeKind code :
+       {CodeKind::kRse, CodeKind::kLdgmIdentity, CodeKind::kLdgmStaircase,
+        CodeKind::kLdgmTriangle, CodeKind::kReplication}) {
+    const auto back = code_from_wire_name(code_wire_name(code));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, code);
+  }
+  EXPECT_FALSE(code_from_wire_name("raptor").has_value());
+}
+
+// --------------------------------------------------------- full sessions
+
+std::vector<std::uint8_t> random_object(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> obj(size);
+  for (auto& b : obj) b = static_cast<std::uint8_t>(rng.below(256));
+  return obj;
+}
+
+TEST(FluteSession, SingleFileLossless) {
+  const auto content = random_object(100000, 1);
+  FluteSender sender;
+  SenderConfig fec;
+  fec.code = CodeKind::kLdgmStaircase;
+  fec.payload_size = 1024;
+  sender.add_file("bigfile.bin", content, fec);
+  sender.seal();
+
+  FluteReceiver receiver;
+  bool complete = false;
+  for (std::size_t seq = 0; seq < sender.datagram_count() && !complete; ++seq) {
+    const auto status = receiver.on_datagram(sender.datagram(seq));
+    ASSERT_NE(status, DatagramStatus::kRejected) << "seq " << seq;
+    complete = status == DatagramStatus::kSessionComplete;
+  }
+  ASSERT_TRUE(complete);
+  EXPECT_TRUE(receiver.fdt_complete());
+  EXPECT_TRUE(receiver.object_complete("bigfile.bin"));
+  EXPECT_EQ(receiver.file("bigfile.bin"), content);
+  EXPECT_EQ(receiver.datagrams_rejected(), 0u);
+}
+
+TEST(FluteSession, MultiFileDifferentCodecs) {
+  const auto video = random_object(60000, 2);
+  const auto index = random_object(900, 3);
+  const auto notes = random_object(33333, 4);
+
+  FluteSender sender;
+  SenderConfig ldgm;
+  ldgm.code = CodeKind::kLdgmTriangle;
+  ldgm.payload_size = 512;
+  SenderConfig rse;
+  rse.code = CodeKind::kRse;
+  rse.payload_size = 256;
+  rse.expansion_ratio = 2.0;
+  rse.tx = TxModel::kTx5Interleaved;
+  SenderConfig repl;
+  repl.code = CodeKind::kReplication;
+  repl.payload_size = 128;
+  repl.replication_copies = 2;
+  sender.add_file("video.bin", video, ldgm);
+  sender.add_file("index.bin", index, rse);
+  sender.add_file("notes.txt", notes, repl);
+  sender.seal();
+  ASSERT_EQ(sender.fdt().entries().size(), 3u);
+
+  FluteReceiver receiver;
+  for (std::size_t seq = 0; seq < sender.datagram_count(); ++seq)
+    receiver.on_datagram(sender.datagram(seq));
+  ASSERT_TRUE(receiver.session_complete());
+  EXPECT_EQ(receiver.file("video.bin"), video);
+  EXPECT_EQ(receiver.file("index.bin"), index);
+  EXPECT_EQ(receiver.file("notes.txt"), notes);
+}
+
+TEST(FluteSession, LossyChannelWithCarousel) {
+  const auto content = random_object(80000, 5);
+  FluteSender sender;
+  SenderConfig fec;
+  fec.code = CodeKind::kLdgmTriangle;
+  fec.tx = TxModel::kTx4AllRandom;
+  fec.expansion_ratio = 1.5;
+  fec.payload_size = 512;
+  sender.add_file("data.bin", content, fec);
+  sender.seal();
+
+  GilbertModel channel(0.10, 0.40);  // 20% loss in bursts
+  channel.reset(99);
+  FluteReceiver receiver;
+  bool complete = false;
+  const std::size_t cap = sender.datagram_count() * 10;
+  for (std::size_t t = 0; t < cap && !complete; ++t) {
+    if (channel.lost()) continue;
+    const auto status =
+        receiver.on_datagram(sender.datagram(t % sender.datagram_count()));
+    complete = status == DatagramStatus::kSessionComplete;
+  }
+  ASSERT_TRUE(complete);
+  EXPECT_EQ(receiver.file("data.bin"), content);
+}
+
+TEST(FluteSession, MissedFdtPacketsBufferedThenReplayed) {
+  // Deliver all object packets first, FDT last: the receiver must buffer
+  // (bounded) and finish the moment the FDT closes.
+  const auto content = random_object(20000, 6);
+  FluteSender sender;
+  SenderConfig fec;
+  fec.code = CodeKind::kLdgmStaircase;
+  fec.payload_size = 512;
+  sender.add_file("late-fdt.bin", content, fec);
+  sender.seal();
+
+  const std::size_t fdt_packets =
+      sender.datagram_count() -
+      sender.fdt().find_name("late-fdt.bin")->info.n;
+  FluteReceiver receiver;
+  // Object datagrams first -> all pending.
+  for (std::size_t seq = fdt_packets; seq < sender.datagram_count(); ++seq)
+    EXPECT_EQ(receiver.on_datagram(sender.datagram(seq)),
+              DatagramStatus::kPending);
+  EXPECT_FALSE(receiver.fdt_complete());
+  // Now the FDT: the replay must complete the session the moment the
+  // table closes (later FDT repetitions are plain duplicates).
+  bool completed = false;
+  for (std::size_t seq = 0; seq < fdt_packets; ++seq)
+    completed |= receiver.on_datagram(sender.datagram(seq)) ==
+                 DatagramStatus::kSessionComplete;
+  EXPECT_TRUE(completed);
+  EXPECT_TRUE(receiver.session_complete());
+  EXPECT_EQ(receiver.file("late-fdt.bin"), content);
+}
+
+TEST(FluteSession, CorruptedDatagramsAreDropped) {
+  const auto content = random_object(30000, 7);
+  FluteSender sender;
+  SenderConfig fec;
+  fec.code = CodeKind::kLdgmStaircase;
+  fec.expansion_ratio = 2.0;
+  fec.payload_size = 512;
+  sender.add_file("x.bin", content, fec);
+  sender.seal();
+
+  Rng rng(8);
+  FluteReceiver receiver;
+  std::uint64_t corrupted = 0;
+  bool complete = false;
+  for (std::size_t seq = 0; seq < sender.datagram_count() && !complete; ++seq) {
+    auto dgram = sender.datagram(seq);
+    if (rng.bernoulli(0.10)) {  // flip a random header bit: must be dropped
+      dgram[rng.below(kHeaderSize)] ^= 0x40;
+      ++corrupted;
+      EXPECT_EQ(receiver.on_datagram(dgram), DatagramStatus::kRejected);
+      continue;
+    }
+    complete =
+        receiver.on_datagram(dgram) == DatagramStatus::kSessionComplete;
+  }
+  ASSERT_TRUE(complete) << "10% corruption must look like ordinary loss";
+  EXPECT_EQ(receiver.datagrams_rejected(), corrupted);
+  EXPECT_EQ(receiver.file("x.bin"), content);
+}
+
+TEST(FluteSession, WrongSessionIdRejected) {
+  const auto content = random_object(5000, 9);
+  FluteSender sender(FluteSenderConfig{.session_id = 7});
+  SenderConfig fec;
+  fec.payload_size = 256;
+  sender.add_file("y.bin", content, fec);
+  sender.seal();
+  FluteReceiver receiver(FluteReceiverConfig{.session_id = 8});
+  EXPECT_EQ(receiver.on_datagram(sender.datagram(0)),
+            DatagramStatus::kRejected);
+}
+
+TEST(FluteSession, PendingBufferBounded) {
+  const auto content = random_object(50000, 10);
+  FluteSender sender;
+  SenderConfig fec;
+  fec.payload_size = 256;
+  sender.add_file("z.bin", content, fec);
+  sender.seal();
+  FluteReceiverConfig rc;
+  rc.pending_limit = 10;
+  FluteReceiver receiver(rc);
+  const std::size_t fdt_packets = 3;  // skip them; feed many object packets
+  for (std::size_t seq = fdt_packets; seq < sender.datagram_count(); ++seq)
+    receiver.on_datagram(sender.datagram(seq));
+  EXPECT_GT(receiver.datagrams_dropped_pending(), 0u);
+}
+
+TEST(FluteSender, ApiMisuseThrows) {
+  FluteSender sender;
+  EXPECT_THROW(sender.seal(), std::logic_error);  // no files
+  EXPECT_THROW((void)sender.datagram_count(), std::logic_error);
+  SenderConfig fec;
+  fec.payload_size = 256;
+  sender.add_file("a", random_object(100, 11), fec);
+  sender.seal();
+  EXPECT_THROW(sender.add_file("b", random_object(100, 12), fec),
+               std::logic_error);
+  EXPECT_THROW((void)sender.datagram(sender.datagram_count()),
+               std::invalid_argument);
+  EXPECT_NO_THROW(sender.seal());  // idempotent
+}
+
+TEST(FluteReceiver, ApiMisuseThrows) {
+  FluteReceiver receiver;
+  EXPECT_THROW((void)receiver.fdt(), std::logic_error);
+  EXPECT_THROW((void)receiver.file("nope"), std::logic_error);
+  EXPECT_FALSE(receiver.object_complete("nope"));
+  EXPECT_FALSE(receiver.session_complete());
+}
+
+}  // namespace
+}  // namespace fecsched::flute

@@ -1,0 +1,179 @@
+// GF(2^8) field axioms and bulk operations.  Most suites sweep the whole
+// field (or the whole field squared where affordable) — these are
+// exhaustive property tests, not spot checks.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gf/gf256.h"
+#include "util/rng.h"
+
+namespace fecsched::gf {
+namespace {
+
+TEST(Gf256, AddIsXor) {
+  EXPECT_EQ(add(0x53, 0xCA), 0x53 ^ 0xCA);
+  for (int a = 0; a < 256; ++a) EXPECT_EQ(add(a, a), 0);  // characteristic 2
+}
+
+TEST(Gf256, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(mul(1, static_cast<std::uint8_t>(a)), a);
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(a), 0), 0);
+    EXPECT_EQ(mul(0, static_cast<std::uint8_t>(a)), 0);
+  }
+}
+
+TEST(Gf256, MulCommutative) {
+  for (int a = 0; a < 256; ++a)
+    for (int b = a; b < 256; ++b)
+      ASSERT_EQ(mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                mul(static_cast<std::uint8_t>(b), static_cast<std::uint8_t>(a)));
+}
+
+TEST(Gf256, MulAssociativeSampled) {
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.below(256));
+    const auto b = static_cast<std::uint8_t>(rng.below(256));
+    const auto c = static_cast<std::uint8_t>(rng.below(256));
+    ASSERT_EQ(mul(mul(a, b), c), mul(a, mul(b, c)));
+  }
+}
+
+TEST(Gf256, DistributiveSampled) {
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.below(256));
+    const auto b = static_cast<std::uint8_t>(rng.below(256));
+    const auto c = static_cast<std::uint8_t>(rng.below(256));
+    ASSERT_EQ(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+  }
+}
+
+TEST(Gf256, KnownProduct) {
+  // 0x02 * 0x80 wraps through the primitive polynomial 0x11d: 0x100 ^ 0x11d.
+  EXPECT_EQ(mul(0x02, 0x80), 0x1d);
+}
+
+TEST(Gf256, InverseRoundTrip) {
+  for (int a = 1; a < 256; ++a) {
+    const auto ia = inv(static_cast<std::uint8_t>(a));
+    ASSERT_NE(ia, 0);
+    ASSERT_EQ(mul(static_cast<std::uint8_t>(a), ia), 1);
+  }
+}
+
+TEST(Gf256, InverseOfZeroThrows) {
+  EXPECT_THROW((void)inv(0), std::domain_error);
+}
+
+TEST(Gf256, DivMatchesMulByInverse) {
+  for (int a = 0; a < 256; ++a)
+    for (int b = 1; b < 256; ++b)
+      ASSERT_EQ(div(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                mul(static_cast<std::uint8_t>(a), inv(static_cast<std::uint8_t>(b))));
+}
+
+TEST(Gf256, DivByZeroThrows) {
+  EXPECT_THROW((void)div(1, 0), std::domain_error);
+}
+
+TEST(Gf256, DivRoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.below(256));
+    const auto b = static_cast<std::uint8_t>(1 + rng.below(255));
+    ASSERT_EQ(mul(div(a, b), b), a);
+  }
+}
+
+TEST(Gf256, PowBasics) {
+  for (int a = 0; a < 256; ++a) {
+    ASSERT_EQ(pow(static_cast<std::uint8_t>(a), 0), 1);
+    ASSERT_EQ(pow(static_cast<std::uint8_t>(a), 1), a);
+    ASSERT_EQ(pow(static_cast<std::uint8_t>(a), 2),
+              mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(a)));
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(1 + rng.below(255));
+    const unsigned e = static_cast<unsigned>(rng.below(1000));
+    std::uint8_t expected = 1;
+    for (unsigned j = 0; j < e; ++j) expected = mul(expected, a);
+    ASSERT_EQ(pow(a, e), expected) << "a=" << int(a) << " e=" << e;
+  }
+}
+
+TEST(Gf256, FermatLittleTheorem) {
+  // a^255 == 1 for all non-zero a (multiplicative group order 255).
+  for (int a = 1; a < 256; ++a)
+    ASSERT_EQ(pow(static_cast<std::uint8_t>(a), 255), 1);
+}
+
+TEST(Gf256, AlphaPowersCycle) {
+  EXPECT_EQ(alpha_pow(0), 1);
+  EXPECT_EQ(alpha_pow(1), 2);  // alpha = 2 for 0x11d
+  for (unsigned e = 0; e < 300; ++e) ASSERT_EQ(alpha_pow(e), alpha_pow(e + 255));
+  // All 255 powers are distinct (alpha is primitive).
+  std::vector<bool> seen(256, false);
+  for (unsigned e = 0; e < 255; ++e) {
+    ASSERT_FALSE(seen[alpha_pow(e)]);
+    seen[alpha_pow(e)] = true;
+  }
+}
+
+TEST(Gf256, AddmulAccumulates) {
+  std::vector<std::uint8_t> dst = {1, 2, 3, 4};
+  const std::vector<std::uint8_t> src = {5, 6, 7, 8};
+  addmul(dst, src, 0);  // no-op
+  EXPECT_EQ(dst, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  addmul(dst, src, 1);  // plain XOR
+  EXPECT_EQ(dst, (std::vector<std::uint8_t>{1 ^ 5, 2 ^ 6, 3 ^ 7, 4 ^ 8}));
+}
+
+TEST(Gf256, AddmulMatchesScalarMul) {
+  Rng rng(5);
+  std::vector<std::uint8_t> dst(64), src(64), expected(64);
+  for (int round = 0; round < 100; ++round) {
+    const auto c = static_cast<std::uint8_t>(rng.below(256));
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] = static_cast<std::uint8_t>(rng.below(256));
+      src[i] = static_cast<std::uint8_t>(rng.below(256));
+      expected[i] = add(dst[i], mul(c, src[i]));
+    }
+    addmul(dst, src, c);
+    ASSERT_EQ(dst, expected);
+  }
+}
+
+TEST(Gf256, AddmulSizeMismatchThrows) {
+  std::vector<std::uint8_t> dst(3), src(4);
+  EXPECT_THROW(addmul(dst, src, 2), std::invalid_argument);
+}
+
+TEST(Gf256, ScaleMatchesMul) {
+  Rng rng(6);
+  std::vector<std::uint8_t> v(32), expected(32);
+  const auto c = static_cast<std::uint8_t>(1 + rng.below(255));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<std::uint8_t>(rng.below(256));
+    expected[i] = mul(c, v[i]);
+  }
+  scale(v, c);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(Gf256, ScaleByOneIsIdentity) {
+  std::vector<std::uint8_t> v = {9, 8, 7};
+  scale(v, 1);
+  EXPECT_EQ(v, (std::vector<std::uint8_t>{9, 8, 7}));
+}
+
+}  // namespace
+}  // namespace fecsched::gf

@@ -1,0 +1,101 @@
+// SparseBinaryMatrix: CSR consistency in both orientations.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fec/sparse_matrix.h"
+#include "util/rng.h"
+
+namespace fecsched {
+namespace {
+
+using Entry = SparseBinaryMatrix::Entry;
+
+TEST(SparseMatrix, EmptyMatrix) {
+  const SparseBinaryMatrix m(3, 4, {});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nnz(), 0u);
+  for (std::uint32_t r = 0; r < 3; ++r) EXPECT_TRUE(m.row(r).empty());
+  for (std::uint32_t c = 0; c < 4; ++c) EXPECT_TRUE(m.col(c).empty());
+}
+
+TEST(SparseMatrix, BasicAdjacency) {
+  const SparseBinaryMatrix m(2, 3, {{0, 0}, {0, 2}, {1, 1}, {1, 2}});
+  EXPECT_EQ(m.nnz(), 4u);
+  EXPECT_EQ(std::vector<std::uint32_t>(m.row(0).begin(), m.row(0).end()),
+            (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(std::vector<std::uint32_t>(m.row(1).begin(), m.row(1).end()),
+            (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(std::vector<std::uint32_t>(m.col(2).begin(), m.col(2).end()),
+            (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_TRUE(m.at(0, 0));
+  EXPECT_FALSE(m.at(0, 1));
+  EXPECT_TRUE(m.at(1, 2));
+}
+
+TEST(SparseMatrix, DuplicateEntriesCollapse) {
+  const SparseBinaryMatrix m(2, 2, {{0, 1}, {0, 1}, {0, 1}, {1, 0}});
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_EQ(m.row_degree(0), 1u);
+}
+
+TEST(SparseMatrix, OutOfRangeEntryThrows) {
+  EXPECT_THROW(SparseBinaryMatrix(2, 2, {{2, 0}}), std::invalid_argument);
+  EXPECT_THROW(SparseBinaryMatrix(2, 2, {{0, 2}}), std::invalid_argument);
+}
+
+TEST(SparseMatrix, AccessorsRangeChecked) {
+  const SparseBinaryMatrix m(2, 3, {});
+  EXPECT_THROW((void)m.row(2), std::invalid_argument);
+  EXPECT_THROW((void)m.col(3), std::invalid_argument);
+}
+
+TEST(SparseMatrix, UnsortedInputIsSorted) {
+  const SparseBinaryMatrix m(3, 3, {{2, 2}, {0, 1}, {2, 0}, {0, 0}, {1, 1}});
+  EXPECT_EQ(std::vector<std::uint32_t>(m.row(0).begin(), m.row(0).end()),
+            (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(std::vector<std::uint32_t>(m.row(2).begin(), m.row(2).end()),
+            (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(std::vector<std::uint32_t>(m.col(0).begin(), m.col(0).end()),
+            (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(SparseMatrix, RowColViewsAgreeOnRandomMatrix) {
+  Rng rng(77);
+  constexpr std::uint32_t kRows = 64, kCols = 97;
+  std::vector<Entry> entries;
+  for (int i = 0; i < 800; ++i)
+    entries.push_back({static_cast<std::uint32_t>(rng.below(kRows)),
+                       static_cast<std::uint32_t>(rng.below(kCols))});
+  const SparseBinaryMatrix m(kRows, kCols, entries);
+
+  std::size_t row_sum = 0, col_sum = 0;
+  for (std::uint32_t r = 0; r < kRows; ++r) {
+    auto prev = UINT32_MAX;
+    for (std::uint32_t c : m.row(r)) {
+      EXPECT_TRUE(prev == UINT32_MAX || c > prev) << "row not ascending";
+      prev = c;
+      // Every row entry must appear in the column view.
+      bool found = false;
+      for (std::uint32_t rr : m.col(c)) found |= rr == r;
+      EXPECT_TRUE(found);
+      EXPECT_TRUE(m.at(r, c));
+    }
+    row_sum += m.row_degree(r);
+  }
+  for (std::uint32_t c = 0; c < kCols; ++c) {
+    auto prev = UINT32_MAX;
+    for (std::uint32_t r : m.col(c)) {
+      EXPECT_TRUE(prev == UINT32_MAX || r > prev) << "col not ascending";
+      prev = r;
+    }
+    col_sum += m.col_degree(c);
+  }
+  EXPECT_EQ(row_sum, m.nnz());
+  EXPECT_EQ(col_sum, m.nnz());
+}
+
+}  // namespace
+}  // namespace fecsched

@@ -1,0 +1,182 @@
+// Trial runner semantics (duplicate accounting, n_received bookkeeping)
+// and grid sweep determinism/aggregation.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "channel/gilbert.h"
+#include "channel/loss_model.h"
+#include "fec/replication.h"
+#include "sim/grid.h"
+#include "sim/tracker.h"
+#include "sim/trial.h"
+
+namespace fecsched {
+namespace {
+
+// A channel that drops exactly the positions given.
+class ScriptedChannel final : public LossModel {
+ public:
+  explicit ScriptedChannel(std::vector<bool> drops) : drops_(std::move(drops)) {}
+  bool lost() override {
+    const bool d = pos_ < drops_.size() ? drops_[pos_] : false;
+    ++pos_;
+    return d;
+  }
+  void reset(std::uint64_t) override { pos_ = 0; }
+
+ private:
+  std::vector<bool> drops_;
+  std::size_t pos_ = 0;
+};
+
+TEST(RunTrial, PerfectChannelCountsExactly) {
+  auto plan = std::make_shared<const ReplicationPlan>(10, 2);
+  ReplicationTracker tracker(plan);
+  PerfectChannel ch;
+  // First pass over the 10 distinct packets completes the object.
+  std::vector<PacketId> schedule;
+  for (PacketId id = 0; id < 20; ++id) schedule.push_back(id);
+  const TrialResult r = run_trial(tracker, schedule, ch);
+  EXPECT_TRUE(r.decoded);
+  EXPECT_EQ(r.n_needed, 10u);
+  EXPECT_EQ(r.n_received, 20u);  // keeps counting after completion
+  EXPECT_EQ(r.n_sent, 20u);
+  EXPECT_DOUBLE_EQ(r.inefficiency(10), 1.0);
+  EXPECT_DOUBLE_EQ(r.received_ratio(10), 2.0);
+}
+
+TEST(RunTrial, DuplicatesCountAgainstEfficiency) {
+  auto plan = std::make_shared<const ReplicationPlan>(4, 2);
+  ReplicationTracker tracker(plan);
+  PerfectChannel ch;
+  // Copies first: 0,4 carry source 0; the receiver pays for both.
+  const std::vector<PacketId> schedule = {0, 4, 1, 5, 2, 6, 3};
+  const TrialResult r = run_trial(tracker, schedule, ch);
+  EXPECT_TRUE(r.decoded);
+  EXPECT_EQ(r.n_needed, 7u);  // all 7 arrivals counted, 3 were duplicates
+}
+
+TEST(RunTrial, LossesDelayCompletion) {
+  auto plan = std::make_shared<const ReplicationPlan>(3, 2);
+  ReplicationTracker tracker(plan);
+  ScriptedChannel ch({true, false, false, false, false, false});
+  const std::vector<PacketId> schedule = {0, 1, 2, 3, 4, 5};
+  // Packet 0 lost; coverage completes at id=3 (copy of source 0).
+  const TrialResult r = run_trial(tracker, schedule, ch);
+  EXPECT_TRUE(r.decoded);
+  EXPECT_EQ(r.n_needed, 3u);      // received 1, 2, 3
+  EXPECT_EQ(r.n_received, 5u);
+}
+
+TEST(RunTrial, FailureWhenScheduleExhausted) {
+  auto plan = std::make_shared<const ReplicationPlan>(3, 1);
+  ReplicationTracker tracker(plan);
+  ScriptedChannel ch({false, true, false});
+  const std::vector<PacketId> schedule = {0, 1, 2};
+  const TrialResult r = run_trial(tracker, schedule, ch);
+  EXPECT_FALSE(r.decoded);
+  EXPECT_EQ(r.n_needed, 0u);
+  EXPECT_EQ(r.n_received, 2u);
+}
+
+TEST(GridSpec, PaperGridShape) {
+  const GridSpec spec = GridSpec::paper();
+  EXPECT_EQ(spec.p_values.size(), 14u);
+  EXPECT_EQ(spec.q_values.size(), 14u);
+  EXPECT_EQ(spec.cell_count(), 196u);
+  EXPECT_DOUBLE_EQ(spec.p_values.front(), 0.0);
+  EXPECT_DOUBLE_EQ(spec.p_values.back(), 1.0);
+  EXPECT_DOUBLE_EQ(spec.p_values[1], 0.01);
+}
+
+TEST(GridSpec, Fig7Zoom) {
+  const GridSpec spec = GridSpec::fig7();
+  EXPECT_EQ(spec.p_values.size(), 6u);
+  EXPECT_DOUBLE_EQ(spec.p_values.back(), 0.05);
+  EXPECT_EQ(spec.q_values.size(), 14u);
+}
+
+TEST(RunGrid, AggregatesAndIndexes) {
+  GridSpec spec;
+  spec.p_values = {0.0, 0.5};
+  spec.q_values = {0.25, 1.0};
+  // Fake trial: decodes iff p < 0.5; inefficiency = 1 + q (deterministic).
+  const TrialFn fn = [](double p, double q, std::uint64_t) {
+    TrialResult r;
+    r.n_sent = 100;
+    r.n_received = 100;
+    if (p < 0.5) {
+      r.decoded = true;
+      r.n_needed = static_cast<std::uint32_t>(10 * (1.0 + q));
+    }
+    return r;
+  };
+  GridRunOptions opt;
+  opt.trials_per_cell = 5;
+  const GridResult g = run_grid(spec, 10, fn, opt);
+  ASSERT_EQ(g.cells.size(), 4u);
+  EXPECT_DOUBLE_EQ(g.cell(0, 0).p, 0.0);
+  EXPECT_DOUBLE_EQ(g.cell(0, 0).q, 0.25);
+  EXPECT_DOUBLE_EQ(g.cell(1, 1).p, 0.5);
+  EXPECT_TRUE(g.cell(0, 0).reportable());
+  // n_needed = floor(10 * 1.25) = 12 -> inefficiency 1.2.
+  EXPECT_NEAR(g.cell(0, 0).inefficiency.mean(), 1.2, 1e-12);
+  EXPECT_NEAR(g.cell(0, 1).inefficiency.mean(), 2.0, 1e-12);
+  EXPECT_FALSE(g.cell(1, 0).reportable());
+  EXPECT_EQ(g.cell(1, 0).failures, 5u);
+  EXPECT_EQ(g.cell(1, 0).trials, 5u);
+}
+
+TEST(RunGrid, DeterministicAcrossThreadCounts) {
+  GridSpec spec;
+  spec.p_values = {0.0, 0.1, 0.3};
+  spec.q_values = {0.2, 0.6, 1.0};
+  // Trial result depends on the seed, so scheduling differences would show.
+  const TrialFn fn = [](double, double, std::uint64_t seed) {
+    TrialResult r;
+    r.decoded = true;
+    r.n_needed = 10 + static_cast<std::uint32_t>(seed % 7);
+    r.n_received = r.n_needed;
+    r.n_sent = 20;
+    return r;
+  };
+  GridRunOptions one;
+  one.trials_per_cell = 10;
+  one.threads = 1;
+  GridRunOptions many = one;
+  many.threads = 8;
+  const GridResult a = run_grid(spec, 10, fn, one);
+  const GridResult b = run_grid(spec, 10, fn, many);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cells[i].inefficiency.mean(),
+                     b.cells[i].inefficiency.mean());
+    EXPECT_EQ(a.cells[i].failures, b.cells[i].failures);
+  }
+}
+
+TEST(RunGrid, SeedChangesResults) {
+  GridSpec spec;
+  spec.p_values = {0.1};
+  spec.q_values = {0.5};
+  const TrialFn fn = [](double, double, std::uint64_t seed) {
+    TrialResult r;
+    r.decoded = true;
+    r.n_needed = 10 + static_cast<std::uint32_t>(seed % 100);
+    r.n_received = r.n_needed;
+    r.n_sent = 200;
+    return r;
+  };
+  GridRunOptions a;
+  a.trials_per_cell = 20;
+  a.master_seed = 1;
+  GridRunOptions b = a;
+  b.master_seed = 2;
+  EXPECT_NE(run_grid(spec, 10, fn, a).cells[0].inefficiency.mean(),
+            run_grid(spec, 10, fn, b).cells[0].inefficiency.mean());
+}
+
+}  // namespace
+}  // namespace fecsched

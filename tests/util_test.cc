@@ -1,0 +1,223 @@
+// Unit tests for the deterministic PRNG and the statistics helpers.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace fecsched {
+namespace {
+
+TEST(SplitMix64, IsDeterministicAndMixing) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_NE(splitmix64(0), splitmix64(1));
+  // Consecutive inputs should differ in roughly half the bits.
+  int diff_bits = __builtin_popcountll(splitmix64(42) ^ splitmix64(43));
+  EXPECT_GT(diff_bits, 10);
+  EXPECT_LT(diff_bits, 54);
+}
+
+TEST(DeriveSeed, PathSensitivity) {
+  const std::uint64_t master = 0xabcdef;
+  EXPECT_EQ(derive_seed(master, {1, 2}), derive_seed(master, {1, 2}));
+  EXPECT_NE(derive_seed(master, {1, 2}), derive_seed(master, {2, 1}));
+  EXPECT_NE(derive_seed(master, {1}), derive_seed(master, {1, 0}));
+  EXPECT_NE(derive_seed(master, {7}), derive_seed(master + 1, {7}));
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(123), b(124);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 255ull, 1ull << 20}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, BetweenInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.between(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01Range) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Shuffle, IsPermutation) {
+  Rng rng(23);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto w = v;
+  shuffle(w, rng);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), w.begin()));  // astronomically unlikely
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Shuffle, SingleAndEmpty) {
+  Rng rng(29);
+  std::vector<int> empty;
+  shuffle(empty, rng);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  shuffle(one, rng);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Shuffle, UniformFirstPosition) {
+  // Each element should land in position 0 about n^-1 of the time.
+  constexpr int kN = 8;
+  constexpr int kRounds = 40000;
+  std::vector<int> counts(kN, 0);
+  Rng rng(31);
+  for (int r = 0; r < kRounds; ++r) {
+    std::vector<int> v(kN);
+    for (int i = 0; i < kN; ++i) v[i] = i;
+    shuffle(v, rng);
+    ++counts[v[0]];
+  }
+  for (int c : counts) EXPECT_NEAR(c, kRounds / kN, kRounds / kN * 0.15);
+}
+
+TEST(SampleWithoutReplacement, DistinctAndInRange) {
+  Rng rng(37);
+  const auto s = sample_without_replacement(100, 30, rng);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<std::uint32_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (auto v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(SampleWithoutReplacement, FullPopulationIsPermutation) {
+  Rng rng(41);
+  auto s = sample_without_replacement(50, 50, rng);
+  std::sort(s.begin(), s.end());
+  for (std::uint32_t i = 0; i < 50; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(SampleWithoutReplacement, CountTooLargeThrows) {
+  Rng rng(43);
+  EXPECT_THROW(sample_without_replacement(5, 6, rng), std::invalid_argument);
+}
+
+TEST(SampleWithoutReplacement, ZeroCount) {
+  Rng rng(47);
+  EXPECT_TRUE(sample_without_replacement(5, 0, rng).empty());
+}
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleObservation) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  Rng rng(53);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform01() * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+}  // namespace
+}  // namespace fecsched

@@ -1,0 +1,279 @@
+// fecsched command-line interface: run the paper's experiments and the
+// Sec. 6 planning machinery without writing code.
+//
+//   fecsched_cli sweep     --code=ldgm-triangle --tx=4 --ratio=2.5
+//                          [--k=4000 --trials=30 --seed=N]
+//       Sweep the paper's 14x14 (p, q) grid and print the appendix-style
+//       inefficiency table for one (code, scheduling, ratio) tuple.
+//
+//   fecsched_cli plan      --p=0.0109 --q=0.7915 [--bytes=50000000]
+//                          [--payload=1024 --k=4000 --trials=20]
+//       Evaluate every candidate tuple at a known channel point, pick the
+//       best one, and compute the optimal n_sent (Eq. 3) for an object.
+//
+//   fecsched_cli universal [--k=4000 --trials=10]
+//       Rank candidate tuples over the whole grid by worst-case behaviour
+//       (the Sec. 6.2.2 unknown-channel recommendation, computed).
+//
+//   fecsched_cli limits    [--ratio=1.5 --ratio=2.5]
+//       Print the Fig. 6 fundamental decoding limits.
+//
+//   fecsched_cli fit       --trace=<file>
+//       Fit Gilbert (p, q) to a loss trace ('0'/'.' ok, '1'/'x' lost).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "channel/trace.h"
+#include "core/nsent.h"
+#include "core/planner.h"
+#include "flute/fdt.h"
+#include "sim/analytic.h"
+#include "sim/experiment.h"
+#include "sim/table_io.h"
+
+namespace {
+
+using namespace fecsched;
+
+struct Args {
+  std::vector<std::pair<std::string, std::string>> kv;
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    std::optional<std::string> last;
+    for (const auto& [k, v] : kv)
+      if (k == key) last = v;
+    return last;
+  }
+  [[nodiscard]] std::vector<std::string> get_all(const std::string& key) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : kv)
+      if (k == key) out.push_back(v);
+    return out;
+  }
+  [[nodiscard]] double number(const std::string& key, double fallback) const {
+    const auto v = get(key);
+    return v ? std::stod(*v) : fallback;
+  }
+  [[nodiscard]] std::uint64_t integer(const std::string& key,
+                                      std::uint64_t fallback) const {
+    const auto v = get(key);
+    return v ? std::stoull(*v) : fallback;
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos)
+      args.kv.emplace_back(arg, "1");
+    else
+      args.kv.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+  }
+  return args;
+}
+
+CodeKind parse_code(const Args& args) {
+  const auto name = args.get("code").value_or("ldgm-triangle");
+  const auto code = flute::code_from_wire_name(name);
+  if (!code) {
+    std::fprintf(stderr,
+                 "unknown code '%s' (rse, ldgm, ldgm-staircase, "
+                 "ldgm-triangle, replication)\n",
+                 name.c_str());
+    std::exit(2);
+  }
+  return *code;
+}
+
+int cmd_sweep(const Args& args) {
+  ExperimentConfig cfg;
+  cfg.code = parse_code(args);
+  const auto tx = args.integer("tx", 4);
+  if (tx < 1 || tx > 6) {
+    std::fprintf(stderr, "--tx must be 1..6\n");
+    return 2;
+  }
+  cfg.tx = static_cast<TxModel>(tx);
+  cfg.expansion_ratio = args.number("ratio", 2.5);
+  cfg.k = static_cast<std::uint32_t>(args.integer("k", 4000));
+  const Experiment experiment(cfg);
+
+  GridRunOptions opt;
+  opt.trials_per_cell = static_cast<std::uint32_t>(args.integer("trials", 30));
+  opt.master_seed = args.integer("seed", 0x5eedf00dULL);
+  const GridResult grid = experiment.run(GridSpec::paper(), opt);
+
+  TableOptions topt;
+  topt.caption = std::string(to_string(cfg.code)) + " + " +
+                 std::string(to_string(cfg.tx)) + ", ratio " +
+                 format_fixed(cfg.expansion_ratio, 2) + ", k=" +
+                 std::to_string(cfg.k) + " (mean inefficiency; '-' = some "
+                 "trial failed)";
+  write_paper_table(std::cout, grid, topt);
+  if (args.get("gnuplot")) {
+    std::cout << "\n# gnuplot surface (p q inefficiency)\n";
+    write_gnuplot_surface(std::cout, grid);
+  }
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  const double p = args.number("p", 0.0);
+  const double q = args.number("q", 1.0);
+  PlannerConfig cfg;
+  cfg.k = static_cast<std::uint32_t>(args.integer("k", 4000));
+  cfg.trials = static_cast<std::uint32_t>(args.integer("trials", 20));
+  const Planner planner(cfg);
+
+  std::printf("channel: p=%.4f q=%.4f (p_global=%.4f, mean burst %.2f)\n\n",
+              p, q, global_loss_probability(p, q), q > 0 ? 1.0 / q : 0.0);
+  std::printf("%-16s %-10s %6s %14s %10s\n", "code", "tx_model", "ratio",
+              "inefficiency", "reliable");
+  for (const auto& e : planner.evaluate(p, q))
+    std::printf("%-16s %-10s %6.1f %14s %10s\n",
+                std::string(to_string(e.code)).c_str(),
+                std::string(to_string(e.tx)).c_str(), e.expansion_ratio,
+                e.reliable() ? format_fixed(e.mean_inefficiency, 4).c_str()
+                             : "-",
+                e.reliable() ? "yes" : "NO");
+
+  const auto best = planner.best(p, q);
+  if (!best) {
+    std::printf("\nno reliable tuple at this point — use a carousel or a "
+                "higher expansion ratio\n");
+    return 1;
+  }
+  std::printf("\nbest: %s + %s @ ratio %.1f (inefficiency %.4f)\n",
+              std::string(to_string(best->code)).c_str(),
+              std::string(to_string(best->tx)).c_str(), best->expansion_ratio,
+              best->mean_inefficiency);
+
+  const auto bytes = args.integer("bytes", 0);
+  if (bytes > 0) {
+    ByteNsentRequest req;
+    req.inefficiency = best->mean_inefficiency;
+    req.object_bytes = bytes;
+    req.packet_payload_bytes =
+        static_cast<std::uint32_t>(args.integer("payload", 1024));
+    req.p = p;
+    req.q = q;
+    req.tolerance_fraction = args.number("tolerance", 0.10);
+    const NsentResult res = optimal_nsent_bytes(req);
+    std::printf("object %llu bytes @ %llu B/packet: send n_sent=%u packets "
+                "(Eq. 3: %.0f, +%.0f%% tolerance)\n",
+                static_cast<unsigned long long>(bytes),
+                static_cast<unsigned long long>(req.packet_payload_bytes),
+                res.n_sent, res.exact, req.tolerance_fraction * 100.0);
+  }
+  return 0;
+}
+
+int cmd_universal(const Args& args) {
+  PlannerConfig cfg;
+  cfg.k = static_cast<std::uint32_t>(args.integer("k", 4000));
+  cfg.trials = static_cast<std::uint32_t>(args.integer("trials", 10));
+  const Planner planner(cfg);
+  std::printf("ranking candidate tuples over the %zu-cell paper grid "
+              "(k=%u, %u trials/cell)...\n\n",
+              GridSpec::paper().cell_count(), cfg.k, cfg.trials);
+  std::printf("%-16s %-10s %6s %9s %8s %8s %8s\n", "code", "tx_model",
+              "ratio", "coverage", "worst", "mean", "spread");
+  for (const auto& r : planner.rank_universal(GridSpec::paper()))
+    std::printf("%-16s %-10s %6.1f %8.1f%% %8s %8s %8s\n",
+                std::string(to_string(r.code)).c_str(),
+                std::string(to_string(r.tx)).c_str(), r.expansion_ratio,
+                r.coverage() * 100.0,
+                r.cells_reliable ? format_fixed(r.worst_inefficiency, 3).c_str() : "-",
+                r.cells_reliable ? format_fixed(r.mean_inefficiency, 3).c_str() : "-",
+                r.cells_reliable ? format_fixed(r.spread, 3).c_str() : "-");
+  return 0;
+}
+
+int cmd_limits(const Args& args) {
+  auto ratios = args.get_all("ratio");
+  if (ratios.empty()) ratios = {"1.5", "2.5"};
+  for (const auto& rs : ratios) {
+    const double ratio = std::stod(rs);
+    std::printf("# FEC expansion ratio %.2f: q_limit(p) — decoding "
+                "impossible below\n# p q_limit\n",
+                ratio);
+    for (const LimitPoint& pt : fig6_boundary(ratio, 21))
+      std::printf("%.2f %s\n", pt.p,
+                  pt.q_limit > 1.0 ? "infeasible"
+                                   : format_fixed(pt.q_limit, 4).c_str());
+  }
+  return 0;
+}
+
+int cmd_fit(const Args& args) {
+  const auto path = args.get("trace");
+  if (!path) {
+    std::fprintf(stderr, "fit requires --trace=<file>\n");
+    return 2;
+  }
+  std::ifstream in(*path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path->c_str());
+    return 1;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::vector<bool> events;
+  for (char ch : text) {
+    if (ch == '0' || ch == '.') events.push_back(false);
+    if (ch == '1' || ch == 'x' || ch == 'X') events.push_back(true);
+  }
+  if (events.empty()) {
+    std::fprintf(stderr, "no events in trace\n");
+    return 1;
+  }
+  const GilbertFit fit = fit_gilbert(events);
+  std::printf("trace: %zu packets, loss rate %.4f\n", events.size(),
+              [&] {
+                std::size_t l = 0;
+                for (bool e : events) l += e ? 1 : 0;
+                return static_cast<double>(l) / events.size();
+              }());
+  std::printf("Gilbert fit: p=%.4f q=%.4f (p_global=%.4f, mean burst %.2f)\n",
+              fit.p, fit.q, global_loss_probability(fit.p, fit.q),
+              fit.q > 0 ? 1.0 / fit.q : 0.0);
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: fecsched_cli <sweep|plan|universal|limits|fit> "
+               "[--key=value ...]\n"
+               "see the header of tools/fecsched_cli.cc for details\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const Args args = parse_args(argc, argv, 2);
+  const std::string cmd = argv[1];
+  if (cmd == "sweep") return cmd_sweep(args);
+  if (cmd == "plan") return cmd_plan(args);
+  if (cmd == "universal") return cmd_universal(args);
+  if (cmd == "limits") return cmd_limits(args);
+  if (cmd == "fit") return cmd_fit(args);
+  usage();
+  return 2;
+}
