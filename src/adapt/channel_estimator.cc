@@ -1,0 +1,128 @@
+#include "adapt/channel_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fecsched {
+
+LossReport LossReport::from_events(const std::vector<bool>& lost) {
+  LossReport report;
+  if (lost.empty()) return report;
+  report.has_events = true;
+  report.first_lost = lost.front();
+  for (std::size_t i = 1; i < lost.size(); ++i) {
+    const bool a = lost[i - 1];
+    const bool b = lost[i];
+    if (!a && !b) ++report.ok_to_ok;
+    else if (!a && b) ++report.ok_to_loss;
+    else if (a && !b) ++report.loss_to_ok;
+    else ++report.loss_to_loss;
+  }
+  return report;
+}
+
+ChannelEstimator::ChannelEstimator(EstimatorConfig config) : config_(config) {
+  if (!(config_.decay > 0.0 && config_.decay <= 1.0))
+    throw std::invalid_argument("ChannelEstimator: decay must be in (0, 1]");
+  if (config_.smoothing < 0.0)
+    throw std::invalid_argument("ChannelEstimator: smoothing must be >= 0");
+}
+
+void ChannelEstimator::add_transition(bool from_loss, bool to_loss,
+                                      double weight) {
+  c_[from_loss ? 1 : 0][to_loss ? 1 : 0] += weight;
+}
+
+void ChannelEstimator::observe(bool lost) {
+  for (auto& row : c_)
+    for (auto& cell : row) cell *= config_.decay;
+  if (has_prev_) add_transition(prev_lost_, lost, 1.0);
+  has_prev_ = true;
+  prev_lost_ = lost;
+  ++n_;
+}
+
+void ChannelEstimator::observe_events(const std::vector<bool>& lost) {
+  for (bool event : lost) observe(event);
+}
+
+void ChannelEstimator::observe_report(const LossReport& report) {
+  const std::uint64_t m = report.observations();
+  if (m == 0) return;
+  // Decay the whole window once by the batch size, then deposit the batch
+  // counts: equivalent (to first order) to replaying the packets one by
+  // one, and O(1) per report.
+  const double batch_decay =
+      std::pow(config_.decay, static_cast<double>(m));
+  for (auto& row : c_)
+    for (auto& cell : row) cell *= batch_decay;
+  c_[0][0] += static_cast<double>(report.ok_to_ok);
+  c_[0][1] += static_cast<double>(report.ok_to_loss);
+  c_[1][0] += static_cast<double>(report.loss_to_ok);
+  c_[1][1] += static_cast<double>(report.loss_to_loss);
+  n_ += m;
+  // Objects are separated by idle time; chaining the last packet of one
+  // report to the first of the next would fabricate a transition, so the
+  // inter-report boundary is dropped instead.
+  has_prev_ = false;
+}
+
+ChannelEstimate ChannelEstimator::estimate() const {
+  ChannelEstimate est;
+  est.observations = n_;
+  const double s = config_.smoothing;
+  const double n_ok = c_[0][0] + c_[0][1];     // transitions out of no-loss
+  const double n_loss = c_[1][0] + c_[1][1];   // transitions out of loss
+  const double total = n_ok + n_loss;
+  if (total <= 0.0) return est;
+
+  const double p_hat = (c_[0][1] + s) / (n_ok + 2.0 * s);
+  const double q_hat = (c_[1][0] + s) / (n_loss + 2.0 * s);
+  const double marginal_loss = (c_[0][1] + c_[1][1] + s) / (total + 2.0 * s);
+
+  // Two-proportion z-test of P[loss | prev loss] vs P[loss | prev ok].
+  if (n_ok > 0.0 && n_loss > 0.0) {
+    const double p_after_loss = c_[1][1] / n_loss;
+    const double p_after_ok = c_[0][1] / n_ok;
+    const double pooled = (c_[0][1] + c_[1][1]) / total;
+    const double se = std::sqrt(pooled * (1.0 - pooled) *
+                                (1.0 / n_ok + 1.0 / n_loss));
+    if (se > 0.0) est.burst_z = (p_after_loss - p_after_ok) / se;
+  }
+
+  // Effective window: 1/(1-decay) packets for the EWMA, min_observations
+  // for the undecayed (decay = 1) exact-ML mode — either way confidence
+  // saturates only once a full window of evidence accumulated.
+  const double window =
+      config_.decay < 1.0
+          ? 1.0 / (1.0 - config_.decay)
+          : std::max<double>(1.0,
+                             static_cast<double>(config_.min_observations));
+  est.confidence = std::min(1.0, total / window);
+  est.bursty = n_ >= config_.min_observations &&
+               est.burst_z > config_.burst_z_threshold;
+
+  if (est.bursty) {
+    est.p = p_hat;
+    est.q = q_hat;
+    est.p_global = (p_hat + q_hat) > 0.0 ? p_hat / (p_hat + q_hat) : 0.0;
+  } else {
+    // Bernoulli collapse: memoryless channel with the observed loss rate.
+    est.p = marginal_loss;
+    est.q = 1.0 - marginal_loss;
+    est.p_global = marginal_loss;
+  }
+  est.mean_burst = est.q > 0.0 ? 1.0 / est.q : 1.0;
+  return est;
+}
+
+void ChannelEstimator::reset() {
+  for (auto& row : c_)
+    for (auto& cell : row) cell = 0.0;
+  has_prev_ = false;
+  prev_lost_ = false;
+  n_ = 0;
+}
+
+}  // namespace fecsched

@@ -1,0 +1,121 @@
+// Online Gilbert channel estimation — the sensing half of the adaptive
+// FEC loop (src/adapt/).
+//
+// The paper shows FEC performance depends on the loss *distribution*, not
+// just the mean loss rate: a 10% IID channel and a 10% channel with mean
+// burst length 10 call for different (code, scheduling, ratio) tuples.
+// The estimator therefore tracks the full Gilbert (p, q) pair by
+// exponentially-weighted maximum likelihood over the received-or-lost
+// transition counts, exactly the statistic fit_gilbert() extracts from
+// offline traces, but windowed so the estimate follows a drifting channel.
+//
+// A Bernoulli fallback guards against over-fitting burstiness: when the
+// two conditional loss rates P[loss | prev loss] and P[loss | prev ok]
+// are not statistically distinguishable at the configured z-level, the
+// estimate is collapsed to the memoryless channel with the same global
+// loss rate (q = 1 - p_global), which is both simpler and what the
+// paper's IID columns assume.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fecsched {
+
+/// Receiver feedback about one object's reception, compressed to the
+/// sufficient statistic of the Gilbert likelihood: the four pairwise
+/// transition counts plus the first packet's fate.  Receivers know which
+/// packets were lost from the gaps in the packet-id sequence, so this
+/// report costs O(1) space however large the object was.
+struct LossReport {
+  std::uint64_t ok_to_ok = 0;
+  std::uint64_t ok_to_loss = 0;
+  std::uint64_t loss_to_ok = 0;
+  std::uint64_t loss_to_loss = 0;
+  bool first_lost = false;
+  bool has_events = false;
+
+  /// Total packet observations described by the report.
+  [[nodiscard]] std::uint64_t observations() const noexcept {
+    return (has_events ? 1 : 0) + ok_to_ok + ok_to_loss + loss_to_ok +
+           loss_to_loss;
+  }
+  [[nodiscard]] std::uint64_t losses() const noexcept {
+    return (has_events && first_lost ? 1 : 0) + ok_to_loss + loss_to_loss;
+  }
+
+  /// Build a report from a per-packet loss trace (true = lost), the same
+  /// representation TraceModel and fit_gilbert use.
+  [[nodiscard]] static LossReport from_events(const std::vector<bool>& lost);
+};
+
+/// The estimator's published view of the channel.
+struct ChannelEstimate {
+  double p = 0.0;         ///< Gilbert no-loss -> loss transition probability
+  double q = 1.0;         ///< Gilbert loss -> no-loss transition probability
+  double p_global = 0.0;  ///< stationary loss probability p/(p+q)
+  double mean_burst = 1.0;  ///< expected loss-run length 1/q
+  bool bursty = false;    ///< burst evidence passed the significance test
+  double burst_z = 0.0;   ///< z-score of the burstiness test
+  std::uint64_t observations = 0;  ///< total packets observed (unweighted)
+  /// 0 (no data) .. 1 (a full window of evidence); grows with the
+  /// effective (decayed) sample size.
+  double confidence = 0.0;
+};
+
+/// Estimator tuning.
+struct EstimatorConfig {
+  /// Per-observation exponential decay of the transition counts; the
+  /// effective window is 1/(1-decay) packets (default ~20000).
+  double decay = 1.0 - 1.0 / 20000.0;
+  /// Below this many (unweighted) observations the estimate is reported
+  /// with confidence scaled down and bursty forced off.
+  std::uint64_t min_observations = 500;
+  /// z-score the conditional-loss-rate difference must exceed before the
+  /// channel is declared bursty (Gilbert rather than Bernoulli).
+  double burst_z_threshold = 3.0;
+  /// Laplace smoothing added to each transition count so fresh estimators
+  /// return sane probabilities.
+  double smoothing = 0.5;
+};
+
+/// Windowed maximum-likelihood Gilbert estimator with Bernoulli fallback.
+class ChannelEstimator {
+ public:
+  explicit ChannelEstimator(EstimatorConfig config = {});
+
+  /// Feed one packet observation in transmission order.
+  void observe(bool lost);
+  /// Feed a burst of consecutive observations.
+  void observe_events(const std::vector<bool>& lost);
+  /// Feed a receiver's compressed per-object report.  The report's
+  /// transition counts are decayed as one batch, so report-fed and
+  /// packet-fed estimators converge to the same window.
+  void observe_report(const LossReport& report);
+
+  /// Current channel estimate (Bernoulli-collapsed unless bursty).
+  [[nodiscard]] ChannelEstimate estimate() const;
+
+  /// Total packets observed since construction/reset.
+  [[nodiscard]] std::uint64_t observations() const noexcept { return n_; }
+
+  /// Forget everything (e.g. after an explicit channel change signal).
+  void reset();
+
+  [[nodiscard]] const EstimatorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void add_transition(bool from_loss, bool to_loss, double weight);
+
+  EstimatorConfig config_;
+  // Exponentially-decayed transition counts c_[from][to], 1 = loss.
+  double c_[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+  bool has_prev_ = false;
+  bool prev_lost_ = false;
+  std::uint64_t n_ = 0;
+};
+
+}  // namespace fecsched

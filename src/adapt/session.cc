@@ -1,0 +1,68 @@
+#include "adapt/session.h"
+
+#include <stdexcept>
+
+#include "core/session.h"
+#include "util/rng.h"
+
+namespace fecsched {
+
+AdaptiveSession::AdaptiveSession(AdaptiveSessionConfig config)
+    : config_(std::move(config)),
+      estimator_(config_.estimator),
+      controller_(config_.controller) {
+  if (config_.payload_size == 0)
+    throw std::invalid_argument("AdaptiveSession: payload_size must be > 0");
+}
+
+ObjectOutcome AdaptiveSession::transfer(std::span<const std::uint8_t> object,
+                                        LossModel& channel) {
+  if (object.empty())
+    throw std::invalid_argument("AdaptiveSession::transfer: empty object");
+
+  const auto k = static_cast<std::uint32_t>(
+      (object.size() + config_.payload_size - 1) / config_.payload_size);
+
+  ObjectOutcome outcome;
+  outcome.k = k;
+  outcome.decision = controller_.decide(estimator_.estimate(), k);
+
+  const std::uint64_t object_seed = derive_seed(config_.seed, {objects_});
+  const SenderConfig sender_cfg =
+      outcome.decision.sender_config(config_.payload_size, object_seed);
+  SenderSession sender(object, sender_cfg);
+  ReceiverSession receiver(sender.info(), config_.ge_fallback);
+
+  // No back channel during the object (the paper's broadcast model): the
+  // sender emits its whole (possibly truncated) schedule; the receiver's
+  // loss pattern is reported only afterwards.
+  std::vector<bool> events;
+  events.reserve(sender.packet_count());
+  for (std::uint32_t seq = 0; seq < sender.packet_count(); ++seq) {
+    const WirePacket packet = sender.packet(seq);
+    const bool lost = channel.lost();
+    events.push_back(lost);
+    if (lost) continue;
+    ++outcome.n_received;
+    if (receiver.on_packet(packet.id, packet.payload) &&
+        outcome.n_needed == 0)
+      outcome.n_needed = receiver.packets_received();
+  }
+  outcome.n_sent = sender.packet_count();
+
+  outcome.decoded = receiver.complete() || receiver.finish();
+  if (outcome.decoded) {
+    if (outcome.n_needed == 0) outcome.n_needed = receiver.packets_received();
+    outcome.inefficiency =
+        static_cast<double>(outcome.n_needed) / static_cast<double>(k);
+    outcome.data = receiver.object();
+  }
+
+  estimator_.observe_report(LossReport::from_events(events));
+  controller_.report_outcome(outcome.decision, outcome.decoded,
+                             outcome.inefficiency);
+  ++objects_;
+  return outcome;
+}
+
+}  // namespace fecsched

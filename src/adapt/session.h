@@ -1,0 +1,85 @@
+// Multi-object adaptive transfer session — the integration layer of
+// src/adapt/.
+//
+// An AdaptiveSession owns one ChannelEstimator and one AdaptiveController
+// and wires them around core/session's byte-level sender/receiver pair:
+// before each object the controller turns the current channel estimate
+// into a full SenderConfig (code, scheduling, ratio, n_sent budget); after
+// each object the receiver's compressed LossReport feeds the estimator and
+// the decode outcome feeds the controller.  Objects sent early (while the
+// estimate is cold) use the paper's universal scheme; once the estimator
+// has seen enough packets the per-regime recommendation takes over and the
+// n_sent optimisation (Eq. 3) trims the schedule.
+//
+// The channel is modelled by any LossModel, so the same session runs over
+// synthetic Gilbert channels, recorded traces, or an N-state chain.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "adapt/channel_estimator.h"
+#include "adapt/controller.h"
+#include "channel/loss_model.h"
+
+namespace fecsched {
+
+/// Session tuning: estimator + controller knobs and the packet geometry.
+struct AdaptiveSessionConfig {
+  EstimatorConfig estimator;
+  ControllerConfig controller;
+  std::size_t payload_size = 1024;  ///< bytes per packet
+  bool ge_fallback = true;          ///< ML completion pass on stuck decodes
+  std::uint64_t seed = 0xada5e55ULL;
+};
+
+/// What happened to one object.
+struct ObjectOutcome {
+  bool decoded = false;
+  std::uint32_t k = 0;           ///< source packets of this object
+  std::uint32_t n_sent = 0;      ///< packets actually transmitted
+  std::uint32_t n_received = 0;  ///< packets delivered by the channel
+  std::uint32_t n_needed = 0;    ///< deliveries consumed at completion
+  double inefficiency = 0.0;     ///< n_needed / k (0 when not decoded)
+  Decision decision;             ///< the controller decision applied
+  std::vector<std::uint8_t> data;  ///< decoded bytes (empty on failure)
+};
+
+/// Sender+receiver pair that adapts its FEC configuration between objects.
+class AdaptiveSession {
+ public:
+  explicit AdaptiveSession(AdaptiveSessionConfig config = {});
+
+  /// Transfer one object through `channel`: decide the configuration,
+  /// encode, transmit the (possibly n_sent-truncated) schedule, decode,
+  /// then feed the loss report and the outcome back into the loop.
+  /// Throws std::invalid_argument on an empty object.
+  [[nodiscard]] ObjectOutcome transfer(std::span<const std::uint8_t> object,
+                                       LossModel& channel);
+
+  [[nodiscard]] const ChannelEstimator& estimator() const noexcept {
+    return estimator_;
+  }
+  [[nodiscard]] AdaptiveController& controller() noexcept {
+    return controller_;
+  }
+  [[nodiscard]] const AdaptiveController& controller() const noexcept {
+    return controller_;
+  }
+  [[nodiscard]] std::uint64_t objects_transferred() const noexcept {
+    return objects_;
+  }
+  [[nodiscard]] const AdaptiveSessionConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  AdaptiveSessionConfig config_;
+  ChannelEstimator estimator_;
+  AdaptiveController controller_;
+  std::uint64_t objects_ = 0;
+};
+
+}  // namespace fecsched

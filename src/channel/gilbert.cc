@@ -20,6 +20,11 @@ void GilbertModel::reset(std::uint64_t seed) {
   in_loss_state_ = rng_.bernoulli(global_loss_probability());
 }
 
+bool GilbertModel::transition(bool was_lost) {
+  in_loss_state_ = was_lost ? !rng_.bernoulli(q_) : rng_.bernoulli(p_);
+  return in_loss_state_;
+}
+
 bool GilbertModel::lost() {
   // The current state decides the current packet's fate, then the chain
   // advances.

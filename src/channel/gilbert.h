@@ -37,6 +37,12 @@ class GilbertModel final : public LossModel {
   [[nodiscard]] bool lost() override;
   void reset(std::uint64_t seed) override;
 
+  /// One explicit Markov step: given that the previous packet's fate was
+  /// `was_lost`, draw the next packet's fate and synchronise the internal
+  /// state with it.  Lets external components (estimators, tests) drive the
+  /// chain from an arbitrary trajectory point instead of the hidden state.
+  [[nodiscard]] bool transition(bool was_lost);
+
  private:
   double p_;
   double q_;

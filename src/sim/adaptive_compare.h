@@ -1,0 +1,110 @@
+// Adaptive-vs-static experiment mode (sim/): how does the closed-loop
+// adaptive controller (src/adapt/) compare against every fixed
+// (code, scheduling, ratio) tuple on the same Gilbert channel?
+//
+// For each channel point the runner measures (a) every static candidate
+// tuple with independent structure-only trials — the paper's methodology —
+// and (b) one adaptive sender transferring a sequence of objects, its
+// estimator fed by the per-object loss reports, its controller free to
+// re-plan between objects.  The adaptive sender starts cold (universal
+// scheme) and converges; the comparison therefore separates a warm-up
+// phase from the steady state, and the steady-state mean inefficiency is
+// the number to put against the static baselines.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adapt/channel_estimator.h"
+#include "adapt/controller.h"
+#include "util/stats.h"
+
+namespace fecsched {
+
+/// One static tuple's behaviour at the channel point, measured with
+/// common random numbers: the same (schedule, channel) seed pairs the
+/// adaptive sender's steady-state objects use.
+struct StaticBaselineResult {
+  CandidateTuple tuple;
+  RunningStats inefficiency;   ///< over decoded trials
+  std::uint32_t failures = 0;
+  std::uint32_t trials = 0;
+
+  [[nodiscard]] bool reliable() const noexcept {
+    return trials > 0 && failures == 0;
+  }
+};
+
+/// One object of the adaptive trajectory.
+struct AdaptiveTrajectoryPoint {
+  std::uint32_t object_index = 0;
+  CandidateTuple tuple;
+  ChannelRegime regime = ChannelRegime::kUnknown;
+  bool replanned = false;
+  bool decoded = false;
+  double inefficiency = 0.0;      ///< n_needed / k (0 when not decoded)
+  std::uint32_t n_sent = 0;       ///< packets actually transmitted
+  double estimated_p_global = 0.0;
+  double estimated_mean_burst = 1.0;
+};
+
+/// Everything measured at one (p, q) channel point.
+struct AdaptiveComparePoint {
+  double p = 0.0;
+  double q = 1.0;
+  double p_global = 0.0;
+  double mean_burst = 1.0;
+
+  std::vector<StaticBaselineResult> baselines;
+  std::vector<AdaptiveTrajectoryPoint> trajectory;
+
+  std::uint32_t warmup_objects = 0;
+  RunningStats adaptive_steady;        ///< post-warm-up, decoded objects
+  std::uint32_t adaptive_failures = 0; ///< post-warm-up decode failures
+  RunningStats adaptive_warmup;        ///< warm-up objects (reported apart)
+
+  /// Index of the best reliable static baseline, or -1 when none decoded
+  /// every trial.
+  int best_baseline = -1;
+
+  [[nodiscard]] double best_static_inefficiency() const noexcept {
+    return best_baseline >= 0
+               ? baselines[static_cast<std::size_t>(best_baseline)]
+                     .inefficiency.mean()
+               : 0.0;
+  }
+};
+
+/// Compare-run tuning.
+struct AdaptiveCompareConfig {
+  std::uint32_t k = 2000;            ///< object size in source packets
+  std::uint32_t objects = 40;        ///< adaptive objects per point
+  std::uint32_t warmup_objects = 10; ///< excluded from the steady-state mean
+  /// Candidate space shared by the static baselines and the controller
+  /// (empty = default_candidates()).
+  std::vector<CandidateTuple> candidates;
+  EstimatorConfig estimator;
+  ControllerConfig controller;
+  /// Apply the controller's n_sent truncation to the adaptive schedules
+  /// (off = always send the full schedule, isolating tuple choice).
+  bool use_nsent = true;
+  std::uint64_t seed = 0xada2c0deULL;
+};
+
+/// Run the comparison at one channel point.
+[[nodiscard]] AdaptiveComparePoint run_adaptive_compare_point(
+    double p, double q, const AdaptiveCompareConfig& config);
+
+/// Run the comparison over a list of (p, q) points.
+[[nodiscard]] std::vector<AdaptiveComparePoint> run_adaptive_compare(
+    const std::vector<std::pair<double, double>>& points,
+    const AdaptiveCompareConfig& config);
+
+/// Build (p, q) points from (p_global, mean_burst) coordinates — the
+/// grid the recommendations are phrased in: q = 1/burst,
+/// p = p_global * q / (1 - p_global).
+[[nodiscard]] std::vector<std::pair<double, double>> burst_grid(
+    const std::vector<double>& p_globals, const std::vector<double>& bursts);
+
+}  // namespace fecsched

@@ -2,6 +2,8 @@
 // cases (perfect / Bernoulli / always-lossy), N-state generalisation and
 // trace replay + Gilbert fitting.
 
+#include <cmath>
+#include <cstdint>
 #include <sstream>
 #include <vector>
 
@@ -135,6 +137,65 @@ TEST(GilbertModel, AlternatingAtPQOne) {
     ASSERT_NE(cur, prev);
     prev = cur;
   }
+}
+
+class GilbertTransitionTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(GilbertTransitionTest, EmpiricalPGlobalWithinThreeSigma) {
+  // Drive the chain explicitly through transition() for 1e6 steps and
+  // check the empirical loss rate against p_global within 3 sigma.  The
+  // asymptotic variance of the sample mean of a two-state chain is
+  //   p_g (1 - p_g) (1 + lambda) / (1 - lambda) / N,  lambda = 1 - p - q
+  // (the sum of the geometric autocorrelations lambda^|k|).
+  const auto [p, q] = GetParam();
+  GilbertModel ch(p, q);
+  ch.reset(2026);
+  const double p_global = ch.global_loss_probability();
+  constexpr int kSteps = 1000000;
+  // Start from the stationary distribution like reset() does: consume one
+  // lost() to learn the drawn state, then hand the trajectory to
+  // transition().
+  bool state = ch.lost();
+  std::int64_t losses = state ? 1 : 0;
+  for (int i = 1; i < kSteps; ++i) {
+    state = ch.transition(state);
+    losses += state ? 1 : 0;
+  }
+  const double lambda = 1.0 - p - q;
+  const double sigma = std::sqrt(p_global * (1.0 - p_global) *
+                                 (1.0 + lambda) / (1.0 - lambda) / kSteps);
+  const double empirical = static_cast<double>(losses) / kSteps;
+  EXPECT_NEAR(empirical, p_global, 3.0 * sigma) << "p=" << p << " q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Points, GilbertTransitionTest,
+    ::testing::Values(std::make_pair(0.01, 0.79), std::make_pair(0.05, 0.5),
+                      std::make_pair(0.1, 0.1), std::make_pair(0.02, 0.2),
+                      std::make_pair(0.3, 0.7), std::make_pair(0.2, 0.05)));
+
+TEST(GilbertModel, TransitionMatchesLostStatistics) {
+  // transition() and lost() sample the same conditional law:
+  // P[loss | prev loss] = 1 - q and P[loss | prev ok] = p.
+  GilbertModel ch(0.15, 0.35);
+  ch.reset(31);
+  int from_loss = 0, from_loss_total = 0, from_ok = 0, from_ok_total = 0;
+  bool state = ch.lost();
+  for (int i = 0; i < 300000; ++i) {
+    const bool prev = state;
+    state = ch.transition(state);
+    if (prev) {
+      ++from_loss_total;
+      from_loss += state ? 1 : 0;
+    } else {
+      ++from_ok_total;
+      from_ok += state ? 1 : 0;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(from_loss) / from_loss_total, 1.0 - 0.35,
+              0.01);
+  EXPECT_NEAR(static_cast<double>(from_ok) / from_ok_total, 0.15, 0.01);
 }
 
 TEST(GilbertModel, SameSeedSameSequence) {

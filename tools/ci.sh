@@ -1,0 +1,11 @@
+#!/bin/sh
+# Tier-1 verify, exactly as CI runs it (usable locally too):
+# configure + build + ctest.  The build promotes warnings to errors for
+# the new adaptive subsystem (src/adapt/) via CMake source properties;
+# everything else builds with -Wall -Wextra.
+set -eu
+
+cd "$(dirname "$0")/.."
+cmake -B build -S .
+cmake --build build -j
+cd build && ctest --output-on-failure -j

@@ -20,6 +20,15 @@
 //
 //   fecsched_cli fit       --trace=<file>
 //       Fit Gilbert (p, q) to a loss trace ('0'/'.' ok, '1'/'x' lost).
+//
+//   fecsched_cli adapt     [--pglobal=0.05 --pglobal=0.1 ... --burst=1 ...]
+//                          [--p=P --q=Q] [--k=2000 --objects=40 --warmup=10]
+//                          [--seed=N] [--json]
+//       Run the adaptive controller against every static candidate tuple
+//       on a Gilbert grid (src/adapt/ closed loop).  --p/--q select a
+//       single channel point instead of the (p_global x burst) grid.
+//       --json emits the full machine-readable trajectory so benchmark
+//       runs can be diffed across PRs.
 
 #include <cstdio>
 #include <cstring>
@@ -33,6 +42,7 @@
 #include "core/nsent.h"
 #include "core/planner.h"
 #include "flute/fdt.h"
+#include "sim/adaptive_compare.h"
 #include "sim/analytic.h"
 #include "sim/experiment.h"
 #include "sim/table_io.h"
@@ -253,9 +263,153 @@ int cmd_fit(const Args& args) {
   return 0;
 }
 
+// ------------------------------------------------------------- adapt
+
+/// Minimal JSON string escaping (labels only contain printable ASCII, but
+/// stay correct anyway).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void json_tuple(std::ostream& os, const CandidateTuple& tuple) {
+  os << "{\"code\":\"" << json_escape(flute::code_wire_name(tuple.code))
+     << "\",\"tx\":" << static_cast<int>(tuple.tx) << ",\"ratio\":"
+     << format_fixed(tuple.expansion_ratio, 2) << "}";
+}
+
+void write_adapt_json(std::ostream& os,
+                      const std::vector<AdaptiveComparePoint>& results,
+                      const AdaptiveCompareConfig& cfg) {
+  os << "{\"k\":" << cfg.k << ",\"objects\":" << cfg.objects
+     << ",\"warmup\":" << cfg.warmup_objects << ",\"seed\":" << cfg.seed
+     << ",\"points\":[";
+  bool first_point = true;
+  for (const auto& r : results) {
+    if (!first_point) os << ",";
+    first_point = false;
+    os << "\n{\"p\":" << format_fixed(r.p, 6) << ",\"q\":"
+       << format_fixed(r.q, 6) << ",\"p_global\":"
+       << format_fixed(r.p_global, 4) << ",\"mean_burst\":"
+       << format_fixed(r.mean_burst, 2) << ",";
+    os << "\"best_static\":";
+    if (r.best_baseline >= 0) {
+      const auto& best = r.baselines[static_cast<std::size_t>(r.best_baseline)];
+      os << "{\"tuple\":";
+      json_tuple(os, best.tuple);
+      os << ",\"inefficiency\":" << format_fixed(best.inefficiency.mean(), 6)
+         << "}";
+    } else {
+      os << "null";
+    }
+    os << ",\"adaptive\":{\"steady_inefficiency\":"
+       << format_fixed(r.adaptive_steady.mean(), 6)
+       << ",\"warmup_inefficiency\":"
+       << format_fixed(r.adaptive_warmup.mean(), 6)
+       << ",\"failures\":" << r.adaptive_failures << "},";
+    os << "\"baselines\":[";
+    for (std::size_t b = 0; b < r.baselines.size(); ++b) {
+      if (b) os << ",";
+      const auto& base = r.baselines[b];
+      os << "{\"tuple\":";
+      json_tuple(os, base.tuple);
+      os << ",\"inefficiency\":"
+         << (base.reliable() ? format_fixed(base.inefficiency.mean(), 6)
+                             : std::string("null"))
+         << ",\"failures\":" << base.failures << ",\"trials\":" << base.trials
+         << "}";
+    }
+    os << "],\"trajectory\":[";
+    for (std::size_t t = 0; t < r.trajectory.size(); ++t) {
+      if (t) os << ",";
+      const auto& step = r.trajectory[t];
+      os << "{\"object\":" << step.object_index << ",\"tuple\":";
+      json_tuple(os, step.tuple);
+      os << ",\"regime\":\"" << to_string(step.regime) << "\",\"decoded\":"
+         << (step.decoded ? "true" : "false") << ",\"inefficiency\":"
+         << format_fixed(step.inefficiency, 6) << ",\"n_sent\":" << step.n_sent
+         << ",\"replanned\":" << (step.replanned ? "true" : "false")
+         << ",\"est_p_global\":" << format_fixed(step.estimated_p_global, 4)
+         << ",\"est_mean_burst\":"
+         << format_fixed(step.estimated_mean_burst, 2) << "}";
+    }
+    os << "]}";
+  }
+  os << "\n]}\n";
+}
+
+int cmd_adapt(const Args& args) {
+  AdaptiveCompareConfig cfg;
+  std::vector<std::pair<double, double>> points;
+  std::vector<AdaptiveComparePoint> results;
+  try {
+    cfg.k = static_cast<std::uint32_t>(args.integer("k", 2000));
+    cfg.objects = static_cast<std::uint32_t>(args.integer("objects", 40));
+    cfg.warmup_objects = static_cast<std::uint32_t>(args.integer("warmup", 10));
+    cfg.seed = args.integer("seed", cfg.seed);
+    if (cfg.k == 0 || cfg.k > 1000000)
+      throw std::invalid_argument("--k must be in [1, 1000000]");
+    if (cfg.objects == 0 || cfg.objects > 100000)
+      throw std::invalid_argument("--objects must be in [1, 100000]");
+
+    if (args.get("p") || args.get("q")) {
+      points.emplace_back(args.number("p", 0.0), args.number("q", 1.0));
+    } else {
+      std::vector<double> p_globals, bursts;
+      for (const auto& v : args.get_all("pglobal"))
+        p_globals.push_back(std::stod(v));
+      for (const auto& v : args.get_all("burst")) bursts.push_back(std::stod(v));
+      if (p_globals.empty()) p_globals = {0.05, 0.1, 0.2};
+      if (bursts.empty()) bursts = {1.0, 4.0, 10.0};
+      points = burst_grid(p_globals, bursts);
+    }
+    results = run_adaptive_compare(points, cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "adapt: %s\n", e.what());
+    return 2;
+  }
+
+  if (args.get("json")) {
+    write_adapt_json(std::cout, results, cfg);
+    return 0;
+  }
+
+  std::printf("adaptive vs static, k=%u, %u objects (%u warm-up) per point\n\n",
+              cfg.k, cfg.objects, cfg.warmup_objects);
+  std::printf("%-8s %-8s %-26s %10s %10s %6s\n", "p_glob", "burst",
+              "best static tuple", "static", "adaptive", "fails");
+  for (const auto& r : results) {
+    const std::string label =
+        r.best_baseline >= 0
+            ? to_string(
+                  r.baselines[static_cast<std::size_t>(r.best_baseline)].tuple)
+            : "-";
+    std::printf("%-8.3f %-8.1f %-26s %10s %10.4f %6u\n", r.p_global,
+                r.mean_burst, label.c_str(),
+                r.best_baseline >= 0
+                    ? format_fixed(r.best_static_inefficiency(), 4).c_str()
+                    : "-",
+                r.adaptive_steady.mean(), r.adaptive_failures);
+    const auto& last = r.trajectory.back();
+    std::printf("  -> settled on %s (regime %s, est p_global %.3f, "
+                "burst %.1f)\n",
+                to_string(last.tuple).c_str(), to_string(last.regime),
+                last.estimated_p_global, last.estimated_mean_burst);
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: fecsched_cli <sweep|plan|universal|limits|fit> "
+               "usage: fecsched_cli <sweep|plan|universal|limits|fit|adapt> "
                "[--key=value ...]\n"
                "see the header of tools/fecsched_cli.cc for details\n");
 }
@@ -274,6 +428,7 @@ int main(int argc, char** argv) {
   if (cmd == "universal") return cmd_universal(args);
   if (cmd == "limits") return cmd_limits(args);
   if (cmd == "fit") return cmd_fit(args);
+  if (cmd == "adapt") return cmd_adapt(args);
   usage();
   return 2;
 }
