@@ -5,10 +5,13 @@
 //   --k=<N>           override object size
 //   --trials=<N>      override trials per grid cell
 //   --seed=<N>        override the master seed
+//   --threads=<N>     override the sweep worker-thread count
+//                     (0 = one per hardware thread; results are
+//                     thread-count independent either way)
 // or the environment variable FECSCHED_PAPER=1 for paper scale.
 // The default scale (k = 4000, 30 trials) keeps every bench in the
-// seconds range while preserving every qualitative shape; EXPERIMENTS.md
-// records results at both scales.
+// seconds range while preserving every qualitative shape; the top-level
+// EXPERIMENTS.md records results at both scales.
 
 #pragma once
 
@@ -29,6 +32,7 @@ struct Scale {
   std::uint32_t k = 4000;
   std::uint32_t trials = 30;
   std::uint64_t seed = 0x5eedf00dULL;
+  unsigned threads = 0;  ///< sweep workers; 0 = one per hardware thread
   bool paper = false;
 };
 
@@ -42,6 +46,7 @@ inline Scale parse_scale(int argc, char** argv) {
     else if (arg.rfind("--k=", 0) == 0) s.k = static_cast<std::uint32_t>(std::stoul(arg.substr(4)));
     else if (arg.rfind("--trials=", 0) == 0) s.trials = static_cast<std::uint32_t>(std::stoul(arg.substr(9)));
     else if (arg.rfind("--seed=", 0) == 0) s.seed = std::stoull(arg.substr(7));
+    else if (arg.rfind("--threads=", 0) == 0) s.threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
   }
   if (s.paper) {
     s.k = 20000;
@@ -54,6 +59,7 @@ inline GridRunOptions run_options(const Scale& s) {
   GridRunOptions opt;
   opt.trials_per_cell = s.trials;
   opt.master_seed = s.seed;
+  opt.threads = s.threads;
   return opt;
 }
 

@@ -352,6 +352,44 @@ Decision AdaptiveController::decide(const ChannelEstimate& estimate,
   return decision;
 }
 
+SlidingWindowConfig AdaptiveController::recommend_window(
+    const ChannelEstimate& estimate, double target_overhead) const {
+  if (!(target_overhead > 0.0))
+    throw std::invalid_argument(
+        "recommend_window: target_overhead must be positive");
+  constexpr std::uint32_t kDefaultWindow = 64;
+  constexpr std::uint32_t kMaxWindow = 1024;
+  constexpr double kSafety = 2.0;  // variance pad on the burst estimate
+
+  SlidingWindowConfig cfg;
+  cfg.repair_interval = static_cast<std::uint32_t>(std::clamp<long long>(
+      std::llround(1.0 / target_overhead), 1, std::int64_t{1} << 30));
+  cfg.seed = config_.seed;
+  const double overhead = 1.0 / cfg.repair_interval;
+
+  if (estimate.confidence < config_.min_confidence) {
+    cfg.window = kDefaultWindow;  // cold start: no burst evidence yet
+    return cfg;
+  }
+  const double margin = overhead - estimate.p_global;
+  if (margin <= 0.0) {
+    // The loss rate eats the whole repair budget: no window sustains
+    // recovery; take the defensive maximum (callers should also raise the
+    // overhead, as decide() would by switching tuples).
+    cfg.window = kMaxWindow;
+    return cfg;
+  }
+  const double burst = std::max(1.0, estimate.mean_burst);
+  const double w = std::ceil(kSafety * burst / margin);
+  // Floor: at least two repair slots inside the window (capped so the
+  // clamp bounds stay ordered at very low overheads).
+  const double floor_w = std::min(static_cast<double>(2 * cfg.repair_interval),
+                                  static_cast<double>(kMaxWindow));
+  cfg.window = static_cast<std::uint32_t>(
+      std::clamp(w, floor_w, static_cast<double>(kMaxWindow)));
+  return cfg;
+}
+
 void AdaptiveController::report_outcome(const Decision& decision, bool decoded,
                                         double achieved_inefficiency) {
   if (decision.candidate_index >= ranking_.size()) {

@@ -32,6 +32,7 @@
 #include "core/session.h"
 #include "fec/types.h"
 #include "sim/experiment.h"
+#include "stream/sliding_window.h"
 
 namespace fecsched {
 
@@ -155,6 +156,19 @@ class AdaptiveController {
   [[nodiscard]] const ControllerConfig& config() const noexcept {
     return config_;
   }
+
+  /// Streaming hook (src/stream/): recommend a sliding-window configuration
+  /// for the estimated channel at the given repair-overhead budget.  The
+  /// pacing realises the budget (one repair every round(1/overhead)
+  /// sources); the window is sized from the estimated burst length: within
+  /// a window of W sources roughly W*overhead repairs arrive while
+  /// W*p_global + mean_burst losses must be covered, so recovery needs
+  /// W >= mean_burst / (overhead - p_global), padded by a safety factor
+  /// for variance.  A channel whose loss rate reaches the overhead budget
+  /// (or an estimate below min_confidence) gets the defensive maximum /
+  /// default window respectively.
+  [[nodiscard]] SlidingWindowConfig recommend_window(
+      const ChannelEstimate& estimate, double target_overhead = 0.25) const;
 
   /// The paper's prior recommendation for a regime (used at cold start and
   /// as the tie-break ordering).

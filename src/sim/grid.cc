@@ -19,32 +19,25 @@ GridSpec GridSpec::fig7() {
   return spec;
 }
 
-GridResult run_grid(const GridSpec& spec, std::uint32_t k,
-                    const TrialFn& trial_fn, const GridRunOptions& options) {
-  GridResult result;
-  result.spec = spec;
-  result.k = k;
-  result.cells.resize(spec.cell_count());
+std::vector<ChannelPoint> grid_points(const GridSpec& spec) {
+  std::vector<ChannelPoint> points;
+  points.reserve(spec.cell_count());
+  for (double p : spec.p_values)
+    for (double q : spec.q_values) points.push_back({p, q});
+  return points;
+}
 
-  const std::size_t q_count = spec.q_values.size();
-  std::atomic<std::size_t> next_cell{0};
+void sweep_points(std::span<const ChannelPoint> points,
+                  const GridRunOptions& options, const PointVisitor& visit) {
+  std::atomic<std::size_t> next_point{0};
 
   const auto worker = [&] {
     while (true) {
-      const std::size_t c = next_cell.fetch_add(1);
-      if (c >= result.cells.size()) return;
-      CellResult& cell = result.cells[c];
-      cell.p = spec.p_values[c / q_count];
-      cell.q = spec.q_values[c % q_count];
+      const std::size_t c = next_point.fetch_add(1);
+      if (c >= points.size()) return;
       for (std::uint32_t t = 0; t < options.trials_per_cell; ++t) {
         const std::uint64_t seed = derive_seed(options.master_seed, {c, t});
-        const TrialResult r = trial_fn(cell.p, cell.q, seed);
-        ++cell.trials;
-        cell.received_ratio.add(r.received_ratio(k));
-        if (r.decoded)
-          cell.inefficiency.add(r.inefficiency(k));
-        else
-          ++cell.failures;
+        visit(c, points[c].p, points[c].q, t, seed);
       }
     }
   };
@@ -52,7 +45,8 @@ GridResult run_grid(const GridSpec& spec, std::uint32_t k,
   unsigned threads = options.threads;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   threads = std::min<unsigned>(
-      threads, static_cast<unsigned>(std::max<std::size_t>(1, result.cells.size())));
+      threads,
+      static_cast<unsigned>(std::max<std::size_t>(1, points.size())));
   if (threads <= 1) {
     worker();
   } else {
@@ -61,6 +55,34 @@ GridResult run_grid(const GridSpec& spec, std::uint32_t k,
     for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
     for (auto& th : pool) th.join();
   }
+}
+
+GridResult run_grid(const GridSpec& spec, std::uint32_t k,
+                    const TrialFn& trial_fn, const GridRunOptions& options) {
+  GridResult result;
+  result.spec = spec;
+  result.k = k;
+  result.cells.resize(spec.cell_count());
+
+  const std::vector<ChannelPoint> points = grid_points(spec);
+  // Label every cell upfront so a zero-trial sweep still reports its
+  // channel coordinates.
+  for (std::size_t c = 0; c < points.size(); ++c) {
+    result.cells[c].p = points[c].p;
+    result.cells[c].q = points[c].q;
+  }
+  sweep_points(points, options,
+               [&](std::size_t c, double p, double q, std::uint32_t,
+                   std::uint64_t seed) {
+                 CellResult& cell = result.cells[c];
+                 const TrialResult r = trial_fn(p, q, seed);
+                 ++cell.trials;
+                 cell.received_ratio.add(r.received_ratio(k));
+                 if (r.decoded)
+                   cell.inefficiency.add(r.inefficiency(k));
+                 else
+                   ++cell.failures;
+               });
   return result;
 }
 

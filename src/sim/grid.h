@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "sim/trial.h"
@@ -77,5 +78,30 @@ struct GridRunOptions {
 [[nodiscard]] GridResult run_grid(const GridSpec& spec, std::uint32_t k,
                                   const TrialFn& trial_fn,
                                   const GridRunOptions& options = {});
+
+/// One channel operating point of a sweep.
+struct ChannelPoint {
+  double p = 0.0;
+  double q = 1.0;
+};
+
+/// The cartesian (p, q) point list of a spec, row-major ([p_index][q_index])
+/// — the cell order run_grid uses.
+[[nodiscard]] std::vector<ChannelPoint> grid_points(const GridSpec& spec);
+
+/// Per-(point, trial) visitor of sweep_points.  `point_index` addresses the
+/// caller's result slot for that point.
+using PointVisitor =
+    std::function<void(std::size_t point_index, double p, double q,
+                       std::uint32_t trial, std::uint64_t seed)>;
+
+/// The parallel sweep scaffolding underneath run_grid, reusable by other
+/// grid experiments (e.g. sim/stream_delay): visits every (point, trial)
+/// pair.  Points are distributed over worker threads, but any single point
+/// is processed by exactly one thread with trials in order, so per-point
+/// accumulation needs no locking.  Per-trial seeds are derived from
+/// (master_seed, point, trial), making results independent of thread count.
+void sweep_points(std::span<const ChannelPoint> points,
+                  const GridRunOptions& options, const PointVisitor& visit);
 
 }  // namespace fecsched

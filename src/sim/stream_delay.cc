@@ -1,0 +1,101 @@
+#include "sim/stream_delay.h"
+
+#include <stdexcept>
+
+#include "channel/gilbert.h"
+#include "util/rng.h"
+
+namespace fecsched {
+
+std::vector<StreamVariant> StreamGridConfig::default_variants() {
+  return {
+      {"sliding-window", StreamScheme::kSlidingWindow,
+       StreamScheduling::kSequential},
+      {"block-rse/seq", StreamScheme::kBlockRse,
+       StreamScheduling::kSequential},
+      {"block-rse/interleaved", StreamScheme::kBlockRse,
+       StreamScheduling::kInterleaved},
+      {"ldgm/seq", StreamScheme::kLdgm, StreamScheduling::kSequential},
+      {"replication", StreamScheme::kReplication,
+       StreamScheduling::kSequential},
+  };
+}
+
+ChannelPoint gilbert_point(double p_global, double mean_burst) {
+  if (p_global < 0.0 || p_global >= 1.0)
+    throw std::invalid_argument("gilbert_point: p_global must be in [0, 1)");
+  if (mean_burst < 1.0)
+    throw std::invalid_argument("gilbert_point: mean_burst must be >= 1");
+  const double q = 1.0 / mean_burst;
+  const double p = p_global * q / (1.0 - p_global);
+  if (p > 1.0)
+    throw std::invalid_argument(
+        "gilbert_point: (p_global, mean_burst) is not a Gilbert channel");
+  return {p, q};
+}
+
+StreamGridResult run_stream_delay_grid(std::span<const ChannelPoint> points,
+                                       const StreamGridConfig& config,
+                                       const GridRunOptions& options) {
+  StreamGridResult result;
+  result.points.assign(points.begin(), points.end());
+  result.variants = config.variants.empty()
+                        ? StreamGridConfig::default_variants()
+                        : config.variants;
+  result.overheads = config.overheads;
+  result.source_count = config.base.source_count;
+  if (result.overheads.empty())
+    throw std::invalid_argument(
+        "run_stream_delay_grid: at least one overhead required");
+  result.stats.resize(points.size() * result.variants.size() *
+                      result.overheads.size());
+
+  // Validate every swept configuration eagerly so a bad (block_k, overhead)
+  // combination fails before the sweep, not inside a worker thread.
+  for (const StreamVariant& variant : result.variants) {
+    for (double overhead : result.overheads) {
+      StreamTrialConfig cfg = config.base;
+      cfg.scheme = variant.scheme;
+      cfg.scheduling = variant.scheduling;
+      cfg.overhead = overhead;
+      cfg.validate();
+    }
+  }
+
+  sweep_points(
+      points, options,
+      [&](std::size_t c, double p, double q, std::uint32_t,
+          std::uint64_t seed) {
+        for (std::size_t v = 0; v < result.variants.size(); ++v) {
+          for (std::size_t o = 0; o < result.overheads.size(); ++o) {
+            StreamTrialConfig cfg = config.base;
+            cfg.scheme = result.variants[v].scheme;
+            cfg.scheduling = result.variants[v].scheduling;
+            cfg.overhead = result.overheads[o];
+            GilbertModel channel(p, q);
+            const StreamTrialResult r =
+                run_stream_trial(cfg, channel, derive_seed(seed, {v, o}));
+            StreamPointStats& s =
+                result.stats[(c * result.variants.size() + v) *
+                                 result.overheads.size() +
+                             o];
+            s.mean_delay.add(r.delay.mean);
+            s.p95_delay.add(r.delay.p95);
+            s.p99_delay.add(r.delay.p99);
+            s.max_delay.add(r.delay.max);
+            s.mean_hol.add(r.delay.mean_hol);
+            s.residual_mean_run.add(r.residual.mean_run_length);
+            s.residual_max_run.add(
+                static_cast<double>(r.residual.max_run_length));
+            s.undelivered_fraction.add(
+                static_cast<double>(r.residual.lost) /
+                static_cast<double>(cfg.source_count));
+            s.overhead_actual.add(r.overhead_actual);
+            ++s.trials;
+          }
+        }
+      });
+  return result;
+}
+
+}  // namespace fecsched

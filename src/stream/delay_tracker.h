@@ -1,0 +1,112 @@
+// In-order delivery-delay accounting for streaming FEC (src/stream/).
+//
+// The paper's metrics stop at "did the object decode?"; delay-sensitive
+// workloads instead care *when* each source packet can be released to the
+// application, which requires in-order delivery: source s is released only
+// once every earlier source is either available (received or FEC-recovered)
+// or declared unrecoverable.  A single missing packet therefore head-of-line
+// blocks all its successors until FEC recovers it or the decoder gives up —
+// the delay axis on which sliding-window codes dominate block codes
+// (Karzand et al.).
+//
+// Per delivered source the tracker decomposes
+//     delay      = release_time - send_time
+//     transport  = available_time - send_time   (arrival / recovery delay)
+//     hol_wait   = release_time - available_time (head-of-line blocking)
+// with delay == transport + hol_wait exactly.  Alongside the delay
+// distribution (mean/p50/p95/p99/max) it records the *residual* loss
+// process: the run lengths of consecutive sources that were released as
+// lost, i.e. the burstiness of the loss process left over after FEC
+// decoding (McCann & Fendick, "The Effect of Erasure Coding on the
+// Burstiness of Packet Loss") — residual burstiness is itself
+// scheduling-dependent, so it is reported next to the delay stats.
+//
+// Time is whatever unit the caller feeds (stream_trial uses channel packet
+// slots); events must arrive in non-decreasing time order.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fecsched {
+
+/// Aggregated in-order delivery-delay distribution.
+struct DelaySummary {
+  std::uint64_t delivered = 0;  ///< sources released with their payload
+  std::uint64_t lost = 0;       ///< sources released as unrecoverable
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double mean_transport = 0.0;  ///< mean (available - sent)
+  double mean_hol = 0.0;        ///< mean head-of-line wait; mean = transport + hol
+};
+
+/// Run-length statistics of the post-decoding loss process.
+struct ResidualLossStats {
+  std::uint64_t lost = 0;            ///< total sources released as lost
+  std::uint64_t runs = 0;            ///< maximal runs of consecutive losses
+  std::uint64_t max_run_length = 0;
+  double mean_run_length = 0.0;      ///< lost / runs (0 when no loss)
+};
+
+/// Per-source send/available/release bookkeeping with an in-order frontier.
+///
+/// Protocol per source seq (0, 1, 2, ... — every seq must be sent exactly
+/// once, in order): on_sent(seq, t) when it enters the channel, then exactly
+/// one of on_available(seq, t) (received or recovered) or on_lost(seq, t)
+/// (decoder gave up).  The frontier advances inside those calls; query the
+/// aggregates once the stream is flushed.
+///
+/// Causality is enforced internally: a source FEC-recovered before its own
+/// transmission slot (possible under parity-early interleaved schedules) is
+/// pinned to its send time, and release times never decrease — so
+/// delay >= transport >= 0 and hol_wait >= 0 hold by construction.
+class DelayTracker {
+ public:
+  void on_sent(std::uint64_t seq, double t);
+  void on_available(std::uint64_t seq, double t);
+  void on_lost(std::uint64_t seq, double t);
+
+  /// Sources released so far (the in-order frontier: all seqs below this
+  /// are finalised).
+  [[nodiscard]] std::uint64_t released_through() const noexcept {
+    return frontier_;
+  }
+  /// True once every sent source has been released.
+  [[nodiscard]] bool drained() const noexcept {
+    return frontier_ == records_.size();
+  }
+
+  /// Release-time delay of every delivered source, in release order.
+  [[nodiscard]] const std::vector<double>& delays() const noexcept {
+    return delays_;
+  }
+  [[nodiscard]] DelaySummary summary() const;
+  [[nodiscard]] ResidualLossStats residual_loss() const noexcept {
+    return residual_;
+  }
+
+ private:
+  struct Record {
+    double sent = 0.0;
+    double available = 0.0;
+    bool has_fate = false;
+    bool lost = false;
+  };
+
+  void advance(double t);
+
+  std::vector<Record> records_;   // by seq
+  std::uint64_t frontier_ = 0;    // first unreleased seq
+  double last_release_ = 0.0;     // releases never go back in time
+  std::vector<double> delays_;    // delivered sources, release order
+  double transport_sum_ = 0.0;
+  double hol_sum_ = 0.0;
+  ResidualLossStats residual_;
+  std::uint64_t open_run_ = 0;    // current run of consecutive lost releases
+};
+
+}  // namespace fecsched

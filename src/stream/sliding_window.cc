@@ -1,0 +1,310 @@
+#include "stream/sliding_window.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gf/gf256.h"
+#include "util/rng.h"
+
+namespace fecsched {
+
+void SlidingWindowConfig::validate() const {
+  if (window == 0)
+    throw std::invalid_argument("SlidingWindowConfig: window must be >= 1");
+  if (repair_interval == 0)
+    throw std::invalid_argument(
+        "SlidingWindowConfig: repair_interval must be >= 1");
+}
+
+std::uint8_t sliding_coefficient(const SlidingWindowConfig& cfg,
+                                 std::uint64_t repair_seq,
+                                 std::uint64_t source_seq) {
+  if (cfg.coefficients == SlidingCoefficients::kBinary) return 1;
+  const std::uint64_t h = derive_seed(cfg.seed, {repair_seq, source_seq});
+  return static_cast<std::uint8_t>(1 + h % 255);
+}
+
+// ---------------------------------------------------------------- encoder
+
+SlidingWindowEncoder::SlidingWindowEncoder(const SlidingWindowConfig& config,
+                                           std::size_t symbol_size)
+    : config_(config), symbol_size_(symbol_size) {
+  config_.validate();
+}
+
+std::uint64_t SlidingWindowEncoder::push_source(
+    std::span<const std::uint8_t> payload) {
+  if (symbol_size_ > 0) {
+    if (payload.size() != symbol_size_)
+      throw std::invalid_argument(
+          "SlidingWindowEncoder::push_source: payload size mismatch");
+    history_.emplace_back(payload.begin(), payload.end());
+    if (history_.size() > config_.window) history_.pop_front();
+  }
+  return next_++;
+}
+
+RepairPacket SlidingWindowEncoder::make_repair() {
+  if (next_ == 0)
+    throw std::logic_error(
+        "SlidingWindowEncoder::make_repair: no source packets yet");
+  RepairPacket repair;
+  repair.repair_seq = repairs_++;
+  repair.last = next_;
+  repair.first = next_ >= config_.window ? next_ - config_.window : 0;
+  if (symbol_size_ > 0) {
+    repair.payload.assign(symbol_size_, 0);
+    // history_[i] holds source seq  next_ - history_.size() + i.
+    const std::uint64_t base = next_ - history_.size();
+    for (std::size_t i = 0; i < history_.size(); ++i) {
+      const std::uint64_t seq = base + i;
+      gf::addmul(repair.payload, history_[i],
+                 sliding_coefficient(config_, repair.repair_seq, seq));
+    }
+  }
+  return repair;
+}
+
+// ---------------------------------------------------------------- decoder
+
+SlidingWindowDecoder::SlidingWindowDecoder(const SlidingWindowConfig& config,
+                                           std::size_t symbol_size)
+    : config_(config), symbol_size_(symbol_size) {
+  config_.validate();
+}
+
+bool SlidingWindowDecoder::is_known(std::uint64_t seq) const {
+  const auto it = fate_.find(seq);
+  return it != fate_.end() && it->second == 1;
+}
+
+bool SlidingWindowDecoder::is_lost(std::uint64_t seq) const {
+  const auto it = fate_.find(seq);
+  return it != fate_.end() && it->second == 2;
+}
+
+std::span<const std::uint8_t> SlidingWindowDecoder::symbol(
+    std::uint64_t seq) const {
+  if (symbol_size_ == 0)
+    throw std::logic_error("SlidingWindowDecoder::symbol: structure-only mode");
+  const auto it = symbols_.find(seq);
+  if (it == symbols_.end())
+    throw std::logic_error("SlidingWindowDecoder::symbol: seq not known");
+  return it->second;
+}
+
+void SlidingWindowDecoder::learn(std::uint64_t seq,
+                                 std::vector<std::uint8_t> payload,
+                                 std::vector<std::uint64_t>& newly) {
+  fate_[seq] = 1;
+  ++known_n_;
+  if (symbol_size_ > 0) symbols_[seq] = std::move(payload);
+  newly.push_back(seq);
+}
+
+void SlidingWindowDecoder::substitute_known(Equation& eq) const {
+  auto out = eq.terms.begin();
+  for (auto& term : eq.terms) {
+    const auto it = fate_.find(term.first);
+    if (it != fate_.end() && it->second == 1) {
+      if (symbol_size_ > 0)
+        gf::addmul(eq.rhs, symbols_.at(term.first), term.second);
+    } else {
+      *out++ = term;
+    }
+  }
+  eq.terms.erase(out, eq.terms.end());
+}
+
+std::vector<std::uint64_t> SlidingWindowDecoder::on_source(
+    std::uint64_t seq, std::span<const std::uint8_t> payload) {
+  std::vector<std::uint64_t> newly;
+  if (fate_.contains(seq)) return newly;  // duplicate or past the deadline
+  if (symbol_size_ > 0 && payload.size() != symbol_size_)
+    throw std::invalid_argument(
+        "SlidingWindowDecoder::on_source: payload size mismatch");
+  learn(seq, {payload.begin(), payload.end()}, newly);
+  bool touched = false;
+  for (auto& eq : eqs_) {
+    const std::size_t before = eq.terms.size();
+    substitute_known(eq);
+    touched = touched || eq.terms.size() != before;
+  }
+  if (touched) solve(newly);
+  return newly;
+}
+
+std::vector<std::uint64_t> SlidingWindowDecoder::on_repair(
+    const RepairPacket& repair) {
+  std::vector<std::uint64_t> newly;
+  if (symbol_size_ > 0 && repair.payload.size() != symbol_size_)
+    throw std::invalid_argument(
+        "SlidingWindowDecoder::on_repair: payload size mismatch");
+  Equation eq;
+  eq.rhs = repair.payload;
+  for (std::uint64_t s = repair.first; s < repair.last; ++s) {
+    const std::uint8_t c = sliding_coefficient(config_, repair.repair_seq, s);
+    const auto it = fate_.find(s);
+    // Pinned on an expired source: with in-order delivery (the horizon
+    // trails the newest repair window) this cannot happen; under
+    // reordering, the expired term could only be eliminated against
+    // another repair covering it, a pairing this decoder does not chase.
+    if (it != fate_.end() && it->second == 2) return newly;
+    if (it != fate_.end() && it->second == 1) {
+      if (symbol_size_ > 0) gf::addmul(eq.rhs, symbols_.at(s), c);
+    } else {
+      eq.terms.emplace_back(s, c);
+    }
+  }
+  if (eq.terms.empty()) return newly;  // fully redundant
+  eqs_.push_back(std::move(eq));
+  solve(newly);
+  return newly;
+}
+
+void SlidingWindowDecoder::solve(std::vector<std::uint64_t>& newly) {
+  // Gauss-Jordan over the active window: the unknowns are the union of the
+  // equations' terms (at most a few windows wide), the rows are the
+  // pending repair equations.  The system is tiny, so a dense pass per
+  // change is cheaper than maintaining an incremental factorisation.
+  while (true) {
+    std::vector<std::uint64_t> unknowns;
+    for (const auto& eq : eqs_)
+      for (const auto& [seq, c] : eq.terms) unknowns.push_back(seq);
+    std::sort(unknowns.begin(), unknowns.end());
+    unknowns.erase(std::unique(unknowns.begin(), unknowns.end()),
+                   unknowns.end());
+    if (unknowns.empty()) {
+      eqs_.clear();
+      return;
+    }
+    const std::size_t u = unknowns.size();
+    const auto col_of = [&](std::uint64_t seq) {
+      return static_cast<std::size_t>(
+          std::lower_bound(unknowns.begin(), unknowns.end(), seq) -
+          unknowns.begin());
+    };
+
+    struct Row {
+      std::vector<std::uint8_t> a;
+      std::vector<std::uint8_t> rhs;
+    };
+    std::vector<Row> rows;
+    rows.reserve(eqs_.size());
+    for (auto& eq : eqs_) {
+      Row row;
+      row.a.assign(u, 0);
+      for (const auto& [seq, c] : eq.terms) row.a[col_of(seq)] = c;
+      row.rhs = std::move(eq.rhs);
+      rows.push_back(std::move(row));
+    }
+
+    std::size_t pivot_row = 0;
+    for (std::size_t col = 0; col < u && pivot_row < rows.size(); ++col) {
+      std::size_t r = pivot_row;
+      while (r < rows.size() && rows[r].a[col] == 0) ++r;
+      if (r == rows.size()) continue;
+      std::swap(rows[pivot_row], rows[r]);
+      Row& p = rows[pivot_row];
+      const std::uint8_t inv = gf::inv(p.a[col]);
+      if (inv != 1) {
+        for (auto& v : p.a) v = gf::mul(v, inv);
+        if (symbol_size_ > 0) gf::scale(p.rhs, inv);
+      }
+      for (std::size_t other = 0; other < rows.size(); ++other) {
+        if (other == pivot_row || rows[other].a[col] == 0) continue;
+        const std::uint8_t f = rows[other].a[col];
+        for (std::size_t j = 0; j < u; ++j)
+          rows[other].a[j] =
+              gf::add(rows[other].a[j], gf::mul(f, p.a[j]));
+        if (symbol_size_ > 0) gf::addmul(rows[other].rhs, p.rhs, f);
+      }
+      ++pivot_row;
+    }
+
+    // Harvest: zero rows are redundant, single-term rows are recoveries
+    // (their pivot column is zero in every other row), the rest become the
+    // new active equation set.
+    bool recovered = false;
+    std::vector<Equation> next;
+    next.reserve(rows.size());
+    for (auto& row : rows) {
+      std::size_t nz = 0, last = 0;
+      for (std::size_t j = 0; j < u; ++j)
+        if (row.a[j] != 0) {
+          ++nz;
+          last = j;
+        }
+      if (nz == 0) continue;  // redundant combination
+      if (nz == 1) {
+        // Normalised pivot: coefficient is 1, rhs is the payload.
+        learn(unknowns[last], std::move(row.rhs), newly);
+        recovered = true;
+        continue;
+      }
+      Equation eq;
+      eq.terms.reserve(nz);
+      for (std::size_t j = 0; j < u; ++j)
+        if (row.a[j] != 0) eq.terms.emplace_back(unknowns[j], row.a[j]);
+      eq.rhs = std::move(row.rhs);
+      next.push_back(std::move(eq));
+    }
+    eqs_ = std::move(next);
+    if (!recovered) return;
+    // A recovery never leaves its column behind (Jordan), but re-running
+    // keeps the invariant simple and the system is already reduced, so the
+    // extra pass terminates immediately when nothing new appears.
+    if (eqs_.empty()) return;
+  }
+}
+
+std::vector<std::uint64_t> SlidingWindowDecoder::give_up_before(
+    std::uint64_t horizon) {
+  std::vector<std::uint64_t> newly_lost;
+  if (horizon <= horizon_) return newly_lost;
+  for (std::uint64_t seq = horizon_; seq < horizon; ++seq) {
+    if (!fate_.contains(seq)) {
+      fate_[seq] = 2;
+      ++lost_n_;
+      newly_lost.push_back(seq);
+    }
+  }
+  horizon_ = horizon;
+  if (!newly_lost.empty()) {
+    // Dropping every equation that touches an expired source loses no
+    // recoverable information: solve() keeps eqs_ in reduced row-echelon
+    // form with columns ordered by seq, so each row's *oldest* term is its
+    // pivot, and a pivot appears in exactly one row.  A row touching an
+    // expired source therefore has an expired pivot, and any linear
+    // combination of RREF rows (with anything, including future repairs)
+    // retains every participating pivot — so such rows can never help
+    // determine a still-live source.
+    std::erase_if(eqs_, [&](const Equation& eq) {
+      for (const auto& [seq, c] : eq.terms)
+        if (seq < horizon) return true;
+      return false;
+    });
+  }
+  return newly_lost;
+}
+
+// ------------------------------------------------------- support structure
+
+SparseBinaryMatrix sliding_support_matrix(const SlidingWindowConfig& config,
+                                          std::uint32_t source_count) {
+  config.validate();
+  const std::uint32_t repairs = source_count / config.repair_interval;
+  std::vector<SparseBinaryMatrix::Entry> entries;
+  for (std::uint32_t r = 0; r < repairs; ++r) {
+    const std::uint32_t produced = (r + 1) * config.repair_interval;
+    const std::uint32_t first =
+        produced >= config.window ? produced - config.window : 0;
+    for (std::uint32_t s = first; s < produced; ++s)
+      entries.push_back({r, s});
+    entries.push_back({r, source_count + r});
+  }
+  return SparseBinaryMatrix(repairs, source_count + repairs,
+                            std::move(entries));
+}
+
+}  // namespace fecsched

@@ -1,0 +1,364 @@
+#include "stream/stream_trial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+#include "fec/block_partition.h"
+#include "fec/peeling_decoder.h"
+#include "sched/carousel.h"
+#include "sched/tx_models.h"
+#include "util/rng.h"
+
+namespace fecsched {
+
+void StreamTrialConfig::validate() const {
+  if (source_count == 0)
+    throw std::invalid_argument("StreamTrialConfig: source_count must be >= 1");
+  if (!(overhead > 0.0) || overhead > 4.0)
+    throw std::invalid_argument(
+        "StreamTrialConfig: overhead must be in (0, 4]");
+  if ((scheme == StreamScheme::kSlidingWindow ||
+       scheme == StreamScheme::kReplication) &&
+      overhead > 1.0)
+    throw std::invalid_argument(
+        "StreamTrialConfig: the paced schemes emit at most one repair per "
+        "source (overhead <= 1)");
+  if (window == 0)
+    throw std::invalid_argument("StreamTrialConfig: window must be >= 1");
+  if (block_k == 0)
+    throw std::invalid_argument("StreamTrialConfig: block_k must be >= 1");
+  if (scheme == StreamScheme::kBlockRse &&
+      static_cast<double>(block_k) * (1.0 + overhead) > 255.0)
+    throw std::invalid_argument(
+        "StreamTrialConfig: block_k * (1 + overhead) exceeds the RSE block "
+        "cap of 255");
+  if (max_cycles == 0)
+    throw std::invalid_argument("StreamTrialConfig: max_cycles must be >= 1");
+}
+
+std::uint32_t StreamTrialConfig::repair_interval() const {
+  // Clamp before narrowing: a vanishing overhead must yield a huge
+  // interval (no repairs within any realistic stream), not a uint32 wrap
+  // to a small one.
+  const long long interval = std::llround(1.0 / overhead);
+  return static_cast<std::uint32_t>(
+      std::clamp<long long>(interval, 1, std::int64_t{1} << 30));
+}
+
+namespace {
+
+/// Shared aggregation tail: pull the tracker's numbers into the result.
+StreamTrialResult finish(const DelayTracker& tracker, std::uint64_t sent,
+                         std::uint64_t received, std::uint32_t source_count) {
+  StreamTrialResult result;
+  result.delay = tracker.summary();
+  result.residual = tracker.residual_loss();
+  result.delays = tracker.delays();
+  result.packets_sent = sent;
+  result.packets_received = received;
+  result.overhead_actual =
+      static_cast<double>(sent - source_count) /
+      static_cast<double>(source_count);
+  result.all_delivered = tracker.drained() && result.residual.lost == 0;
+  return result;
+}
+
+// ------------------------------------------------- sliding / replication
+
+StreamTrialResult run_paced_trial(const StreamTrialConfig& cfg,
+                                  LossModel& channel, std::uint64_t seed) {
+  const std::uint32_t S = cfg.source_count;
+  const std::uint32_t W = cfg.window;
+  const std::uint32_t interval = cfg.repair_interval();
+  const bool sliding = cfg.scheme == StreamScheme::kSlidingWindow;
+
+  SlidingWindowConfig sw;
+  sw.window = W;
+  sw.repair_interval = interval;
+  sw.coefficients = cfg.coefficients;
+  sw.seed = derive_seed(seed, {2});
+  SlidingWindowDecoder decoder(sw);
+
+  DelayTracker tracker;
+  // Source s occupies slot s plus one slot per earlier repair.
+  for (std::uint32_t s = 0; s < S; ++s)
+    tracker.on_sent(s, static_cast<double>(s) + s / interval);
+
+  // Replication baseline state: plain availability bitmap + give-up line.
+  std::vector<char> have(S, 0);
+  std::uint64_t repl_horizon = 0;
+
+  std::uint64_t slot = 0, sent = 0, received = 0, repairs = 0;
+  const auto deliver = [&](std::uint64_t s) {
+    if (!have[s]) {
+      have[s] = 1;
+      tracker.on_available(s, static_cast<double>(slot));
+    }
+  };
+  const auto sliding_deliver = [&](const std::vector<std::uint64_t>& newly) {
+    for (std::uint64_t s : newly)
+      tracker.on_available(s, static_cast<double>(slot));
+  };
+  const auto give_up_before = [&](std::uint64_t h) {
+    if (sliding) {
+      for (std::uint64_t s : decoder.give_up_before(h))
+        tracker.on_lost(s, static_cast<double>(slot));
+    } else {
+      for (; repl_horizon < h; ++repl_horizon)
+        if (!have[repl_horizon])
+          tracker.on_lost(repl_horizon, static_cast<double>(slot));
+    }
+  };
+  const auto send_repair = [&](std::uint64_t produced) {
+    ++sent;
+    const bool delivered = !channel.lost();
+    if (delivered) ++received;
+    if (sliding) {
+      RepairPacket repair;
+      repair.repair_seq = repairs;
+      repair.last = produced;
+      repair.first = produced >= W ? produced - W : 0;
+      if (delivered) sliding_deliver(decoder.on_repair(repair));
+    } else if (delivered) {
+      // Round-robin duplicate of one of the last min(W, produced) sources.
+      const std::uint64_t span = std::min<std::uint64_t>(W, produced);
+      deliver(produced - 1 - repairs % span);
+    }
+    ++repairs;
+    ++slot;
+  };
+
+  channel.reset(derive_seed(seed, {0}));
+  for (std::uint32_t s = 0; s < S; ++s) {
+    ++sent;
+    if (!channel.lost()) {
+      ++received;
+      if (sliding)
+        sliding_deliver(decoder.on_source(s));
+      else
+        deliver(s);
+    }
+    ++slot;
+    const std::uint64_t produced = s + 1;
+    // The window has slid W past every source below this line; no future
+    // repair can cover them any more.
+    if (produced > W) give_up_before(produced - W);
+    if (produced % interval == 0) send_repair(produced);
+  }
+  // End-of-stream flush: one extra window's worth of repairs protects the
+  // tail, then everything still missing is final.
+  const std::uint64_t tail = (W + interval - 1) / interval;
+  for (std::uint64_t i = 0; i < tail; ++i) send_repair(S);
+  give_up_before(S);
+  return finish(tracker, sent, received, S);
+}
+
+// ----------------------------------------------------------- block codes
+
+/// The streaming block schedule: each block's sources then its parity
+/// (Tx_model_1's global source-then-parity order is a bulk-transfer
+/// schedule; a streaming block-FEC sender flushes per block).
+std::vector<PacketId> per_block_sequential(const RsePlan& plan) {
+  std::vector<PacketId> out;
+  out.reserve(plan.n());
+  for (std::uint32_t b = 0; b < plan.block_count(); ++b) {
+    const BlockInfo& info = plan.block(b);
+    for (std::uint32_t i = 0; i < info.k; ++i)
+      out.push_back(info.source_offset + i);
+    for (std::uint32_t i = 0; i < info.n - info.k; ++i)
+      out.push_back(info.parity_offset + i);
+  }
+  return out;
+}
+
+StreamTrialResult run_block_trial(const StreamTrialConfig& cfg,
+                                  LossModel& channel, std::uint64_t seed) {
+  const std::uint32_t S = cfg.source_count;
+  const double ratio = 1.0 + cfg.overhead;
+  const bool rse = cfg.scheme == StreamScheme::kBlockRse;
+
+  std::shared_ptr<const RsePlan> rse_plan;
+  std::shared_ptr<const LdgmCode> ldgm;
+  const PacketPlan* plan = nullptr;
+  if (rse) {
+    const auto cap = static_cast<std::uint32_t>(
+        std::min(255.0, std::floor(static_cast<double>(cfg.block_k) * ratio)));
+    rse_plan = std::make_shared<RsePlan>(S, ratio, cap);
+    plan = rse_plan.get();
+  } else {
+    LdgmParams params;
+    params.k = S;
+    params.n = std::max(
+        S + 1, static_cast<std::uint32_t>(
+                   std::llround(static_cast<double>(S) * ratio)));
+    params.variant = cfg.ldgm_variant;
+    params.left_degree = cfg.left_degree;
+    params.triangle_extra_per_row = cfg.triangle_extra_per_row;
+    params.seed = derive_seed(seed, {3});
+    ldgm = std::make_shared<LdgmCode>(params);
+    plan = ldgm.get();
+  }
+
+  Rng rng(derive_seed(seed, {1}));
+  std::vector<PacketId> schedule;
+  switch (cfg.scheduling) {
+    case StreamScheduling::kInterleaved:
+      schedule = make_schedule(*plan, TxModel::kTx5Interleaved, rng);
+      break;
+    case StreamScheduling::kSequential:
+    case StreamScheduling::kCarousel:
+      schedule = rse ? per_block_sequential(*rse_plan)
+                     : make_schedule(*plan, TxModel::kTx1SeqSourceSeqParity,
+                                     rng);
+      break;
+  }
+  const std::uint64_t cycles =
+      cfg.scheduling == StreamScheduling::kCarousel ? cfg.max_cycles : 1;
+
+  // First transmission slot of every source (cycle 0 covers all ids).
+  std::vector<std::uint64_t> tx_slot(S, 0);
+  for (std::size_t t = 0; t < schedule.size(); ++t)
+    if (schedule[t] < S) tx_slot[schedule[t]] = t;
+  DelayTracker tracker;
+  for (std::uint32_t s = 0; s < S; ++s)
+    tracker.on_sent(s, static_cast<double>(tx_slot[s]));
+
+  // Non-carousel runs can give a block up the moment its last scheduled
+  // packet has passed; a carousel always has another cycle coming.
+  std::vector<std::vector<std::uint32_t>> ends_at_slot;
+  if (rse && cycles == 1) {
+    ends_at_slot.resize(schedule.size());
+    std::vector<std::int64_t> last(rse_plan->block_count(), -1);
+    for (std::size_t t = 0; t < schedule.size(); ++t)
+      last[rse_plan->position(schedule[t]).block] =
+          static_cast<std::int64_t>(t);
+    for (std::uint32_t b = 0; b < rse_plan->block_count(); ++b)
+      ends_at_slot[static_cast<std::size_t>(last[b])].push_back(b);
+  }
+
+  // Decode state.
+  std::vector<char> seen(plan->n(), 0);
+  std::vector<std::uint32_t> block_received;
+  std::vector<char> block_decoded;
+  std::uint32_t blocks_done = 0;
+  if (rse) {
+    block_received.assign(rse_plan->block_count(), 0);
+    block_decoded.assign(rse_plan->block_count(), 0);
+  }
+  std::optional<PeelingDecoder> peeler;
+  std::vector<std::uint32_t> unknown_sources;
+  if (!rse) {
+    peeler.emplace(ldgm->matrix(), S);
+    unknown_sources.resize(S);
+    for (std::uint32_t s = 0; s < S; ++s) unknown_sources[s] = s;
+  }
+  std::uint32_t delivered_sources = 0;
+
+  channel.reset(derive_seed(seed, {0}));
+  std::uint64_t slot = 0, sent = 0, received = 0;
+  Carousel carousel(schedule);
+  const std::uint64_t budget = schedule.size() * cycles;
+  const auto complete = [&] { return delivered_sources == S; };
+
+  // No back channel: a single-pass sender emits its whole schedule
+  // regardless; only the carousel stops spinning once everything has been
+  // delivered.
+  while (slot < budget && (cycles == 1 || !complete())) {
+    const PacketId id = carousel.next();
+    ++sent;
+    const bool delivered = !channel.lost();
+    if (delivered) {
+      ++received;
+      if (!seen[id]) {
+        seen[id] = 1;
+        if (rse) {
+          const BlockPosition pos = rse_plan->position(id);
+          if (id < S) {
+            tracker.on_available(id, static_cast<double>(slot));
+            ++delivered_sources;
+          }
+          if (!block_decoded[pos.block]) {
+            if (++block_received[pos.block] == rse_plan->block(pos.block).k) {
+              // MDS: k_b distinct packets solve the block (sim/tracker rule);
+              // every source not received directly is recovered now.
+              block_decoded[pos.block] = 1;
+              ++blocks_done;
+              const BlockInfo& info = rse_plan->block(pos.block);
+              for (std::uint32_t i = 0; i < info.k; ++i) {
+                const PacketId src = info.source_offset + i;
+                if (!seen[src]) {
+                  seen[src] = 1;
+                  tracker.on_available(src, static_cast<double>(slot));
+                  ++delivered_sources;
+                }
+              }
+            }
+          }
+        } else if (peeler->add_packet(id) > 0) {
+          // Sweep the unknown list only when the peeler made progress.
+          std::erase_if(unknown_sources, [&](std::uint32_t s) {
+            if (!peeler->is_known(s)) return false;
+            tracker.on_available(s, static_cast<double>(slot));
+            ++delivered_sources;
+            return true;
+          });
+        }
+      }
+    }
+    if (!ends_at_slot.empty()) {
+      for (std::uint32_t b : ends_at_slot[slot % schedule.size()]) {
+        if (block_decoded[b]) continue;
+        const BlockInfo& info = rse_plan->block(b);
+        for (std::uint32_t i = 0; i < info.k; ++i) {
+          const PacketId src = info.source_offset + i;
+          if (!seen[src]) {
+            seen[src] = 1;  // released as lost: no later availability
+            tracker.on_lost(src, static_cast<double>(slot));
+            ++delivered_sources;
+          }
+        }
+      }
+    }
+    ++slot;
+  }
+
+  // Whatever is still missing when the schedule (or carousel budget) runs
+  // out is final.
+  const auto flush_lost = [&](PacketId src) {
+    if (!seen[src]) {
+      seen[src] = 1;
+      tracker.on_lost(src, static_cast<double>(slot));
+    }
+  };
+  if (rse) {
+    for (std::uint32_t b = 0; b < rse_plan->block_count(); ++b) {
+      if (block_decoded[b]) continue;
+      const BlockInfo& info = rse_plan->block(b);
+      for (std::uint32_t i = 0; i < info.k; ++i) flush_lost(info.source_offset + i);
+    }
+  } else {
+    for (std::uint32_t s : unknown_sources) flush_lost(s);
+  }
+  return finish(tracker, sent, received, S);
+}
+
+}  // namespace
+
+StreamTrialResult run_stream_trial(const StreamTrialConfig& cfg,
+                                   LossModel& channel, std::uint64_t seed) {
+  cfg.validate();
+  switch (cfg.scheme) {
+    case StreamScheme::kSlidingWindow:
+    case StreamScheme::kReplication:
+      return run_paced_trial(cfg, channel, seed);
+    case StreamScheme::kBlockRse:
+    case StreamScheme::kLdgm:
+      return run_block_trial(cfg, channel, seed);
+  }
+  throw std::logic_error("run_stream_trial: unreachable scheme");
+}
+
+}  // namespace fecsched

@@ -1,8 +1,19 @@
 #include "util/stats.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace fecsched {
+
+double sorted_percentile(const std::vector<double>& sorted,
+                         double pct) noexcept {
+  if (sorted.empty()) return 0.0;
+  const double rank = pct * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
 
 void RunningStats::add(double x) noexcept {
   ++n_;

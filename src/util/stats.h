@@ -4,8 +4,15 @@
 
 #include <cstddef>
 #include <limits>
+#include <vector>
 
 namespace fecsched {
+
+/// Linearly interpolated percentile of an ascending-sorted sample
+/// (pct in [0, 1]; 0 for an empty sample).  Shared by the delay tracker
+/// and the CLI so both report identical interpolation semantics.
+[[nodiscard]] double sorted_percentile(const std::vector<double>& sorted,
+                                       double pct) noexcept;
 
 /// Welford online accumulator for mean / variance / extrema.
 /// Numerically stable; O(1) memory regardless of sample count.

@@ -8,6 +8,7 @@
 #include "channel/gilbert.h"
 #include "channel/loss_model.h"
 #include "fec/replication.h"
+#include "sim/experiment.h"
 #include "sim/grid.h"
 #include "sim/tracker.h"
 #include "sim/trial.h"
@@ -154,6 +155,52 @@ TEST(RunGrid, DeterministicAcrossThreadCounts) {
     EXPECT_DOUBLE_EQ(a.cells[i].inefficiency.mean(),
                      b.cells[i].inefficiency.mean());
     EXPECT_EQ(a.cells[i].failures, b.cells[i].failures);
+  }
+}
+
+TEST(RunGrid, BitIdenticalGridResultAcrossThreadCounts) {
+  // The real thing, not a synthetic TrialFn: a full Experiment sweep must
+  // produce a bit-identical GridResult with threads=1 and threads=4 on the
+  // same master seed — every statistic of every cell, not just the means
+  // (the Welford accumulators see trials in the same order either way).
+  ExperimentConfig cfg;
+  cfg.code = CodeKind::kLdgmStaircase;
+  cfg.tx = TxModel::kTx4AllRandom;
+  cfg.expansion_ratio = 2.5;
+  cfg.k = 200;
+  const Experiment experiment(cfg);
+
+  GridSpec spec;
+  spec.p_values = {0.0, 0.05, 0.2};
+  spec.q_values = {0.3, 0.8};
+  GridRunOptions one;
+  one.trials_per_cell = 6;
+  one.master_seed = 0xfeedbeefULL;
+  one.threads = 1;
+  GridRunOptions four = one;
+  four.threads = 4;
+
+  const GridResult a = experiment.run(spec, one);
+  const GridResult b = experiment.run(spec, four);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  ASSERT_EQ(a.k, b.k);
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    const CellResult& x = a.cells[i];
+    const CellResult& y = b.cells[i];
+    EXPECT_EQ(x.p, y.p);
+    EXPECT_EQ(x.q, y.q);
+    EXPECT_EQ(x.trials, y.trials);
+    EXPECT_EQ(x.failures, y.failures);
+    EXPECT_EQ(x.inefficiency.count(), y.inefficiency.count());
+    EXPECT_EQ(x.inefficiency.mean(), y.inefficiency.mean());
+    EXPECT_EQ(x.inefficiency.variance(), y.inefficiency.variance());
+    EXPECT_EQ(x.inefficiency.min(), y.inefficiency.min());
+    EXPECT_EQ(x.inefficiency.max(), y.inefficiency.max());
+    EXPECT_EQ(x.received_ratio.count(), y.received_ratio.count());
+    EXPECT_EQ(x.received_ratio.mean(), y.received_ratio.mean());
+    EXPECT_EQ(x.received_ratio.variance(), y.received_ratio.variance());
+    EXPECT_EQ(x.received_ratio.min(), y.received_ratio.min());
+    EXPECT_EQ(x.received_ratio.max(), y.received_ratio.max());
   }
 }
 

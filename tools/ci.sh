@@ -1,11 +1,20 @@
 #!/bin/sh
 # Tier-1 verify, exactly as CI runs it (usable locally too):
 # configure + build + ctest.  The build promotes warnings to errors for
-# the new adaptive subsystem (src/adapt/) via CMake source properties;
-# everything else builds with -Wall -Wextra.
+# the new adaptive (src/adapt/) and streaming (src/stream/) subsystems via
+# CMake source properties; everything else builds with -Wall -Wextra.
 set -eu
 
 cd "$(dirname "$0")/.."
 cmake -B build -S .
 cmake --build build -j
 cd build && ctest --output-on-failure -j
+
+# Streaming subsystem gate: run the stream tests explicitly (they are part
+# of the suite above, but a filtered re-run keeps the gate visible when
+# the suite grows), then a scale-reduced smoke run of the delay bench —
+# its exit status enforces the Karzand acceptance criterion (sliding
+# window beats block RSE on >= 3 of 4 bursty points).
+ctest --output-on-failure --no-tests=error \
+      -R 'Sliding|DelayTracker|StreamTrial|StreamDelayGrid|RecommendWindow'
+./bench_stream_delay --k=1000 --trials=10

@@ -29,6 +29,17 @@
 //       single channel point instead of the (p_global x burst) grid.
 //       --json emits the full machine-readable trajectory so benchmark
 //       runs can be diffed across PRs.
+//
+//   fecsched_cli stream    [--p=P --q=Q | --pglobal=PG --burst=B]
+//                          [--scheme=sliding|rse|ldgm|replication]
+//                          [--sched=seq|interleaved|carousel]
+//                          [--overhead=0.25 --window=64 --blockk=64]
+//                          [--sources=2000 --trials=8 --seed=N] [--json]
+//       Streaming workload (src/stream/): in-order delivery-delay and
+//       residual-loss-burstiness comparison at one Gilbert channel point.
+//       Without --scheme every default variant runs; --json emits the
+//       full merged delay distribution (integer-slot histogram) per
+//       variant.
 
 #include <cstdio>
 #include <cstring>
@@ -38,6 +49,11 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "channel/gilbert.h"
 #include "channel/trace.h"
 #include "core/nsent.h"
 #include "core/planner.h"
@@ -45,7 +61,9 @@
 #include "sim/adaptive_compare.h"
 #include "sim/analytic.h"
 #include "sim/experiment.h"
+#include "sim/stream_delay.h"
 #include "sim/table_io.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -407,9 +425,214 @@ int cmd_adapt(const Args& args) {
   return 0;
 }
 
+// ------------------------------------------------------------- stream
+
+/// Merged per-variant outcome over all trials at the channel point.
+/// Transport/HOL sums are weighted by each trial's delivered count so the
+/// documented identity mean == mean_transport + mean_hol survives merging.
+struct StreamCliOutcome {
+  StreamVariant variant;
+  std::vector<double> delays;  ///< all delivered delays, sorted ascending
+  std::uint64_t delivered = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t residual_runs = 0;
+  std::uint64_t residual_max_run = 0;
+  double delay_sum = 0.0;
+  double transport_sum = 0.0;  ///< per-trial mean x delivered, summed
+  double hol_sum = 0.0;
+  double overhead_actual_sum = 0.0;
+  std::uint32_t trials = 0;
+
+  [[nodiscard]] double mean() const {
+    return delays.empty() ? 0.0
+                          : delay_sum / static_cast<double>(delays.size());
+  }
+  [[nodiscard]] double mean_transport() const {
+    return delivered ? transport_sum / static_cast<double>(delivered) : 0.0;
+  }
+  [[nodiscard]] double mean_hol() const {
+    return delivered ? hol_sum / static_cast<double>(delivered) : 0.0;
+  }
+  [[nodiscard]] double mean_residual_run() const {
+    return residual_runs ? static_cast<double>(lost) /
+                               static_cast<double>(residual_runs)
+                         : 0.0;
+  }
+};
+
+void write_stream_json(std::ostream& os,
+                       const std::vector<StreamCliOutcome>& outcomes,
+                       const StreamTrialConfig& base, double p, double q,
+                       std::uint32_t trials, std::uint64_t seed) {
+  os << "{\"sources\":" << base.source_count << ",\"trials\":" << trials
+     << ",\"seed\":" << seed << ",\"p\":" << format_fixed(p, 6)
+     << ",\"q\":" << format_fixed(q, 6) << ",\"p_global\":"
+     << format_fixed(global_loss_probability(p, q), 4) << ",\"mean_burst\":"
+     << format_fixed(q > 0 ? 1.0 / q : 0.0, 2) << ",\"overhead\":"
+     << format_fixed(base.overhead, 4) << ",\"window\":" << base.window
+     << ",\"block_k\":" << base.block_k << ",\"variants\":[";
+  bool first = true;
+  for (const auto& o : outcomes) {
+    if (!first) os << ",";
+    first = false;
+    const double t = o.trials ? static_cast<double>(o.trials) : 1.0;
+    os << "\n{\"scheme\":\"" << json_escape(to_string(o.variant.scheme))
+       << "\",\"scheduling\":\"" << json_escape(to_string(o.variant.scheduling))
+       << "\",\"overhead_actual\":" << format_fixed(o.overhead_actual_sum / t, 4)
+       << ",\"delay\":{\"delivered\":" << o.delivered << ",\"lost\":" << o.lost
+       << ",\"mean\":" << format_fixed(o.mean(), 4) << ",\"p50\":"
+       << format_fixed(sorted_percentile(o.delays, 0.50), 4) << ",\"p95\":"
+       << format_fixed(sorted_percentile(o.delays, 0.95), 4) << ",\"p99\":"
+       << format_fixed(sorted_percentile(o.delays, 0.99), 4) << ",\"max\":"
+       << format_fixed(o.delays.empty() ? 0.0 : o.delays.back(), 4)
+       << ",\"mean_transport\":" << format_fixed(o.mean_transport(), 4)
+       << ",\"mean_hol\":" << format_fixed(o.mean_hol(), 4) << "}"
+       << ",\"residual\":{\"lost\":" << o.lost << ",\"runs\":"
+       << o.residual_runs << ",\"mean_run_length\":"
+       << format_fixed(o.mean_residual_run(), 2)
+       << ",\"max_run_length\":" << o.residual_max_run << "}";
+    // The full merged delay distribution, binned to integer slots.
+    std::map<long long, std::uint64_t> histogram;
+    for (double d : o.delays) ++histogram[std::llround(d)];
+    os << ",\"histogram\":[";
+    bool first_bin = true;
+    for (const auto& [delay, count] : histogram) {
+      if (!first_bin) os << ",";
+      first_bin = false;
+      os << "{\"delay\":" << delay << ",\"count\":" << count << "}";
+    }
+    os << "]}";
+  }
+  os << "\n]}\n";
+}
+
+int cmd_stream(const Args& args) {
+  StreamTrialConfig base;
+  std::vector<StreamVariant> variants;
+  double p = 0.0, q = 1.0;
+  std::uint32_t trials = 0;
+  std::uint64_t seed = 0;
+  try {
+    if (args.get("pglobal") || args.get("burst")) {
+      const ChannelPoint pt = gilbert_point(args.number("pglobal", 0.02),
+                                            args.number("burst", 1.0));
+      p = pt.p;
+      q = pt.q;
+    } else {
+      p = args.number("p", 0.01);
+      q = args.number("q", 0.5);
+    }
+    base.source_count =
+        static_cast<std::uint32_t>(args.integer("sources", 2000));
+    base.overhead = args.number("overhead", 0.25);
+    base.window = static_cast<std::uint32_t>(args.integer("window", 64));
+    base.block_k = static_cast<std::uint32_t>(args.integer("blockk", 64));
+    trials = static_cast<std::uint32_t>(args.integer("trials", 8));
+    seed = args.integer("seed", 0x57e4a9edULL);
+    if (base.source_count == 0 || base.source_count > 1000000)
+      throw std::invalid_argument("--sources must be in [1, 1000000]");
+    if (trials == 0 || trials > 10000)
+      throw std::invalid_argument("--trials must be in [1, 10000]");
+    // The merged delay distribution is kept in memory per variant.
+    if (static_cast<std::uint64_t>(base.source_count) * trials > 20000000)
+      throw std::invalid_argument(
+          "--sources x --trials must not exceed 20000000 (the full delay "
+          "distribution is held in memory)");
+
+    StreamScheduling sched = StreamScheduling::kSequential;
+    if (const auto s = args.get("sched")) {
+      if (*s == "seq") sched = StreamScheduling::kSequential;
+      else if (*s == "interleaved") sched = StreamScheduling::kInterleaved;
+      else if (*s == "carousel") sched = StreamScheduling::kCarousel;
+      else throw std::invalid_argument("--sched must be seq|interleaved|carousel");
+    }
+    if (const auto s = args.get("scheme")) {
+      StreamScheme scheme;
+      if (*s == "sliding") scheme = StreamScheme::kSlidingWindow;
+      else if (*s == "rse") scheme = StreamScheme::kBlockRse;
+      else if (*s == "ldgm") scheme = StreamScheme::kLdgm;
+      else if (*s == "replication") scheme = StreamScheme::kReplication;
+      else throw std::invalid_argument(
+          "--scheme must be sliding|rse|ldgm|replication");
+      variants.push_back({std::string(to_string(scheme)), scheme, sched});
+    } else {
+      variants = StreamGridConfig::default_variants();
+    }
+
+    // Validate every variant before running any trial.
+    for (const StreamVariant& v : variants) {
+      StreamTrialConfig cfg = base;
+      cfg.scheme = v.scheme;
+      cfg.scheduling = v.scheduling;
+      cfg.validate();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stream: %s\n", e.what());
+    return 2;
+  }
+
+  std::vector<StreamCliOutcome> outcomes;
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    StreamCliOutcome outcome;
+    outcome.variant = variants[v];
+    StreamTrialConfig cfg = base;
+    cfg.scheme = variants[v].scheme;
+    cfg.scheduling = variants[v].scheduling;
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      GilbertModel channel(p, q);
+      const StreamTrialResult r =
+          run_stream_trial(cfg, channel, derive_seed(seed, {v, t}));
+      outcome.delays.insert(outcome.delays.end(), r.delays.begin(),
+                            r.delays.end());
+      outcome.delivered += r.delay.delivered;
+      outcome.lost += r.residual.lost;
+      outcome.residual_runs += r.residual.runs;
+      outcome.residual_max_run =
+          std::max(outcome.residual_max_run, r.residual.max_run_length);
+      const auto delivered = static_cast<double>(r.delay.delivered);
+      outcome.delay_sum += r.delay.mean * delivered;
+      outcome.transport_sum += r.delay.mean_transport * delivered;
+      outcome.hol_sum += r.delay.mean_hol * delivered;
+      outcome.overhead_actual_sum += r.overhead_actual;
+      ++outcome.trials;
+    }
+    std::sort(outcome.delays.begin(), outcome.delays.end());
+    outcomes.push_back(std::move(outcome));
+  }
+
+  if (args.get("json")) {
+    write_stream_json(std::cout, outcomes, base, p, q, trials, seed);
+    return 0;
+  }
+
+  std::printf("streaming: %u sources, overhead %.3f, window %u, block_k %u, "
+              "%u trials\n",
+              base.source_count, base.overhead, base.window, base.block_k,
+              trials);
+  std::printf("channel: p=%.4f q=%.4f (p_global=%.4f, mean burst %.2f)\n\n",
+              p, q, global_loss_probability(p, q), q > 0 ? 1.0 / q : 0.0);
+  std::printf("%-26s %9s %9s %9s %9s %10s %8s\n", "scheme+scheduling", "mean",
+              "p95", "p99", "max", "resid-run", "lost%");
+  for (const auto& o : outcomes) {
+    const std::string label = std::string(to_string(o.variant.scheme)) + "/" +
+                              std::string(to_string(o.variant.scheduling));
+    std::printf("%-26s %9.2f %9.2f %9.2f %9.2f %10.2f %7.3f%%\n",
+                label.c_str(), o.mean(), sorted_percentile(o.delays, 0.95),
+                sorted_percentile(o.delays, 0.99),
+                o.delays.empty() ? 0.0 : o.delays.back(),
+                o.mean_residual_run(),
+                100.0 * static_cast<double>(o.lost) /
+                    (static_cast<double>(o.delivered + o.lost)));
+  }
+  std::printf("\n(delays in channel packet slots; in-order release; "
+              "resid-run = mean post-FEC loss burst)\n");
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: fecsched_cli <sweep|plan|universal|limits|fit|adapt> "
+               "usage: fecsched_cli "
+               "<sweep|plan|universal|limits|fit|adapt|stream> "
                "[--key=value ...]\n"
                "see the header of tools/fecsched_cli.cc for details\n");
 }
@@ -429,6 +652,7 @@ int main(int argc, char** argv) {
   if (cmd == "limits") return cmd_limits(args);
   if (cmd == "fit") return cmd_fit(args);
   if (cmd == "adapt") return cmd_adapt(args);
+  if (cmd == "stream") return cmd_stream(args);
   usage();
   return 2;
 }
