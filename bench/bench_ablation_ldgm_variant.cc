@@ -40,10 +40,12 @@ int main(int argc, char** argv) {
       std::size_t pi = 0;
       for (const Point& pt : points) {
         col.x.push_back(static_cast<double>(++pi));
+        const auto trials = parallel_map(s.trials, s.threads, [&](std::uint32_t t) {
+          return e.run_once(pt.p, pt.q, derive_seed(s.seed, {pi, t}));
+        });
         RunningStats stats;
         std::uint32_t failures = 0;
-        for (std::uint32_t t = 0; t < s.trials; ++t) {
-          const auto r = e.run_once(pt.p, pt.q, derive_seed(s.seed, {pi, t}));
+        for (const auto& r : trials) {
           if (r.decoded)
             stats.add(r.inefficiency(s.k));
           else

@@ -34,11 +34,12 @@ int main(int argc, char** argv) {
                                            TxModel::kTx4AllRandom, ratio, s);
         cfg.left_degree = degree;
         const Experiment e(cfg);
+        const auto trials = parallel_map(s.trials, s.threads, [&](std::uint32_t t) {
+          return e.run_once(pt.p, pt.q, derive_seed(s.seed, {degree, t}));
+        });
         RunningStats stats;
         std::uint32_t failures = 0;
-        for (std::uint32_t t = 0; t < s.trials; ++t) {
-          const auto r =
-              e.run_once(pt.p, pt.q, derive_seed(s.seed, {degree, t}));
+        for (const auto& r : trials) {
           if (r.decoded)
             stats.add(r.inefficiency(s.k));
           else

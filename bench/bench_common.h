@@ -20,10 +20,12 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "sim/experiment.h"
 #include "sim/grid.h"
 #include "sim/table_io.h"
+#include "util/parallel.h"
 
 namespace fecsched::bench {
 
@@ -61,6 +63,23 @@ inline GridRunOptions run_options(const Scale& s) {
   opt.master_seed = s.seed;
   opt.threads = s.threads;
   return opt;
+}
+
+/// Evaluate fn(0), ..., fn(count-1) across `threads` workers (0 = one per
+/// hardware thread) and return the results indexed by argument.  `fn` must
+/// be thread-safe and fully determined by its argument.  Because callers
+/// aggregate the returned vector in index order, every printed digit is
+/// identical to a serial run — this is how the grid-style benches that
+/// hand-roll their trial loops honour the shared --threads flag.  The
+/// pool itself is util/parallel's parallel_for_index.
+template <typename Fn>
+auto parallel_map(std::uint32_t count, unsigned threads, Fn&& fn)
+    -> std::vector<decltype(fn(std::uint32_t{0}))> {
+  std::vector<decltype(fn(std::uint32_t{0}))> results(count);
+  parallel_for_index(count, threads, [&](std::size_t i) {
+    results[i] = fn(static_cast<std::uint32_t>(i));
+  });
+  return results;
 }
 
 inline void print_banner(const std::string& title, const Scale& s) {

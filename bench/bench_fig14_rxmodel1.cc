@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
 
   const auto series =
-      run_rx_model1_series(cfg, counts, s.trials, s.seed);
+      run_rx_model1_series(cfg, counts, s.trials, s.seed, s.threads);
 
   Series out;
   out.name = "LDGM Staircase";

@@ -49,13 +49,14 @@ int main(int argc, char** argv) {
           continue;
         }
         const Experiment e(make_config(code, tx, ratio, s));
+        const auto trials = parallel_map(s.trials, s.threads, [&](std::uint32_t t) {
+          return e.run_once(p, q, derive_seed(s.seed, {static_cast<std::uint64_t>(
+                                                           m + 10 * ratio),
+                                                       t}));
+        });
         RunningStats stats;
         std::uint32_t failures = 0;
-        for (std::uint32_t t = 0; t < s.trials; ++t) {
-          const TrialResult r =
-              e.run_once(p, q, derive_seed(s.seed, {static_cast<std::uint64_t>(
-                                                        m + 10 * ratio),
-                                                    t}));
+        for (const TrialResult& r : trials) {
           if (r.decoded)
             stats.add(r.inefficiency(s.k));
           else

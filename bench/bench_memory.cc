@@ -48,10 +48,12 @@ int main(int argc, char** argv) {
       std::size_t pi = 0;
       for (const Point& pt : points) {
         ++pi;
+        const auto trials = parallel_map(s.trials, s.threads, [&](std::uint32_t t) {
+          return e.run_once(pt.p, pt.q, derive_seed(s.seed, {pi, t}));
+        });
         RunningStats inef, mem;
         std::uint32_t failures = 0;
-        for (std::uint32_t t = 0; t < s.trials; ++t) {
-          const auto r = e.run_once(pt.p, pt.q, derive_seed(s.seed, {pi, t}));
+        for (const auto& r : trials) {
           mem.add(static_cast<double>(r.peak_memory_symbols));
           if (r.decoded)
             inef.add(r.inefficiency(s.k));

@@ -1,0 +1,94 @@
+#include "mpath/path.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "channel/gilbert.h"
+#include "util/rng.h"
+
+namespace fecsched {
+
+PathSpec PathSpec::gilbert(double p, double q, double delay, double capacity,
+                           std::string label) {
+  PathSpec spec;
+  spec.label = std::move(label);
+  spec.delay = delay;
+  spec.capacity = capacity;
+  spec.make_channel = [p, q] { return std::make_unique<GilbertModel>(p, q); };
+  return spec;
+}
+
+void PathSpec::validate() const {
+  if (delay < 0.0)
+    throw std::invalid_argument("PathSpec: delay must be >= 0");
+  if (!(capacity > 0.0))
+    throw std::invalid_argument("PathSpec: capacity must be > 0");
+}
+
+PathSet::PathSet(std::vector<PathSpec> specs) : specs_(std::move(specs)) {
+  if (specs_.empty())
+    throw std::invalid_argument("PathSet: at least one path required");
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    specs_[i].validate();
+    if (specs_[i].label.empty())
+      specs_[i].label = "path" + std::to_string(i);
+    if (specs_[i].delay < specs_[best_].delay) best_ = i;
+  }
+  states_.resize(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i)
+    states_[i].channel = specs_[i].make_channel
+                             ? specs_[i].make_channel()
+                             : std::make_unique<PerfectChannel>();
+}
+
+void PathSet::reset(std::uint64_t seed) {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    State& st = states_[i];
+    // Path 0 shares the single-path channel substream (degenerate oracle;
+    // see header); adding paths never perturbs path 0's loss sequence.
+    st.channel->reset(i == 0 ? derive_seed(seed, {0})
+                             : derive_seed(seed, {0, i}));
+    st.next_free = 0.0;
+    st.sent = 0;
+    st.lost = 0;
+    st.queue_wait_sum = 0.0;
+    st.transit_sum = 0.0;
+  }
+}
+
+double PathSet::earliest_arrival(std::size_t i, double slot) const {
+  const State& st = states_.at(i);
+  return std::max(slot, st.next_free) + specs_[i].delay;
+}
+
+Transmission PathSet::transmit(std::size_t i, double slot) {
+  State& st = states_.at(i);
+  Transmission tx;
+  tx.path = i;
+  tx.departure = std::max(slot, st.next_free);
+  st.next_free = tx.departure + 1.0 / specs_[i].capacity;
+  tx.arrival = tx.departure + specs_[i].delay;
+  tx.lost = st.channel->lost();
+  ++st.sent;
+  st.lost += tx.lost ? 1 : 0;
+  st.queue_wait_sum += tx.departure - slot;
+  st.transit_sum += tx.arrival - slot;
+  return tx;
+}
+
+std::vector<PathStats> PathSet::stats() const {
+  std::vector<PathStats> out(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    out[i].label = specs_[i].label;
+    out[i].sent = states_[i].sent;
+    out[i].lost = states_[i].lost;
+    const double n = states_[i].sent ? static_cast<double>(states_[i].sent)
+                                     : 1.0;
+    out[i].mean_queue_wait = states_[i].queue_wait_sum / n;
+    out[i].mean_transit = states_[i].transit_sum / n;
+  }
+  return out;
+}
+
+}  // namespace fecsched

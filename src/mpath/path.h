@@ -1,0 +1,124 @@
+// Multipath transmission model (src/mpath/): K simulated paths, each with
+// its own loss process, propagation delay and capacity.
+//
+// The paper's central observation — FEC performance is governed by the
+// interaction of packet scheduling with the loss distribution each packet
+// actually experiences — becomes extreme when one FEC-protected flow is
+// spread over several paths whose loss distributions and propagation
+// delays *differ*: the packet-to-path mapping now decides both which loss
+// process a packet sees and when it arrives relative to its neighbours
+// (cross-path reordering).  Kurant ("Exploiting the Path Propagation Time
+// Differences in Multipath Transmission with FEC", arXiv:0901.1479) shows
+// that delay-aware mapping materially cuts delivery delay; src/mpath
+// reproduces that workload on this repo's machinery.
+//
+// Time model: the sender produces one packet per global slot (the same
+// discrete clock as stream/stream_trial).  A path is a FIFO link with
+//   departure = max(production slot, path's next-free time)
+//   next_free = departure + 1/capacity          (serialisation)
+//   arrival   = departure + propagation delay
+// so a path of capacity c sustains c packets per slot and queues beyond
+// that.  The path's LossModel is consulted once per transmitted packet in
+// path-transmission order — each path keeps its own channel state, exactly
+// like K independent single-path channels.
+//
+// Seeding: path 0 uses the channel substream derive_seed(seed, {0}) — the
+// identical stream a single-path run_stream_trial consumes — so a 1-path
+// PathSet with zero delay and unit capacity reproduces the single-path
+// trial bit-for-bit (the degenerate-config regression oracle).  Paths
+// j >= 1 use derive_seed(seed, {0, j}).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "channel/loss_model.h"
+
+namespace fecsched {
+
+/// Static description of one path.
+struct PathSpec {
+  std::string label;
+  double delay = 0.0;     ///< propagation delay in sender slots
+  double capacity = 1.0;  ///< packets per slot the path sustains
+  /// Channel factory (stateful models are per-PathSet instances); empty
+  /// means a PerfectChannel.
+  std::function<std::unique_ptr<LossModel>()> make_channel;
+
+  /// Gilbert path helper (the common case of the sweeps and the CLI).
+  [[nodiscard]] static PathSpec gilbert(double p, double q, double delay,
+                                        double capacity = 1.0,
+                                        std::string label = {});
+
+  /// Throws std::invalid_argument on delay < 0 or capacity <= 0.
+  void validate() const;
+};
+
+/// One packet handed to a path.
+struct Transmission {
+  std::size_t path = 0;
+  double departure = 0.0;  ///< when the path started serialising it
+  double arrival = 0.0;    ///< departure + delay (would-be arrival if lost)
+  bool lost = false;
+};
+
+/// Per-path counters of one trial.
+struct PathStats {
+  std::string label;
+  std::uint64_t sent = 0;
+  std::uint64_t lost = 0;            ///< erased by the path's channel
+  double mean_queue_wait = 0.0;      ///< mean (departure - production slot)
+  double mean_transit = 0.0;         ///< mean (arrival - production slot)
+};
+
+/// K instantiated paths with their channel state and FIFO clocks.
+class PathSet {
+ public:
+  /// Throws std::invalid_argument on an empty spec list or invalid spec.
+  explicit PathSet(std::vector<PathSpec> specs);
+
+  [[nodiscard]] std::size_t size() const noexcept { return specs_.size(); }
+  [[nodiscard]] const PathSpec& spec(std::size_t i) const {
+    return specs_.at(i);
+  }
+
+  /// Restart every path for a new trial: channels re-seeded (path 0 from
+  /// derive_seed(seed, {0}), path j from derive_seed(seed, {0, j}) — see
+  /// header comment), FIFO clocks and counters cleared.
+  void reset(std::uint64_t seed);
+
+  /// When a packet handed to path i at `slot` would arrive (given the
+  /// path's current backlog) — the earliest-arrival scheduler's metric.
+  [[nodiscard]] double earliest_arrival(std::size_t i, double slot) const;
+
+  /// Hand the next packet to path i at production time `slot`: consumes
+  /// one channel draw, advances the FIFO clock, updates the counters.
+  Transmission transmit(std::size_t i, double slot);
+
+  /// Counters since the last reset.
+  [[nodiscard]] std::vector<PathStats> stats() const;
+
+  /// Index of the path with the smallest propagation delay (lowest index
+  /// on ties) — the "best" path of the split scheduler.
+  [[nodiscard]] std::size_t best_path() const noexcept { return best_; }
+
+ private:
+  struct State {
+    std::unique_ptr<LossModel> channel;
+    double next_free = 0.0;
+    std::uint64_t sent = 0;
+    std::uint64_t lost = 0;
+    double queue_wait_sum = 0.0;
+    double transit_sum = 0.0;
+  };
+
+  std::vector<PathSpec> specs_;
+  std::vector<State> states_;
+  std::size_t best_ = 0;
+};
+
+}  // namespace fecsched

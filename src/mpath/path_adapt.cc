@@ -1,0 +1,130 @@
+#include "mpath/path_adapt.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fecsched {
+
+PathAdapter::PathAdapter(std::size_t path_count, PathAdapterConfig config)
+    : config_(config) {
+  if (path_count == 0)
+    throw std::invalid_argument("PathAdapter: path_count must be >= 1");
+  if (config_.min_weight < 0.0 ||
+      config_.min_weight * static_cast<double>(path_count) > 1.0)
+    throw std::invalid_argument(
+        "PathAdapter: min_weight must lie in [0, 1/path_count]");
+  estimators_.reserve(path_count);
+  for (std::size_t i = 0; i < path_count; ++i)
+    estimators_.emplace_back(config_.estimator);
+}
+
+void PathAdapter::observe(const MpathTrialResult& result) {
+  if (result.path_reports.size() != estimators_.size())
+    throw std::invalid_argument(
+        "PathAdapter::observe: trial ran a different path count");
+  for (std::size_t i = 0; i < estimators_.size(); ++i)
+    estimators_[i].observe_report(result.path_reports[i]);
+}
+
+void PathAdapter::observe_report(std::size_t path, const LossReport& report) {
+  estimators_.at(path).observe_report(report);
+}
+
+std::vector<ChannelEstimate> PathAdapter::estimates() const {
+  std::vector<ChannelEstimate> out;
+  out.reserve(estimators_.size());
+  for (const ChannelEstimator& e : estimators_) out.push_back(e.estimate());
+  return out;
+}
+
+ChannelEstimate PathAdapter::estimate(std::size_t path) const {
+  return estimators_.at(path).estimate();
+}
+
+ChannelEstimate PathAdapter::aggregate() const {
+  // Traffic-weighted loss rate: each path contributes its loss rate in
+  // proportion to the packets it carried.  Burst length is weighted by
+  // loss share instead — the bursts the *stream* sees come from whichever
+  // paths actually lose packets.
+  double total_obs = 0.0;
+  for (const ChannelEstimator& e : estimators_) {
+    total_obs += static_cast<double>(e.observations());
+  }
+  ChannelEstimate agg;
+  if (total_obs <= 0.0) return agg;  // cold: all-zero estimate
+  double p_global = 0.0;  // also the loss mass per unit of traffic
+  for (const ChannelEstimator& e : estimators_) {
+    const ChannelEstimate est = e.estimate();
+    const double share =
+        static_cast<double>(e.observations()) / total_obs;
+    p_global += share * est.p_global;
+  }
+  double burst = 0.0;
+  bool bursty = false;
+  double confidence = 1.0;
+  std::uint64_t observations = 0;
+  for (const ChannelEstimator& e : estimators_) {
+    const ChannelEstimate est = e.estimate();
+    const double share =
+        static_cast<double>(e.observations()) / total_obs;
+    const double loss_share =
+        p_global > 0.0 ? share * est.p_global / p_global : share;
+    burst += loss_share * est.mean_burst;
+    bursty = bursty || est.bursty;
+    observations += est.observations;
+    if (e.observations() > 0) confidence = std::min(confidence, est.confidence);
+  }
+  agg.p_global = p_global;
+  agg.mean_burst = std::max(1.0, burst);
+  agg.q = 1.0 / agg.mean_burst;
+  agg.p = p_global >= 1.0 ? 1.0 : p_global * agg.q / (1.0 - p_global);
+  agg.bursty = bursty;
+  agg.observations = observations;
+  agg.confidence = confidence;
+  return agg;
+}
+
+std::vector<double> PathAdapter::allocate_overhead(
+    const std::vector<PathSpec>& paths) const {
+  if (paths.size() != estimators_.size())
+    throw std::invalid_argument(
+        "PathAdapter::allocate_overhead: path count mismatch");
+  std::vector<double> weights(paths.size(), 0.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const ChannelEstimate est = estimators_[i].estimate();
+    // Surviving capacity: how much repair traffic the path can carry times
+    // the fraction of it that gets through.
+    weights[i] = paths[i].capacity * std::max(0.0, 1.0 - est.p_global);
+    sum += weights[i];
+  }
+  if (sum <= 0.0) {
+    // Every path looks dead: fall back to capacity shares.
+    sum = 0.0;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      weights[i] = paths[i].capacity;
+      sum += weights[i];
+    }
+  }
+  for (double& w : weights) w /= sum;
+  // Floor, then renormalise (the floor keeps probes flowing on bad paths).
+  if (config_.min_weight > 0.0) {
+    double floored_sum = 0.0;
+    for (double& w : weights) {
+      w = std::max(w, config_.min_weight);
+      floored_sum += w;
+    }
+    for (double& w : weights) w /= floored_sum;
+  }
+  return weights;
+}
+
+void PathAdapter::apply(MpathTrialConfig& cfg,
+                        const AdaptiveController& controller) const {
+  cfg.repair_weights = allocate_overhead(cfg.paths);
+  const SlidingWindowConfig rec =
+      controller.recommend_window(aggregate(), cfg.stream.overhead);
+  cfg.stream.window = rec.window;
+}
+
+}  // namespace fecsched

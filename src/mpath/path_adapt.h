@@ -1,0 +1,89 @@
+// Per-path adaptation for the multipath subsystem (src/mpath/ x src/adapt/).
+//
+// The adaptive subsystem estimates one channel and tunes one FEC
+// configuration; a multipath sender faces K channels at once, and the
+// paper's core lesson (protection must match the loss *distribution*)
+// applies per path: a repair packet only helps if it survives the path it
+// rides.  The PathAdapter closes that loop:
+//
+//  * one adapt/ChannelEstimator per path, fed by the per-path compressed
+//    loss reports a multipath trial produces (MpathTrialResult), so each
+//    path's Gilbert (p, q) is tracked independently;
+//  * an aggregate estimate of the mixture channel the FEC stream as a
+//    whole experiences (traffic-weighted loss rate, loss-weighted burst
+//    length) — what window sizing needs;
+//  * allocate_overhead(): splits the repair-overhead budget across paths
+//    proportionally to surviving capacity, capacity_j * (1 - p_global_j),
+//    floored so no path starves — the repair_weights knob of
+//    PathScheduling::kWeighted;
+//  * apply(): one-stop wiring of repair weights + a window recommendation
+//    (via AdaptiveController::recommend_window on the aggregate estimate)
+//    into an MpathTrialConfig.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adapt/channel_estimator.h"
+#include "adapt/controller.h"
+#include "mpath/mpath_trial.h"
+
+namespace fecsched {
+
+/// PathAdapter tuning.
+struct PathAdapterConfig {
+  EstimatorConfig estimator;  ///< shared by every per-path estimator
+  /// Minimum fraction of the repair budget any path keeps (so a path that
+  /// looks dead still carries probes and its estimate can recover).
+  double min_weight = 0.05;
+};
+
+/// Tracks K per-path channel estimates and allocates repair overhead.
+class PathAdapter {
+ public:
+  /// Throws std::invalid_argument on path_count == 0 or min_weight out of
+  /// [0, 1/path_count].
+  explicit PathAdapter(std::size_t path_count, PathAdapterConfig config = {});
+
+  [[nodiscard]] std::size_t path_count() const noexcept {
+    return estimators_.size();
+  }
+
+  /// Feed one trial's per-path loss reports (result.path_reports).
+  /// Throws std::invalid_argument on a path-count mismatch.
+  void observe(const MpathTrialResult& result);
+  /// Feed one path's compressed report directly.
+  void observe_report(std::size_t path, const LossReport& report);
+
+  /// Current per-path estimates.
+  [[nodiscard]] std::vector<ChannelEstimate> estimates() const;
+  [[nodiscard]] ChannelEstimate estimate(std::size_t path) const;
+
+  /// The mixture channel the multipath stream experiences: loss rate
+  /// weighted by per-path traffic share, burst length weighted by
+  /// per-path loss share, confidence by the weakest observed path.
+  [[nodiscard]] ChannelEstimate aggregate() const;
+
+  /// Repair-budget weights per path (sum 1): proportional to surviving
+  /// capacity capacity_j * (1 - p_global_j), floored at min_weight.
+  /// `paths` supplies the capacities and must match path_count().
+  [[nodiscard]] std::vector<double> allocate_overhead(
+      const std::vector<PathSpec>& paths) const;
+
+  /// Wire the current knowledge into a trial config: repair weights from
+  /// allocate_overhead() and the sliding window from the controller's
+  /// streaming hook at the aggregate estimate.
+  void apply(MpathTrialConfig& cfg,
+             const AdaptiveController& controller) const;
+
+  [[nodiscard]] const PathAdapterConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  PathAdapterConfig config_;
+  std::vector<ChannelEstimator> estimators_;
+};
+
+}  // namespace fecsched

@@ -1,0 +1,17 @@
+#include "mpath/resequencer.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace fecsched {
+
+const std::vector<RxEvent>& Resequencer::drain() {
+  std::sort(events_.begin(), events_.end(),
+            [](const RxEvent& a, const RxEvent& b) {
+              return std::tie(a.time, a.phase, a.order) <
+                     std::tie(b.time, b.phase, b.order);
+            });
+  return events_;
+}
+
+}  // namespace fecsched

@@ -1,0 +1,57 @@
+// Receiver-side event resequencer (src/mpath/).
+//
+// Paths with different propagation delays deliver packets out of emission
+// order; everything downstream of the receiver (the FEC decoders and the
+// in-order delivery accounting of stream/DelayTracker) requires events in
+// non-decreasing time order.  The resequencer is that merge point: the
+// trial pushes one event per packet arrival and one per decoding deadline
+// (the time after which a source/block is provably unrecoverable), then
+// drains them in (time, phase, order) order.
+//
+// The `phase` field resolves same-instant ties deterministically — e.g.
+// the single-path paced trial declares window give-ups *before* it
+// processes the packet arriving in the same slot, while the block trial
+// ends a block *after* the block's last packet of that slot; the
+// degenerate-config oracle (1 path, zero delay == single-path
+// stream_trial, bit for bit) depends on reproducing exactly that order.
+// `order` breaks remaining ties by emission/sequence number, keeping the
+// replay independent of push order.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fecsched {
+
+/// One receiver event.
+struct RxEvent {
+  double time = 0.0;
+  std::uint32_t phase = 0;    ///< same-time tie-break, ascending
+  std::uint64_t order = 0;    ///< remaining tie-break, ascending
+  std::uint32_t kind = 0;     ///< caller-defined discriminator
+  std::uint64_t value = 0;    ///< caller-defined payload (seq / index)
+};
+
+/// Collects events, replays them in (time, phase, order) order.
+class Resequencer {
+ public:
+  void push(const RxEvent& event) { events_.push_back(event); }
+  void push(double time, std::uint32_t phase, std::uint64_t order,
+            std::uint32_t kind, std::uint64_t value) {
+    events_.push_back({time, phase, order, kind, value});
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Sort into replay order and return the events (callers iterate once).
+  /// Idempotent; push after drain re-sorts on the next drain.
+  [[nodiscard]] const std::vector<RxEvent>& drain();
+
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<RxEvent> events_;
+};
+
+}  // namespace fecsched

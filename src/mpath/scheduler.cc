@@ -1,0 +1,94 @@
+#include "mpath/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace fecsched {
+
+PathScheduler::PathScheduler(PathScheduling mode, const PathSet& paths,
+                             std::vector<double> repair_weights)
+    : mode_(mode), path_count_(paths.size()) {
+  source_weights_.reserve(path_count_);
+  for (std::size_t i = 0; i < path_count_; ++i)
+    source_weights_.push_back(paths.spec(i).capacity);
+  if (repair_weights.empty()) {
+    repair_weights_ = source_weights_;
+  } else {
+    if (repair_weights.size() != path_count_)
+      throw std::invalid_argument(
+          "PathScheduler: repair_weights must have one entry per path");
+    double sum = 0.0;
+    for (double w : repair_weights) {
+      if (w < 0.0)
+        throw std::invalid_argument(
+            "PathScheduler: repair_weights must be non-negative");
+      sum += w;
+    }
+    if (!(sum > 0.0))
+      throw std::invalid_argument(
+          "PathScheduler: repair_weights must have a positive sum");
+    repair_weights_ = std::move(repair_weights);
+  }
+  reset();
+}
+
+void PathScheduler::reset() {
+  rr_next_ = 0;
+  split_repair_next_ = 0;
+  source_credit_.assign(path_count_, 0.0);
+  repair_credit_.assign(path_count_, 0.0);
+}
+
+std::size_t PathScheduler::weighted_pick(std::vector<double>& credit,
+                                         const std::vector<double>& weight) {
+  // Smooth weighted round-robin: add each weight, pick the largest credit,
+  // subtract the total.  Deterministic, spreads picks evenly over time.
+  double total = 0.0;
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < path_count_; ++i) {
+    credit[i] += weight[i];
+    total += weight[i];
+    if (credit[i] > credit[best]) best = i;
+  }
+  credit[best] -= total;
+  return best;
+}
+
+std::size_t PathScheduler::pick(const PathSet& paths, double slot,
+                                bool is_repair) {
+  switch (mode_) {
+    case PathScheduling::kRoundRobin: {
+      const std::size_t i = rr_next_;
+      rr_next_ = (rr_next_ + 1) % path_count_;
+      return i;
+    }
+    case PathScheduling::kWeighted:
+      return is_repair ? weighted_pick(repair_credit_, repair_weights_)
+                       : weighted_pick(source_credit_, source_weights_);
+    case PathScheduling::kSplit: {
+      if (!is_repair || path_count_ == 1) return paths.best_path();
+      // Rotate repairs over the non-best paths.
+      std::size_t i = split_repair_next_ % (path_count_ - 1);
+      split_repair_next_ = (split_repair_next_ + 1) % (path_count_ - 1);
+      if (i >= paths.best_path()) ++i;  // skip the best path
+      return i;
+    }
+    case PathScheduling::kEarliestArrival: {
+      std::size_t best = 0;
+      double best_arrival = paths.earliest_arrival(0, slot);
+      for (std::size_t i = 1; i < path_count_; ++i) {
+        const double a = paths.earliest_arrival(i, slot);
+        if (a < best_arrival) {
+          best = i;
+          best_arrival = a;
+        }
+      }
+      return best;
+    }
+  }
+  throw std::logic_error("PathScheduler::pick: unreachable mode");
+}
+
+}  // namespace fecsched

@@ -1,0 +1,87 @@
+// Packet-to-path mapping policies (src/mpath/).
+//
+// The scheduling axis of the multipath subsystem — the paper's Sec. 4
+// knob lifted from "in which order are packets sent" to "onto which path
+// is each packet sent".  Four policies:
+//
+//  * kRoundRobin       — packet i on path i mod K: the naive spreading
+//                        baseline; maximises cross-path reordering on
+//                        asymmetric-delay paths.
+//  * kWeighted         — smooth weighted round-robin by path capacity
+//                        (optionally separate weights for repair packets,
+//                        the adapt hook: PathAdapter::allocate_overhead).
+//  * kSplit            — source packets on the lowest-delay ("best")
+//                        path, repair packets rotated over the others:
+//                        repairs absorb the slow paths' delay, sources
+//                        keep the fast path's.
+//  * kEarliestArrival  — Kurant-style delay-aware mapping: each packet
+//                        goes to the path whose (backlog-aware) arrival
+//                        time is smallest, so consecutive packets arrive
+//                        nearly in order and head-of-line blocking at the
+//                        resequencer collapses.
+//
+// All policies are deterministic functions of the emission sequence and
+// the PathSet clocks; no randomness is consumed.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "mpath/path.h"
+
+namespace fecsched {
+
+/// Which packet-to-path mapping the sender uses.
+enum class PathScheduling {
+  kRoundRobin,
+  kWeighted,
+  kSplit,
+  kEarliestArrival,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(PathScheduling s) noexcept {
+  switch (s) {
+    case PathScheduling::kRoundRobin: return "round-robin";
+    case PathScheduling::kWeighted: return "weighted";
+    case PathScheduling::kSplit: return "split";
+    case PathScheduling::kEarliestArrival: return "earliest-arrival";
+  }
+  return "?";
+}
+
+/// Stateful packet-to-path mapper over one PathSet.
+class PathScheduler {
+ public:
+  /// `repair_weights` (kWeighted only) biases repair packets across paths;
+  /// empty = use path capacities for repairs too.  Must be non-negative
+  /// with a positive sum when given (throws std::invalid_argument).
+  PathScheduler(PathScheduling mode, const PathSet& paths,
+                std::vector<double> repair_weights = {});
+
+  [[nodiscard]] PathScheduling mode() const noexcept { return mode_; }
+
+  /// The path for the next packet, produced at `slot`.  Consumes no
+  /// channel randomness; advances only the policy's own rotation state.
+  [[nodiscard]] std::size_t pick(const PathSet& paths, double slot,
+                                 bool is_repair);
+
+  /// Restart the rotation state for a new trial.
+  void reset();
+
+ private:
+  [[nodiscard]] std::size_t weighted_pick(std::vector<double>& credit,
+                                          const std::vector<double>& weight);
+
+  PathScheduling mode_;
+  std::size_t path_count_;
+  std::size_t rr_next_ = 0;          ///< kRoundRobin cursor
+  std::size_t split_repair_next_ = 0;  ///< kSplit repair rotation
+  std::vector<double> source_weights_;  ///< kWeighted (capacities)
+  std::vector<double> repair_weights_;
+  std::vector<double> source_credit_;
+  std::vector<double> repair_credit_;
+};
+
+}  // namespace fecsched

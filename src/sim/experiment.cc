@@ -8,6 +8,7 @@
 #include "fec/ldgm.h"
 #include "fec/replication.h"
 #include "sched/rx_model.h"
+#include "util/parallel.h"
 #include "sched/tx_models.h"
 #include "sim/tracker.h"
 #include "util/rng.h"
@@ -131,7 +132,7 @@ GridResult Experiment::run(const GridSpec& spec,
 std::vector<RxModelPoint> run_rx_model1_series(
     const ExperimentConfig& config,
     const std::vector<std::uint32_t>& source_counts, std::uint32_t trials,
-    std::uint64_t master_seed) {
+    std::uint64_t master_seed, unsigned threads) {
   if (config.code == CodeKind::kRse || config.code == CodeKind::kReplication)
     throw std::invalid_argument("run_rx_model1_series: LDGM codes only");
   if (config.graph_count == 0)
@@ -150,10 +151,12 @@ std::vector<RxModelPoint> run_rx_model1_series(
     graphs.push_back(std::make_shared<const LdgmCode>(params));
   }
 
-  std::vector<RxModelPoint> series;
-  series.reserve(source_counts.size());
-  for (std::size_t i = 0; i < source_counts.size(); ++i) {
-    RxModelPoint point;
+  std::vector<RxModelPoint> series(source_counts.size());
+  // Per-point seeds are (master_seed, point, trial), and each point is
+  // processed whole by one worker, so the series is bit-identical for any
+  // thread count (the run_grid contract).
+  const auto run_point = [&](std::size_t i) {
+    RxModelPoint& point = series[i];
     point.source_count = source_counts[i];
     for (std::uint32_t t = 0; t < trials; ++t) {
       const std::uint64_t seed = derive_seed(master_seed, {i, t});
@@ -169,8 +172,8 @@ std::vector<RxModelPoint> run_rx_model1_series(
       else
         ++point.failures;
     }
-    series.push_back(point);
-  }
+  };
+  parallel_for_index(source_counts.size(), threads, run_point);
   return series;
 }
 

@@ -91,10 +91,12 @@ struct RxModelPoint {
   std::uint32_t failures = 0;
 };
 
-/// Run the Fig. 14 experiment for one LDGM configuration.
+/// Run the Fig. 14 experiment for one LDGM configuration.  Points are
+/// distributed over `threads` workers (0 = one per hardware thread) with
+/// per-(point, trial) seeds, so the series is identical for any count.
 [[nodiscard]] std::vector<RxModelPoint> run_rx_model1_series(
     const ExperimentConfig& config,
     const std::vector<std::uint32_t>& source_counts, std::uint32_t trials,
-    std::uint64_t master_seed);
+    std::uint64_t master_seed, unsigned threads = 1);
 
 }  // namespace fecsched

@@ -1,8 +1,6 @@
 #include "sim/grid.h"
 
-#include <atomic>
-#include <thread>
-
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace fecsched {
@@ -29,32 +27,12 @@ std::vector<ChannelPoint> grid_points(const GridSpec& spec) {
 
 void sweep_points(std::span<const ChannelPoint> points,
                   const GridRunOptions& options, const PointVisitor& visit) {
-  std::atomic<std::size_t> next_point{0};
-
-  const auto worker = [&] {
-    while (true) {
-      const std::size_t c = next_point.fetch_add(1);
-      if (c >= points.size()) return;
-      for (std::uint32_t t = 0; t < options.trials_per_cell; ++t) {
-        const std::uint64_t seed = derive_seed(options.master_seed, {c, t});
-        visit(c, points[c].p, points[c].q, t, seed);
-      }
+  parallel_for_index(points.size(), options.threads, [&](std::size_t c) {
+    for (std::uint32_t t = 0; t < options.trials_per_cell; ++t) {
+      const std::uint64_t seed = derive_seed(options.master_seed, {c, t});
+      visit(c, points[c].p, points[c].q, t, seed);
     }
-  };
-
-  unsigned threads = options.threads;
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min<unsigned>(
-      threads,
-      static_cast<unsigned>(std::max<std::size_t>(1, points.size())));
-  if (threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
-    for (auto& th : pool) th.join();
-  }
+  });
 }
 
 GridResult run_grid(const GridSpec& spec, std::uint32_t k,

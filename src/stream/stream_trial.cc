@@ -158,22 +158,6 @@ StreamTrialResult run_paced_trial(const StreamTrialConfig& cfg,
 
 // ----------------------------------------------------------- block codes
 
-/// The streaming block schedule: each block's sources then its parity
-/// (Tx_model_1's global source-then-parity order is a bulk-transfer
-/// schedule; a streaming block-FEC sender flushes per block).
-std::vector<PacketId> per_block_sequential(const RsePlan& plan) {
-  std::vector<PacketId> out;
-  out.reserve(plan.n());
-  for (std::uint32_t b = 0; b < plan.block_count(); ++b) {
-    const BlockInfo& info = plan.block(b);
-    for (std::uint32_t i = 0; i < info.k; ++i)
-      out.push_back(info.source_offset + i);
-    for (std::uint32_t i = 0; i < info.n - info.k; ++i)
-      out.push_back(info.parity_offset + i);
-  }
-  return out;
-}
-
 StreamTrialResult run_block_trial(const StreamTrialConfig& cfg,
                                   LossModel& channel, std::uint64_t seed) {
   const std::uint32_t S = cfg.source_count;
@@ -346,6 +330,19 @@ StreamTrialResult run_block_trial(const StreamTrialConfig& cfg,
 }
 
 }  // namespace
+
+std::vector<PacketId> per_block_sequential(const RsePlan& plan) {
+  std::vector<PacketId> out;
+  out.reserve(plan.n());
+  for (std::uint32_t b = 0; b < plan.block_count(); ++b) {
+    const BlockInfo& info = plan.block(b);
+    for (std::uint32_t i = 0; i < info.k; ++i)
+      out.push_back(info.source_offset + i);
+    for (std::uint32_t i = 0; i < info.n - info.k; ++i)
+      out.push_back(info.parity_offset + i);
+  }
+  return out;
+}
 
 StreamTrialResult run_stream_trial(const StreamTrialConfig& cfg,
                                    LossModel& channel, std::uint64_t seed) {

@@ -109,4 +109,13 @@ struct StreamTrialResult {
                                                  LossModel& channel,
                                                  std::uint64_t seed);
 
+class RsePlan;
+
+/// The streaming block-RSE schedule: each block's sources then its parity
+/// (a streaming block-FEC sender flushes per block, unlike Tx_model_1's
+/// bulk source-then-parity order).  Shared with the multipath trial
+/// (src/mpath/), which must emit the identical sequence for its 1-path
+/// degenerate case to reproduce this trial bit-for-bit.
+[[nodiscard]] std::vector<PacketId> per_block_sequential(const RsePlan& plan);
+
 }  // namespace fecsched

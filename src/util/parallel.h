@@ -1,0 +1,56 @@
+// Shared index-parallel worker pool.
+//
+// Every parallel runner in this repo has the same shape: N independent
+// work items addressed by index, an atomic cursor handing whole items to
+// workers, and results written to index-addressed slots so aggregation
+// order — and therefore every reported digit — is identical to a serial
+// run.  This header is that shape, once: sim/grid's sweep_points,
+// sim/experiment's run_rx_model1_series and bench_common's parallel_map
+// all delegate here instead of growing their own pools.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace fecsched {
+
+/// `threads` resolved to an actual worker count for `count` items:
+/// 0 = one per hardware thread, never more than one per item, at least 1.
+[[nodiscard]] inline unsigned resolve_worker_count(unsigned threads,
+                                                   std::size_t count) {
+  unsigned workers =
+      threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                   : threads;
+  return std::min<unsigned>(
+      workers, static_cast<unsigned>(std::clamp<std::size_t>(count, 1, ~0u)));
+}
+
+/// Run body(i) for every i in [0, count), distributing whole indices over
+/// `threads` workers (0 = one per hardware thread).  `body` must be
+/// thread-safe across distinct indices and fully determined by its index;
+/// any single index runs on exactly one worker.  With one worker the
+/// indices run in order on the calling thread.
+template <typename Body>
+void parallel_for_index(std::size_t count, unsigned threads,
+                        const Body& body) {
+  const unsigned workers = resolve_worker_count(threads, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1))
+      body(i);
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace fecsched

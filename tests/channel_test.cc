@@ -236,6 +236,43 @@ TEST(NStateMarkov, StationaryDistributionSumsToOne) {
   EXPECT_NEAR(sum, 1.0, 1e-9);
 }
 
+TEST(NStateMarkov, StationaryIsFixedPointOfTransitionMatrix) {
+  // pi P = pi: the power iteration must land on the genuine left
+  // eigenvector, not merely something normalised.
+  const std::vector<std::vector<double>> P = {
+      {0.7, 0.2, 0.1}, {0.3, 0.5, 0.2}, {0.1, 0.1, 0.8}};
+  const NStateMarkovModel m(P, {0.0, 0.3, 0.9});
+  const std::vector<double>& pi = m.stationary();
+  ASSERT_EQ(pi.size(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    double pij = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) pij += pi[i] * P[i][j];
+    EXPECT_NEAR(pij, pi[j], 1e-9) << "state " << j;
+    EXPECT_GE(pi[j], 0.0);
+  }
+}
+
+TEST(NStateMarkov, TwoStateStationaryMatchesAnalyticForm) {
+  // The Gilbert special case has the closed form pi = (q, p) / (p + q).
+  const double p = 0.12, q = 0.48;
+  const auto m = NStateMarkovModel::gilbert(p, q);
+  ASSERT_EQ(m.stationary().size(), 2u);
+  EXPECT_NEAR(m.stationary()[0], q / (p + q), 1e-9);
+  EXPECT_NEAR(m.stationary()[1], p / (p + q), 1e-9);
+}
+
+TEST(NStateMarkov, GilbertElliottGlobalLossMixesStateLossRates) {
+  // Gilbert-Elliott: loss also happens in the good state; the long-run
+  // rate is the stationary mixture of the per-state rates.
+  const double p = 0.1, q = 0.4, h_good = 0.02, h_bad = 0.7;
+  auto m = NStateMarkovModel::gilbert_elliott(p, q, h_good, h_bad);
+  const double expected =
+      (q * h_good + p * h_bad) / (p + q);
+  EXPECT_NEAR(m.global_loss_probability(), expected, 1e-9);
+  m.reset(29);
+  EXPECT_NEAR(measured_loss(m, 400000), expected, 0.01);
+}
+
 TEST(NStateMarkov, ThreeStateLongRunLoss) {
   NStateMarkovModel m({{0.9, 0.1, 0.0}, {0.2, 0.6, 0.2}, {0.0, 0.3, 0.7}},
                       {0.01, 0.2, 0.8});
@@ -268,6 +305,63 @@ TEST(TraceModel, ParseRejectsGarbage) {
   EXPECT_THROW(TraceModel::parse("01a1"), std::invalid_argument);
   EXPECT_THROW(TraceModel::parse(""), std::invalid_argument);
   EXPECT_THROW(TraceModel::parse("   \n"), std::invalid_argument);
+}
+
+TEST(TraceModel, RejectsEmptyEventVector) {
+  // The constructor itself (not just parse) must refuse an empty trace —
+  // replay would otherwise divide by the trace length.
+  EXPECT_THROW(TraceModel({}), std::invalid_argument);
+  EXPECT_THROW(TraceModel({}, /*random_rotation=*/false),
+               std::invalid_argument);
+}
+
+TEST(TraceModel, SingleEntryTraceIsConstant) {
+  // A one-packet trace replays that packet forever, and the random
+  // rotation has only one phase to pick — every seed behaves the same.
+  for (const bool value : {false, true}) {
+    TraceModel tm({value});
+    EXPECT_EQ(tm.length(), 1u);
+    EXPECT_NEAR(tm.loss_rate(), value ? 1.0 : 0.0, 1e-12);
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      tm.reset(seed);
+      for (int i = 0; i < 20; ++i) EXPECT_EQ(tm.lost(), value);
+    }
+  }
+}
+
+TEST(TraceModel, WraparoundReplayIsExactlyPeriodic) {
+  // Three full cycles without rotation: fate of packet t is trace[t % L],
+  // with no drift or phase glitch at the cycle boundary.
+  const std::vector<bool> trace = {true, false, false, true, true, false};
+  TraceModel tm(trace, /*random_rotation=*/false);
+  tm.reset(123);
+  for (int cycle = 0; cycle < 3; ++cycle)
+    for (std::size_t i = 0; i < trace.size(); ++i)
+      ASSERT_EQ(tm.lost(), trace[i]) << "cycle " << cycle << " pos " << i;
+  // reset() restarts the phase even mid-cycle.
+  tm.reset(123);
+  EXPECT_TRUE(tm.lost());
+  EXPECT_FALSE(tm.lost());
+}
+
+TEST(TraceModel, RotatedReplayIsStillPeriodicWithSamePeriod) {
+  // Rotation shifts the phase but must preserve the cyclic content: over
+  // one period every rotation delivers the same multiset of fates.
+  const std::vector<bool> trace = {true, false, false, false};
+  TraceModel tm(trace);  // random rotation on
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    tm.reset(seed);
+    std::vector<bool> first_period;
+    int losses = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      first_period.push_back(tm.lost());
+      losses += first_period.back() ? 1 : 0;
+    }
+    EXPECT_EQ(losses, 1) << "seed " << seed;  // content preserved
+    // The second period repeats the first exactly.
+    for (std::size_t i = 0; i < trace.size(); ++i)
+      ASSERT_EQ(tm.lost(), first_period[i]) << "seed " << seed;
+  }
 }
 
 TEST(TraceModel, LoadFromStream) {

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Tier-1 verify, exactly as CI runs it (usable locally too):
 # configure + build + ctest.  The build promotes warnings to errors for
-# the new adaptive (src/adapt/) and streaming (src/stream/) subsystems via
-# CMake source properties; everything else builds with -Wall -Wextra.
+# the new adaptive (src/adapt/), streaming (src/stream/) and multipath
+# (src/mpath/) subsystems via CMake source properties; everything else
+# builds with -Wall -Wextra.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,3 +19,12 @@ cd build && ctest --output-on-failure -j
 ctest --output-on-failure --no-tests=error \
       -R 'Sliding|DelayTracker|StreamTrial|StreamDelayGrid|RecommendWindow'
 ./bench_stream_delay --k=1000 --trials=10
+
+# Multipath subsystem gate: the mpath tests (including the 1-path
+# degenerate oracle pinning bit-identity with the single-path trial),
+# then a scale-reduced smoke run of the multipath bench — its exit status
+# enforces the Kurant acceptance criterion (earliest-arrival path mapping
+# beats round-robin on all 4 asymmetric-path points).
+ctest --output-on-failure --no-tests=error \
+      -R 'Path|Mpath|Resequencer'
+./bench_mpath --k=1000 --trials=10

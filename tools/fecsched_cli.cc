@@ -40,6 +40,22 @@
 //       Without --scheme every default variant runs; --json emits the
 //       full merged delay distribution (integer-slot histogram) per
 //       variant.
+//
+//   fecsched_cli mpath     [--p=P --q=Q | --pglobal=PG --burst=B]
+//                          [--delay=D ...] [--capacity=C ...]
+//                          [--scheduler=rr|weighted|split|earliest]
+//                          [--scheme=sliding|rse|ldgm|replication]
+//                          [--sched=seq|interleaved] [--adapt --warmup=5]
+//                          [--overhead=0.25 --window=64 --blockk=64]
+//                          [--sources=2000 --trials=8 --seed=N] [--json]
+//       Multipath workload (src/mpath/): the stream spread over one path
+//       per --delay (default 5 and 45 slots; --capacity repeats
+//       per-path, default 1.0), every path running an independent copy
+//       of the Gilbert point.  Without --scheduler every packet-to-path
+//       mapping runs.  --adapt closes the per-path loop: a PathAdapter
+//       learns each path from warm-up trials, then repair weights and
+//       the window come from src/adapt/.  --json emits per-scheduler
+//       delay histograms, per-path stats and reordering.
 
 #include <cstdio>
 #include <cstring>
@@ -58,9 +74,12 @@
 #include "core/nsent.h"
 #include "core/planner.h"
 #include "flute/fdt.h"
+#include "mpath/mpath_trial.h"
+#include "mpath/path_adapt.h"
 #include "sim/adaptive_compare.h"
 #include "sim/analytic.h"
 #include "sim/experiment.h"
+#include "sim/mpath_sweep.h"
 #include "sim/stream_delay.h"
 #include "sim/table_io.h"
 #include "util/rng.h"
@@ -629,23 +648,352 @@ int cmd_stream(const Args& args) {
   return 0;
 }
 
-void usage() {
-  std::fprintf(stderr,
+// -------------------------------------------------------------- mpath
+
+/// Merged per-scheduler outcome over all trials (the multipath analogue
+/// of StreamCliOutcome, plus reordering and per-path aggregates).
+struct MpathCliOutcome {
+  MpathVariant variant;
+  std::vector<double> delays;  ///< all delivered delays, sorted ascending
+  std::uint64_t delivered = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t residual_runs = 0;
+  std::uint64_t residual_max_run = 0;
+  double delay_sum = 0.0;
+  double hol_sum = 0.0;  ///< per-trial mean x delivered, summed
+  double reordered_fraction_sum = 0.0;
+  double overhead_actual_sum = 0.0;
+  std::vector<PathStats> paths;  ///< counters summed over trials
+  std::uint32_t trials = 0;
+
+  [[nodiscard]] double mean() const {
+    return delays.empty() ? 0.0
+                          : delay_sum / static_cast<double>(delays.size());
+  }
+  [[nodiscard]] double mean_hol() const {
+    return delivered ? hol_sum / static_cast<double>(delivered) : 0.0;
+  }
+  [[nodiscard]] double mean_residual_run() const {
+    return residual_runs ? static_cast<double>(lost) /
+                               static_cast<double>(residual_runs)
+                         : 0.0;
+  }
+};
+
+void write_mpath_json(std::ostream& os,
+                      const std::vector<MpathCliOutcome>& outcomes,
+                      const MpathTrialConfig& base, double p, double q,
+                      std::uint32_t trials, std::uint64_t seed) {
+  os << "{\"sources\":" << base.stream.source_count << ",\"trials\":"
+     << trials << ",\"seed\":" << seed << ",\"p\":" << format_fixed(p, 6)
+     << ",\"q\":" << format_fixed(q, 6) << ",\"p_global\":"
+     << format_fixed(global_loss_probability(p, q), 4) << ",\"mean_burst\":"
+     << format_fixed(q > 0 ? 1.0 / q : 0.0, 2) << ",\"overhead\":"
+     << format_fixed(base.stream.overhead, 4) << ",\"window\":"
+     << base.stream.window << ",\"scheme\":\""
+     << json_escape(to_string(base.stream.scheme)) << "\",\"paths\":[";
+  for (std::size_t i = 0; i < base.paths.size(); ++i) {
+    if (i) os << ",";
+    os << "{\"delay\":" << format_fixed(base.paths[i].delay, 2)
+       << ",\"capacity\":" << format_fixed(base.paths[i].capacity, 2) << "}";
+  }
+  os << "]";
+  if (!base.repair_weights.empty()) {
+    os << ",\"repair_weights\":[";
+    for (std::size_t i = 0; i < base.repair_weights.size(); ++i) {
+      if (i) os << ",";
+      os << format_fixed(base.repair_weights[i], 4);
+    }
+    os << "]";
+  }
+  os << ",\"schedulers\":[";
+  bool first = true;
+  for (const auto& o : outcomes) {
+    if (!first) os << ",";
+    first = false;
+    const double t = o.trials ? static_cast<double>(o.trials) : 1.0;
+    os << "\n{\"scheduler\":\"" << json_escape(o.variant.label)
+       << "\",\"overhead_actual\":"
+       << format_fixed(o.overhead_actual_sum / t, 4)
+       << ",\"reordered_fraction\":"
+       << format_fixed(o.reordered_fraction_sum / t, 4)
+       << ",\"delay\":{\"delivered\":" << o.delivered << ",\"lost\":"
+       << o.lost << ",\"mean\":" << format_fixed(o.mean(), 4) << ",\"p50\":"
+       << format_fixed(sorted_percentile(o.delays, 0.50), 4) << ",\"p95\":"
+       << format_fixed(sorted_percentile(o.delays, 0.95), 4) << ",\"p99\":"
+       << format_fixed(sorted_percentile(o.delays, 0.99), 4) << ",\"max\":"
+       << format_fixed(o.delays.empty() ? 0.0 : o.delays.back(), 4)
+       << ",\"mean_hol\":" << format_fixed(o.mean_hol(), 4) << "}"
+       << ",\"residual\":{\"lost\":" << o.lost << ",\"runs\":"
+       << o.residual_runs << ",\"mean_run_length\":"
+       << format_fixed(o.mean_residual_run(), 2) << ",\"max_run_length\":"
+       << o.residual_max_run << "},\"per_path\":[";
+    for (std::size_t i = 0; i < o.paths.size(); ++i) {
+      if (i) os << ",";
+      os << "{\"label\":\"" << json_escape(o.paths[i].label)
+         << "\",\"sent\":" << o.paths[i].sent << ",\"lost\":"
+         << o.paths[i].lost << ",\"mean_queue_wait\":"
+         << format_fixed(o.paths[i].mean_queue_wait, 4)
+         << ",\"mean_transit\":"
+         << format_fixed(o.paths[i].mean_transit, 4) << "}";
+    }
+    os << "]";
+    std::map<long long, std::uint64_t> histogram;
+    for (double d : o.delays) ++histogram[std::llround(d)];
+    os << ",\"histogram\":[";
+    bool first_bin = true;
+    for (const auto& [delay, count] : histogram) {
+      if (!first_bin) os << ",";
+      first_bin = false;
+      os << "{\"delay\":" << delay << ",\"count\":" << count << "}";
+    }
+    os << "]}";
+  }
+  os << "\n]}\n";
+}
+
+int cmd_mpath(const Args& args) {
+  MpathTrialConfig base;
+  std::vector<MpathVariant> variants;
+  double p = 0.0, q = 1.0;
+  std::uint32_t trials = 0, warmup = 0;
+  std::uint64_t seed = 0;
+  bool adapt = false;
+  try {
+    if (args.get("pglobal") || args.get("burst")) {
+      const ChannelPoint pt = gilbert_point(args.number("pglobal", 0.02),
+                                            args.number("burst", 2.0));
+      p = pt.p;
+      q = pt.q;
+    } else {
+      p = args.number("p", 0.01);
+      q = args.number("q", 0.5);
+    }
+    base.stream.source_count =
+        static_cast<std::uint32_t>(args.integer("sources", 2000));
+    base.stream.overhead = args.number("overhead", 0.25);
+    base.stream.window =
+        static_cast<std::uint32_t>(args.integer("window", 64));
+    base.stream.block_k =
+        static_cast<std::uint32_t>(args.integer("blockk", 64));
+    trials = static_cast<std::uint32_t>(args.integer("trials", 8));
+    warmup = static_cast<std::uint32_t>(args.integer("warmup", 5));
+    seed = args.integer("seed", 0x3147a7b5ULL);
+    adapt = args.get("adapt").has_value();
+    if (base.stream.source_count == 0 || base.stream.source_count > 1000000)
+      throw std::invalid_argument("--sources must be in [1, 1000000]");
+    if (trials == 0 || trials > 10000)
+      throw std::invalid_argument("--trials must be in [1, 10000]");
+    if (static_cast<std::uint64_t>(base.stream.source_count) * trials >
+        20000000)
+      throw std::invalid_argument(
+          "--sources x --trials must not exceed 20000000 (the full delay "
+          "distribution is held in memory)");
+
+    std::vector<double> delays;
+    for (const auto& v : args.get_all("delay")) delays.push_back(std::stod(v));
+    if (delays.empty()) delays = {5.0, 45.0};
+    std::vector<double> capacities;
+    for (const auto& v : args.get_all("capacity"))
+      capacities.push_back(std::stod(v));
+    for (std::size_t i = 0; i < delays.size(); ++i) {
+      const double capacity =
+          i < capacities.size()
+              ? capacities[i]
+              : (capacities.empty() ? 1.0 : capacities.back());
+      base.paths.push_back(PathSpec::gilbert(p, q, delays[i], capacity));
+    }
+
+    if (const auto s = args.get("sched")) {
+      if (*s == "seq") base.stream.scheduling = StreamScheduling::kSequential;
+      else if (*s == "interleaved")
+        base.stream.scheduling = StreamScheduling::kInterleaved;
+      else throw std::invalid_argument("--sched must be seq|interleaved");
+    }
+    if (const auto s = args.get("scheme")) {
+      if (*s == "sliding") base.stream.scheme = StreamScheme::kSlidingWindow;
+      else if (*s == "rse") base.stream.scheme = StreamScheme::kBlockRse;
+      else if (*s == "ldgm") base.stream.scheme = StreamScheme::kLdgm;
+      else if (*s == "replication")
+        base.stream.scheme = StreamScheme::kReplication;
+      else throw std::invalid_argument(
+          "--scheme must be sliding|rse|ldgm|replication");
+    }
+    if (const auto s = args.get("scheduler")) {
+      PathScheduling mode;
+      if (*s == "rr") mode = PathScheduling::kRoundRobin;
+      else if (*s == "weighted") mode = PathScheduling::kWeighted;
+      else if (*s == "split") mode = PathScheduling::kSplit;
+      else if (*s == "earliest") mode = PathScheduling::kEarliestArrival;
+      else throw std::invalid_argument(
+          "--scheduler must be rr|weighted|split|earliest");
+      variants.push_back({std::string(to_string(mode)), mode});
+    } else {
+      variants = MpathSweepConfig::default_variants();
+    }
+    for (const MpathVariant& v : variants) {
+      MpathTrialConfig cfg = base;
+      cfg.scheduler = v.scheduler;
+      cfg.validate();
+    }
+
+    if (adapt) {
+      // Warm up a PathAdapter on round-robin probe trials (every path sees
+      // traffic), then let src/adapt/ pick repair weights and the window.
+      PathAdapter adapter(base.paths.size());
+      MpathTrialConfig probe = base;
+      probe.scheduler = PathScheduling::kRoundRobin;
+      for (std::uint32_t t = 0; t < warmup; ++t)
+        adapter.observe(run_mpath_trial(probe, derive_seed(seed, {99, t})));
+      AdaptiveController controller;
+      adapter.apply(base, controller);
+      // Keep stdout pure JSON under --json; the learned weights/window
+      // appear in the document itself ("repair_weights", "window").
+      if (!args.get("json")) {
+        std::printf("per-path estimates after %u warm-up trials "
+                    "(src/adapt/ closed loop):\n",
+                    warmup);
+        const auto estimates = adapter.estimates();
+        for (std::size_t i = 0; i < estimates.size(); ++i) {
+          const std::string label = base.paths[i].label.empty()
+                                        ? "path" + std::to_string(i)
+                                        : base.paths[i].label;
+          std::printf("  %s: p_global=%.4f mean_burst=%.2f%s -> repair "
+                      "weight %.2f\n",
+                      label.c_str(), estimates[i].p_global,
+                      estimates[i].mean_burst,
+                      estimates[i].bursty ? " (bursty)" : "",
+                      base.repair_weights[i]);
+        }
+        std::printf("  window <- %u\n\n", base.stream.window);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mpath: %s\n", e.what());
+    return 2;
+  }
+
+  std::vector<MpathCliOutcome> outcomes;
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    MpathCliOutcome outcome;
+    outcome.variant = variants[v];
+    MpathTrialConfig cfg = base;
+    cfg.scheduler = variants[v].scheduler;
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      const MpathTrialResult r =
+          run_mpath_trial(cfg, derive_seed(seed, {v, t}));
+      outcome.delays.insert(outcome.delays.end(), r.stream.delays.begin(),
+                            r.stream.delays.end());
+      outcome.delivered += r.stream.delay.delivered;
+      outcome.lost += r.stream.residual.lost;
+      outcome.residual_runs += r.stream.residual.runs;
+      outcome.residual_max_run =
+          std::max(outcome.residual_max_run, r.stream.residual.max_run_length);
+      const auto delivered = static_cast<double>(r.stream.delay.delivered);
+      outcome.delay_sum += r.stream.delay.mean * delivered;
+      outcome.hol_sum += r.stream.delay.mean_hol * delivered;
+      outcome.reordered_fraction_sum += r.reordered_fraction;
+      outcome.overhead_actual_sum += r.stream.overhead_actual;
+      if (outcome.paths.empty()) {
+        outcome.paths = r.paths;
+      } else {
+        for (std::size_t i = 0; i < r.paths.size(); ++i) {
+          outcome.paths[i].sent += r.paths[i].sent;
+          outcome.paths[i].lost += r.paths[i].lost;
+          outcome.paths[i].mean_queue_wait += r.paths[i].mean_queue_wait;
+          outcome.paths[i].mean_transit += r.paths[i].mean_transit;
+        }
+      }
+      ++outcome.trials;
+    }
+    // The per-path means were summed per trial; normalise.
+    for (auto& path : outcome.paths) {
+      path.mean_queue_wait /= static_cast<double>(outcome.trials);
+      path.mean_transit /= static_cast<double>(outcome.trials);
+    }
+    std::sort(outcome.delays.begin(), outcome.delays.end());
+    outcomes.push_back(std::move(outcome));
+  }
+
+  if (args.get("json")) {
+    write_mpath_json(std::cout, outcomes, base, p, q, trials, seed);
+    return 0;
+  }
+
+  std::printf("multipath: %u sources over %zu paths, scheme %s, overhead "
+              "%.3f, window %u, %u trials\n",
+              base.stream.source_count, base.paths.size(),
+              std::string(to_string(base.stream.scheme)).c_str(),
+              base.stream.overhead, base.stream.window, trials);
+  std::printf("channel/path: p=%.4f q=%.4f (p_global=%.4f, mean burst "
+              "%.2f); delays:",
+              p, q, global_loss_probability(p, q), q > 0 ? 1.0 / q : 0.0);
+  for (const PathSpec& path : base.paths)
+    std::printf(" %.0f", path.delay);
+  std::printf(" slots\n\n");
+  std::printf("%-18s %9s %9s %9s %9s %9s %8s\n", "scheduler", "mean", "p95",
+              "p99", "max", "reorder%", "lost%");
+  for (const auto& o : outcomes) {
+    const double t = o.trials ? static_cast<double>(o.trials) : 1.0;
+    std::printf("%-18s %9.2f %9.2f %9.2f %9.2f %8.2f%% %7.3f%%\n",
+                o.variant.label.c_str(), o.mean(),
+                sorted_percentile(o.delays, 0.95),
+                sorted_percentile(o.delays, 0.99),
+                o.delays.empty() ? 0.0 : o.delays.back(),
+                o.reordered_fraction_sum / t * 100.0,
+                100.0 * static_cast<double>(o.lost) /
+                    static_cast<double>(o.delivered + o.lost));
+    for (const auto& path : o.paths)
+      std::printf("    %-14s sent %8llu  lost %6llu  queue %7.2f  "
+                  "transit %7.2f\n",
+                  path.label.c_str(),
+                  static_cast<unsigned long long>(path.sent),
+                  static_cast<unsigned long long>(path.lost),
+                  path.mean_queue_wait, path.mean_transit);
+  }
+  std::printf("\n(delays in sender slots; in-order release; reorder%% = "
+              "received packets overtaken by a later emission)\n");
+  return 0;
+}
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: fecsched_cli "
-               "<sweep|plan|universal|limits|fit|adapt|stream> "
+               "<sweep|plan|universal|limits|fit|adapt|stream|mpath> "
                "[--key=value ...]\n"
-               "see the header of tools/fecsched_cli.cc for details\n");
+               "\n"
+               "  sweep      paper 14x14 (p, q) inefficiency table for one "
+               "(code, tx, ratio)\n"
+               "  plan       evaluate candidate tuples at a known channel "
+               "point + optimal n_sent\n"
+               "  universal  rank tuples over the whole grid "
+               "(unknown-channel recommendation)\n"
+               "  limits     Fig. 6 fundamental decoding limits\n"
+               "  fit        fit Gilbert (p, q) to a loss trace file\n"
+               "  adapt      closed-loop adaptive FEC vs static tuples "
+               "(src/adapt/)\n"
+               "  stream     streaming delay / residual-loss comparison "
+               "(src/stream/)\n"
+               "  mpath      multipath packet-to-path scheduling comparison "
+               "(src/mpath/)\n"
+               "\n"
+               "run 'fecsched_cli --help' or see the header of "
+               "tools/fecsched_cli.cc for per-command flags\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    usage();
+    usage(stderr);
     return 2;
   }
-  const Args args = parse_args(argc, argv, 2);
   const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    usage(stdout);
+    return 0;
+  }
+  const Args args = parse_args(argc, argv, 2);
   if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "plan") return cmd_plan(args);
   if (cmd == "universal") return cmd_universal(args);
@@ -653,6 +1001,7 @@ int main(int argc, char** argv) {
   if (cmd == "fit") return cmd_fit(args);
   if (cmd == "adapt") return cmd_adapt(args);
   if (cmd == "stream") return cmd_stream(args);
-  usage();
+  if (cmd == "mpath") return cmd_mpath(args);
+  usage(stderr);
   return 2;
 }
