@@ -3,17 +3,40 @@
 // of the real payload codecs; throughput is reported as bytes of source
 // data processed per second.
 //
-// RSE operates per 255-packet block (GF(2^8) table multiplications);
-// LDGM-* encodes the whole large block with XORs only.
+// RSE operates per 255-packet block (GF(2^8) multiplications through the
+// SIMD-dispatched kernel engine, gf/gf256_kernels.h); LDGM-* encodes the
+// whole large block with XORs only.
+//
+// Besides the google-benchmark mode, the bench has a machine-readable
+// mode used by tools/ci.sh and EXPERIMENTS.md:
+//
+//   bench_codec_speed --json <out> [--check] [--min-time=SECONDS]
+//
+// measures gf256_addmul / rse_encode / rse_decode / ldgm_encode on EVERY
+// backend the host supports and writes throughput (bytes/s per op x
+// backend) plus best-SIMD-over-scalar speedups as JSON (recorded as
+// BENCH_codec_speed.json).  --check additionally enforces the perf
+// acceptance criteria on SIMD-capable hosts: >= 4x addmul and >= 1.5x
+// end-to-end RSE encode/decode over the scalar baseline (exit 1 when
+// violated).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "fec/ldgm.h"
 #include "fec/peeling_decoder.h"
 #include "fec/rse.h"
+#include "fec/symbol_arena.h"
 #include "gf/gf256.h"
+#include "gf/gf256_kernels.h"
 #include "util/rng.h"
 
 namespace {
@@ -136,6 +159,182 @@ void BM_Gf256Addmul(benchmark::State& state) {
 }
 BENCHMARK(BM_Gf256Addmul);
 
+// --------------------------------------------- machine-readable mode
+
+/// Time `body` until at least min_time elapsed, returning bytes/second
+/// (`bytes_per_call` processed per invocation).
+template <typename Fn>
+double measure_bytes_per_second(double min_time, std::uint64_t bytes_per_call,
+                                Fn&& body) {
+  using clock = std::chrono::steady_clock;
+  // Warm-up (tables, dispatch, caches).
+  body();
+  std::uint64_t calls = 0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  do {
+    for (int i = 0; i < 8; ++i) body();
+    calls += 8;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < min_time);
+  return static_cast<double>(calls * bytes_per_call) / elapsed;
+}
+
+struct OpResult {
+  std::string op;
+  std::string backend;
+  double bytes_per_second = 0.0;
+};
+
+int run_json_mode(const std::string& json_path, bool check, double min_time) {
+  const gf::Backend original = gf::current_backend();
+  const auto backends = gf::supported_backends();
+
+  // Fixtures shared by every backend (built once, on the default backend;
+  // outputs are backend-independent by the bit-identity contract).
+  const std::uint32_t k = 102, n = 255;
+  const RseCodec codec(k, n);
+  const auto src = random_symbols(k, 1);
+  const auto parity = codec.encode(src);
+  const std::uint32_t erased = std::min(n - k, k);
+  std::vector<RseCodec::Received> rx;
+  for (std::uint32_t i = erased; i < k; ++i) rx.push_back({i, src[i]});
+  for (std::uint32_t i = 0; i < erased; ++i) rx.push_back({k + i, parity[i]});
+  const LdgmCode ldgm(ldgm_params(1020, 1.5, LdgmVariant::kStaircase));
+  const auto ldgm_src = random_symbols(ldgm.k(), 3);
+
+  std::vector<OpResult> results;
+  std::map<std::string, double> scalar_rate, best_simd_rate;
+  for (const gf::Backend b : backends) {
+    gf::force_backend(b);
+    const std::string name(gf::to_string(b));
+
+    std::vector<std::uint8_t> dst(kSymbolSize, 1), addmul_src(kSymbolSize, 2);
+    const double addmul = measure_bytes_per_second(
+        min_time, kSymbolSize,
+        [&] { gf::kernels().addmul(dst.data(), addmul_src.data(), kSymbolSize, 0x57); });
+
+    const double rse_encode = measure_bytes_per_second(
+        min_time, static_cast<std::uint64_t>(k) * kSymbolSize, [&] {
+          auto out = codec.encode(src);
+          benchmark::DoNotOptimize(out);
+        });
+    const double rse_decode = measure_bytes_per_second(
+        min_time, static_cast<std::uint64_t>(k) * kSymbolSize, [&] {
+          auto out = codec.decode(rx);
+          benchmark::DoNotOptimize(out);
+        });
+    const double ldgm_encode = measure_bytes_per_second(
+        min_time, static_cast<std::uint64_t>(ldgm.k()) * kSymbolSize, [&] {
+          auto out = ldgm.encode(ldgm_src);
+          benchmark::DoNotOptimize(out);
+        });
+
+    const std::map<std::string, double> rates = {
+        {"gf256_addmul", addmul},
+        {"rse_encode", rse_encode},
+        {"rse_decode", rse_decode},
+        {"ldgm_encode", ldgm_encode}};
+    const bool simd = b == gf::Backend::kSsse3 || b == gf::Backend::kAvx2 ||
+                      b == gf::Backend::kNeon;
+    for (const auto& [op, rate] : rates) {
+      results.push_back({op, name, rate});
+      if (b == gf::Backend::kScalar) scalar_rate[op] = rate;
+      if (simd) best_simd_rate[op] = std::max(best_simd_rate[op], rate);
+    }
+  }
+  gf::force_backend(original);
+
+  std::map<std::string, double> speedup;
+  for (const auto& [op, rate] : best_simd_rate)
+    if (scalar_rate[op] > 0.0) speedup[op] = rate / scalar_rate[op];
+
+  std::ofstream file(json_path);
+  if (!file) {
+    std::cerr << "bench_codec_speed: cannot write " << json_path << "\n";
+    return 1;
+  }
+  bench::JsonWriter json(file);
+  json.begin_object();
+  json.key("bench").value("codec_speed");
+  json.key("symbol_size").value(std::uint64_t{kSymbolSize});
+  json.key("default_backend").value(std::string(gf::to_string(original)));
+  json.key("backends").begin_array();
+  for (const gf::Backend b : backends) json.value(std::string(gf::to_string(b)));
+  json.end_array();
+  json.key("results").begin_array();
+  for (const OpResult& r : results) {
+    json.begin_object();
+    json.key("op").value(r.op);
+    json.key("backend").value(r.backend);
+    json.key("bytes_per_second").value(r.bytes_per_second);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("speedup_best_simd_over_scalar").begin_object();
+  for (const auto& [op, s] : speedup) json.key(op).value(s);
+  json.end_object();
+  json.end_object();
+  file << "\n";
+
+  for (const OpResult& r : results)
+    std::cout << r.op << " [" << r.backend << "]: "
+              << r.bytes_per_second / 1e6 << " MB/s\n";
+  for (const auto& [op, s] : speedup)
+    std::cout << "speedup " << op << " (best SIMD / scalar): " << s << "x\n";
+
+  if (check) {
+    if (speedup.empty()) {
+      std::cout << "check: no SIMD backend on this host, criteria waived\n";
+      return 0;
+    }
+    bool ok = true;
+    const auto require = [&](const std::string& op, double minimum) {
+      if (speedup[op] < minimum) {
+        std::cerr << "check FAILED: " << op << " speedup " << speedup[op]
+                  << "x < " << minimum << "x\n";
+        ok = false;
+      }
+    };
+    require("gf256_addmul", 4.0);
+    require("rse_encode", 1.5);
+    require("rse_decode", 1.5);
+    if (ok) std::cout << "check passed: >=4x addmul, >=1.5x RSE end-to-end\n";
+    return ok ? 0 : 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool check = false;
+  double min_time = 0.15;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg.rfind("--min-time=", 0) == 0) {
+      min_time = std::stod(arg.substr(11));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty() || check) {
+    if (json_path.empty()) json_path = "BENCH_codec_speed.json";
+    return run_json_mode(json_path, check, min_time);
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -82,6 +82,85 @@ auto parallel_map(std::uint32_t count, unsigned threads, Fn&& fn)
   return results;
 }
 
+/// Minimal streaming JSON emitter for the benches' machine-readable
+/// outputs (e.g. bench_codec_speed --json): objects, arrays, string /
+/// number / bool values with automatic comma placement.  The benches only
+/// emit identifier-like strings, so escaping covers quotes and
+/// backslashes.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(const std::string& name) {
+    comma();
+    write_string(name);
+    out_ << ':';
+    pending_value_ = true;
+    return *this;
+  }
+  JsonWriter& value(const std::string& v) {
+    comma();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v) {
+    comma();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ << (v ? "true" : "false");
+    return *this;
+  }
+
+ private:
+  JsonWriter& open(char c) {
+    comma();
+    out_ << c;
+    need_comma_.push_back(false);
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    out_ << c;
+    need_comma_.pop_back();
+    return *this;
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;  // the value right after a key
+      return;
+    }
+    if (!need_comma_.empty()) {
+      if (need_comma_.back()) out_ << ',';
+      need_comma_.back() = true;
+    }
+  }
+  void write_string(const std::string& s) {
+    out_ << '"';
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out_ << '\\';
+      out_ << c;
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  std::vector<bool> need_comma_;
+  bool pending_value_ = false;
+};
+
 inline void print_banner(const std::string& title, const Scale& s) {
   std::cout << "==================================================================\n"
             << title << "\n"

@@ -1,72 +1,103 @@
 #include "fec/ge_decoder.h"
 
+#include <algorithm>
 #include <cstring>
-#include <unordered_map>
 #include <vector>
+
+#include "fec/symbol_arena.h"
+#include "gf/gf256_kernels.h"
 
 namespace fecsched {
 
 namespace {
 
+// Scratch reused across the ge_solve feedback iterations and, via the
+// thread_local in ge_solve, across calls on the same thread (one stuck
+// decode per trial in the ge_fallback sweeps): the residual system is
+// rebuilt every pass, but its buffers only ever grow to the high-water
+// mark.  `m` is the bit-packed residual matrix flattened row-major
+// (rows x words) and `rhs` the payload accumulators as one arena.
+struct GeScratch {
+  std::vector<std::uint32_t> rows;
+  std::vector<std::uint32_t> col_of_var;  // per variable id; kNoCol unset
+  std::vector<std::uint32_t> col_to_var;
+  std::vector<std::uint64_t> m;
+  SymbolArena rhs;
+  std::vector<std::size_t> pivot_row_of_col;
+
+  static constexpr std::uint32_t kNoCol = 0xffffffffu;
+};
+
 // One GE pass.  Returns the number of variables solved and fed back.
-std::uint32_t ge_pass(PeelingDecoder& d, GeStats& stats) {
+std::uint32_t ge_pass(PeelingDecoder& d, GeStats& stats, GeScratch& ws) {
   const SparseBinaryMatrix& h = d.matrix();
   const std::size_t sym = d.symbol_size();
 
   // Collect residual rows (>= 2 unknowns; rows with 1 would have peeled).
-  std::vector<std::uint32_t> rows;
+  ws.rows.clear();
   for (std::uint32_t r = 0; r < h.rows(); ++r)
-    if (d.unknowns_in_row(r) >= 2) rows.push_back(r);
-  if (rows.empty()) return 0;
+    if (d.unknowns_in_row(r) >= 2) ws.rows.push_back(r);
+  if (ws.rows.empty()) return 0;
 
   // Compact column index for every unknown variable in those rows.
-  std::unordered_map<std::uint32_t, std::uint32_t> var_to_col;
-  std::vector<std::uint32_t> col_to_var;
-  for (std::uint32_t r : rows)
+  ws.col_of_var.assign(h.cols(), GeScratch::kNoCol);
+  ws.col_to_var.clear();
+  for (std::uint32_t r : ws.rows)
     for (std::uint32_t v : h.row(r))
-      if (!d.is_known(v) && !var_to_col.contains(v)) {
-        var_to_col.emplace(v, static_cast<std::uint32_t>(col_to_var.size()));
-        col_to_var.push_back(v);
+      if (!d.is_known(v) && ws.col_of_var[v] == GeScratch::kNoCol) {
+        ws.col_of_var[v] = static_cast<std::uint32_t>(ws.col_to_var.size());
+        ws.col_to_var.push_back(v);
       }
-  const std::size_t u = col_to_var.size();
-  stats.residual_rows = static_cast<std::uint32_t>(rows.size());
+  const std::size_t u = ws.col_to_var.size();
+  stats.residual_rows = static_cast<std::uint32_t>(ws.rows.size());
   stats.residual_vars = static_cast<std::uint32_t>(u);
 
   // Bit-packed residual matrix plus (payload mode) RHS accumulators.
   const std::size_t words = (u + 63) / 64;
-  std::vector<std::vector<std::uint64_t>> m(rows.size());
-  std::vector<std::vector<std::uint8_t>> rhs(sym > 0 ? rows.size() : 0);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    m[i].assign(words, 0);
-    for (std::uint32_t v : h.row(rows[i]))
+  const std::size_t nrows = ws.rows.size();
+  ws.m.assign(nrows * words, 0);
+  ws.rhs.configure(sym > 0 ? nrows : 0, sym);
+  const gf::Kernels& eng = gf::kernels();
+  for (std::size_t i = 0; i < nrows; ++i) {
+    std::uint64_t* mi = ws.m.data() + i * words;
+    for (std::uint32_t v : h.row(ws.rows[i]))
       if (!d.is_known(v)) {
-        const std::uint32_t c = var_to_col.at(v);
-        m[i][c / 64] |= std::uint64_t{1} << (c % 64);
+        const std::uint32_t c = ws.col_of_var[v];
+        mi[c / 64] |= std::uint64_t{1} << (c % 64);
       }
     if (sym > 0) {
-      const auto acc = d.row_accumulator(rows[i]);
-      rhs[i].assign(acc.begin(), acc.end());
+      const auto acc = d.row_accumulator(ws.rows[i]);
+      std::memcpy(ws.rhs.row(i), acc.data(), sym);
     }
   }
 
   // Gauss-Jordan to reduced row-echelon form.
-  std::vector<std::size_t> pivot_row_of_col(u, SIZE_MAX);
+  ws.pivot_row_of_col.assign(u, SIZE_MAX);
   std::size_t next_row = 0;
-  for (std::size_t c = 0; c < u && next_row < m.size(); ++c) {
+  for (std::size_t c = 0; c < u && next_row < nrows; ++c) {
     std::size_t p = next_row;
-    while (p < m.size() && !(m[p][c / 64] >> (c % 64) & 1)) ++p;
-    if (p == m.size()) continue;  // free column
-    std::swap(m[p], m[next_row]);
-    if (sym > 0) std::swap(rhs[p], rhs[next_row]);
-    for (std::size_t i = 0; i < m.size(); ++i) {
+    while (p < nrows && !(ws.m[p * words + c / 64] >> (c % 64) & 1)) ++p;
+    if (p == nrows) continue;  // free column
+    if (p != next_row) {
+      std::swap_ranges(ws.m.begin() + static_cast<std::ptrdiff_t>(p * words),
+                       ws.m.begin() +
+                           static_cast<std::ptrdiff_t>((p + 1) * words),
+                       ws.m.begin() +
+                           static_cast<std::ptrdiff_t>(next_row * words));
+      if (sym > 0)
+        std::swap_ranges(ws.rhs.row(p), ws.rhs.row(p) + sym,
+                         ws.rhs.row(next_row));
+    }
+    const std::uint64_t* pivot = ws.m.data() + next_row * words;
+    for (std::size_t i = 0; i < nrows; ++i) {
       if (i == next_row) continue;
-      if (m[i][c / 64] >> (c % 64) & 1) {
-        for (std::size_t w = 0; w < words; ++w) m[i][w] ^= m[next_row][w];
-        if (sym > 0)
-          for (std::size_t b = 0; b < sym; ++b) rhs[i][b] ^= rhs[next_row][b];
+      std::uint64_t* mi = ws.m.data() + i * words;
+      if (mi[c / 64] >> (c % 64) & 1) {
+        for (std::size_t w = 0; w < words; ++w) mi[w] ^= pivot[w];
+        if (sym > 0) eng.xor_into(ws.rhs.row(i), ws.rhs.row(next_row), sym);
       }
     }
-    pivot_row_of_col[c] = next_row;
+    ws.pivot_row_of_col[c] = next_row;
     ++next_row;
   }
 
@@ -74,16 +105,16 @@ std::uint32_t ge_pass(PeelingDecoder& d, GeStats& stats) {
   // (no free variables left in the equation).
   std::uint32_t solved = 0;
   for (std::size_t c = 0; c < u; ++c) {
-    const std::size_t r = pivot_row_of_col[c];
+    const std::size_t r = ws.pivot_row_of_col[c];
     if (r == SIZE_MAX) continue;
     std::size_t ones = 0;
     for (std::size_t w = 0; w < words; ++w) ones += static_cast<std::size_t>(
-        __builtin_popcountll(m[r][w]));
+        __builtin_popcountll(ws.m[r * words + w]));
     if (ones != 1) continue;
-    const std::uint32_t var = col_to_var[c];
+    const std::uint32_t var = ws.col_to_var[c];
     if (d.is_known(var)) continue;  // solved by an earlier feedback cascade
     if (sym > 0)
-      solved += d.force_known(var, rhs[r]);
+      solved += d.force_known(var, {ws.rhs.row(r), sym});
     else
       solved += d.force_known(var);
   }
@@ -94,10 +125,11 @@ std::uint32_t ge_pass(PeelingDecoder& d, GeStats& stats) {
 
 GeStats ge_solve(PeelingDecoder& decoder) {
   GeStats stats;
+  thread_local GeScratch ws;
   // Feedback can unlock new peeling which changes the residual; iterate.
   while (true) {
     GeStats pass_stats;
-    const std::uint32_t solved = ge_pass(decoder, pass_stats);
+    const std::uint32_t solved = ge_pass(decoder, pass_stats, ws);
     if (stats.residual_rows == 0) {
       stats.residual_rows = pass_stats.residual_rows;
       stats.residual_vars = pass_stats.residual_vars;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <span>
 #include <stdexcept>
 #include <string>
 
+#include "gf/gf256_kernels.h"
 #include "util/rng.h"
 
 namespace fecsched {
@@ -155,6 +157,40 @@ LdgmCode::LdgmCode(const LdgmParams& params)
         return SparseBinaryMatrix(rows, n, std::move(entries));
       }()) {}
 
+void LdgmCode::encode_into(const std::uint8_t* const* source_rows,
+                           std::size_t symbol_size,
+                           std::uint8_t* const* parity_rows) const {
+  if (symbol_size == 0) return;
+  const std::uint32_t k = params_.k;
+  const std::uint32_t rows = params_.n - k;
+  const gf::Kernels& eng = gf::kernels();
+  // Fixed-size term staging: rows are sparse (left_degree-ish entries),
+  // but irregular codes can exceed any small bound, so full batches are
+  // flushed — XOR accumulation makes the split exact.
+  constexpr std::size_t kBatch = 64;
+  gf::AddmulTerm terms[kBatch];
+  for (std::uint32_t i = 0; i < rows; ++i) {
+    std::uint8_t* acc = parity_rows[i];
+    std::memset(acc, 0, symbol_size);
+    std::size_t nt = 0;
+    for (std::uint32_t col : h_.row(i)) {
+      const std::uint8_t* operand = nullptr;
+      if (col < k)
+        operand = source_rows[col];
+      else if (col != k + i)
+        operand = parity_rows[col - k];  // strictly earlier parity: computed
+      else
+        continue;  // the diagonal is p_i itself
+      if (nt == kBatch) {
+        eng.addmul_batch(acc, terms, nt, symbol_size);
+        nt = 0;
+      }
+      terms[nt++] = {operand, 1};
+    }
+    eng.addmul_batch(acc, terms, nt, symbol_size);
+  }
+}
+
 std::vector<std::vector<std::uint8_t>>
 LdgmCode::encode(std::span<const std::vector<std::uint8_t>> source) const {
   const std::uint32_t k = params_.k;
@@ -167,20 +203,14 @@ LdgmCode::encode(std::span<const std::vector<std::uint8_t>> source) const {
       throw std::invalid_argument("LdgmCode::encode: symbol size mismatch");
 
   std::vector<std::vector<std::uint8_t>> parity(rows);
+  std::vector<const std::uint8_t*> source_rows(k);
+  for (std::uint32_t j = 0; j < k; ++j) source_rows[j] = source[j].data();
+  std::vector<std::uint8_t*> parity_ptrs(rows);
   for (std::uint32_t i = 0; i < rows; ++i) {
-    std::vector<std::uint8_t> acc(sym, 0);
-    for (std::uint32_t col : h_.row(i)) {
-      const std::vector<std::uint8_t>* operand = nullptr;
-      if (col < k)
-        operand = &source[col];
-      else if (col != k + i)
-        operand = &parity[col - k];  // strictly earlier parity: computed
-      else
-        continue;  // the diagonal is p_i itself
-      for (std::size_t b = 0; b < sym; ++b) acc[b] ^= (*operand)[b];
-    }
-    parity[i] = std::move(acc);
+    parity[i].resize(sym);
+    parity_ptrs[i] = parity[i].data();
   }
+  encode_into(source_rows.data(), sym, parity_ptrs.data());
   return parity;
 }
 

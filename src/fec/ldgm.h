@@ -92,6 +92,16 @@ class LdgmCode final : public PacketPlan {
   [[nodiscard]] std::vector<std::vector<std::uint8_t>>
   encode(std::span<const std::vector<std::uint8_t>> source) const;
 
+  /// Zero-allocation encode core: source_rows[j] points at source symbol
+  /// j, parity_rows[i] at the destination for parity symbol i (all
+  /// symbol_size bytes, non-overlapping).  Parity rows are computed in
+  /// increasing i, so a staircase/triangle row may read earlier
+  /// parity_rows entries.  The caller validates shapes once at workspace
+  /// setup; the XORs run through the fused SIMD kernel engine.
+  void encode_into(const std::uint8_t* const* source_rows,
+                   std::size_t symbol_size,
+                   std::uint8_t* const* parity_rows) const;
+
   /// Tx_model_5 for large-block codes (Sec. 4.7): source and parity
   /// packets interleaved in the n:k ratio (one source packet, then n/k - 1
   /// parity packets, fractions carried over Bresenham-style).

@@ -2,21 +2,34 @@
 
 #include <stdexcept>
 
+#include "gf/gf256_kernels.h"
+
 namespace fecsched {
 
 PeelingDecoder::PeelingDecoder(const SparseBinaryMatrix& h, std::uint32_t k,
                                std::size_t symbol_size)
-    : h_(&h), k_(k), symbol_size_(symbol_size) {
+    : h_(nullptr), k_(0), symbol_size_(0) {
+  rebind(h, k, symbol_size);
+}
+
+void PeelingDecoder::rebind(const SparseBinaryMatrix& h, std::uint32_t k,
+                            std::size_t symbol_size) {
   if (k == 0 || k >= h.cols())
     throw std::invalid_argument("PeelingDecoder: require 0 < k < n");
   if (h.rows() + k != h.cols())
     throw std::invalid_argument("PeelingDecoder: H must be (n-k) x n");
-  known_.assign(h.cols(), 0);
+  h_ = &h;
+  k_ = k;
+  symbol_size_ = symbol_size;
+  known_.resize(h.cols());
   row_unknowns_.resize(h.rows());
   row_xor_id_.resize(h.rows());
   if (symbol_size_ > 0) {
-    symbols_.assign(static_cast<std::size_t>(h.cols()) * symbol_size_, 0);
-    row_acc_.assign(static_cast<std::size_t>(h.rows()) * symbol_size_, 0);
+    symbols_.resize(static_cast<std::size_t>(h.cols()) * symbol_size_);
+    row_acc_.resize(static_cast<std::size_t>(h.rows()) * symbol_size_);
+  } else {
+    symbols_.clear();
+    row_acc_.clear();
   }
   reset();
 }
@@ -68,12 +81,13 @@ std::uint32_t PeelingDecoder::make_known(PacketId id, const std::uint8_t* payloa
     if (payload != nullptr && payload != stored)
       std::copy(payload, payload + symbol_size_, stored);
   }
+  const gf::Kernels& eng = gf::kernels();
   for (std::uint32_t r : h_->col(id)) {
     row_xor_id_[r] ^= id;
-    if (symbol_size_ > 0) {
-      std::uint8_t* acc = row_acc_.data() + static_cast<std::size_t>(r) * symbol_size_;
-      for (std::size_t b = 0; b < symbol_size_; ++b) acc[b] ^= stored[b];
-    }
+    if (symbol_size_ > 0)
+      eng.xor_into(
+          row_acc_.data() + static_cast<std::size_t>(r) * symbol_size_,
+          stored, symbol_size_);
     if (--row_unknowns_[r] == 1) ready_rows_.push_back(r);
   }
   return 1;

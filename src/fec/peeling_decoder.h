@@ -84,6 +84,14 @@ class PeelingDecoder {
   /// Reset to the freshly constructed state, keeping allocations.
   void reset();
 
+  /// Re-point the decoder at a different matrix/geometry, reusing the
+  /// existing buffers wherever capacities allow (the trial-workspace path:
+  /// sweeps construct a fresh LDGM graph per trial but want the decoder's
+  /// arrays reused).  Validates exactly like the constructor, then
+  /// reset()s.
+  void rebind(const SparseBinaryMatrix& h, std::uint32_t k,
+              std::size_t symbol_size = 0);
+
  private:
   std::uint32_t make_known(PacketId id, const std::uint8_t* payload);
   void cascade(std::vector<std::uint32_t>& ready, std::uint32_t& newly);

@@ -1,9 +1,11 @@
 #include "fec/rse.h"
 
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
 #include "gf/gf256.h"
+#include "gf/gf256_kernels.h"
 
 namespace fecsched {
 
@@ -29,12 +31,14 @@ std::vector<std::uint8_t> gf_matmul(const std::vector<std::uint8_t>& lhs,
 
 }  // namespace
 
-void gf256_invert_matrix(std::vector<std::uint8_t>& m, std::uint32_t size) {
+void gf256_invert_matrix(std::span<std::uint8_t> m, std::uint32_t size,
+                         std::vector<std::uint8_t>& scratch) {
   if (m.size() != static_cast<std::size_t>(size) * size)
     throw std::invalid_argument("gf256_invert_matrix: bad dimensions");
   const std::size_t s = size;
-  std::vector<std::uint8_t> inv(s * s, 0);
-  for (std::size_t i = 0; i < s; ++i) inv[i * s + i] = 1;
+  scratch.assign(s * s, 0);
+  for (std::size_t i = 0; i < s; ++i) scratch[i * s + i] = 1;
+  std::vector<std::uint8_t>& inv = scratch;
 
   for (std::size_t col = 0; col < s; ++col) {
     // Find a non-zero pivot in this column.
@@ -50,20 +54,24 @@ void gf256_invert_matrix(std::vector<std::uint8_t>& m, std::uint32_t size) {
     }
     // Normalise the pivot row.
     const std::uint8_t piv_inv = gf::inv(m[col * s + col]);
-    gf::scale(std::span(m).subspan(col * s, s), piv_inv);
+    gf::scale(m.subspan(col * s, s), piv_inv);
     gf::scale(std::span(inv).subspan(col * s, s), piv_inv);
     // Eliminate the column from every other row.
     for (std::size_t row = 0; row < s; ++row) {
       if (row == col) continue;
       const std::uint8_t factor = m[row * s + col];
       if (factor == 0) continue;
-      gf::addmul(std::span(m).subspan(row * s, s),
-                 std::span(m).subspan(col * s, s), factor);
+      gf::addmul(m.subspan(row * s, s), m.subspan(col * s, s), factor);
       gf::addmul(std::span(inv).subspan(row * s, s),
                  std::span(inv).subspan(col * s, s), factor);
     }
   }
-  m = std::move(inv);
+  std::memcpy(m.data(), inv.data(), s * s);
+}
+
+void gf256_invert_matrix(std::vector<std::uint8_t>& m, std::uint32_t size) {
+  std::vector<std::uint8_t> scratch;
+  gf256_invert_matrix(std::span(m), size, scratch);
 }
 
 RseCodec::RseCodec(std::uint32_t k, std::uint32_t n) : k_(k), n_(n) {
@@ -94,6 +102,22 @@ std::uint8_t RseCodec::coefficient(std::uint32_t i, std::uint32_t j) const {
   return parity_rows_[static_cast<std::size_t>(i - k_) * k_ + j];
 }
 
+void RseCodec::encode_into(const std::uint8_t* const* source_rows,
+                           std::size_t symbol_size,
+                           std::uint8_t* const* parity_rows) const {
+  if (symbol_size == 0) return;
+  const gf::Kernels& eng = gf::kernels();
+  gf::AddmulTerm terms[kMaxN];
+  for (std::uint32_t i = 0; i < n_ - k_; ++i) {
+    std::memset(parity_rows[i], 0, symbol_size);
+    const std::uint8_t* row = &parity_rows_[static_cast<std::size_t>(i) * k_];
+    std::size_t nt = 0;
+    for (std::uint32_t j = 0; j < k_; ++j)
+      if (row[j] != 0) terms[nt++] = {source_rows[j], row[j]};
+    eng.addmul_batch(parity_rows[i], terms, nt, symbol_size);
+  }
+}
+
 std::vector<std::vector<std::uint8_t>>
 RseCodec::encode(std::span<const std::vector<std::uint8_t>> source) const {
   if (source.size() != k_)
@@ -102,15 +126,81 @@ RseCodec::encode(std::span<const std::vector<std::uint8_t>> source) const {
   for (const auto& s : source)
     if (s.size() != sym)
       throw std::invalid_argument("RseCodec::encode: symbol size mismatch");
+  const std::uint8_t* source_rows[kMaxN];
+  std::uint8_t* parity_ptrs[kMaxN];
+  for (std::uint32_t j = 0; j < k_; ++j) source_rows[j] = source[j].data();
   std::vector<std::vector<std::uint8_t>> parity(n_ - k_);
   for (std::uint32_t i = 0; i < n_ - k_; ++i) {
-    parity[i].assign(sym, 0);
-    for (std::uint32_t j = 0; j < k_; ++j) {
-      const std::uint8_t c = parity_rows_[static_cast<std::size_t>(i) * k_ + j];
-      gf::addmul(parity[i], source[j], c);
+    parity[i].resize(sym);
+    parity_ptrs[i] = parity[i].data();
+  }
+  encode_into(source_rows, sym, parity_ptrs);
+  return parity;
+}
+
+void RseCodec::decode_into(std::span<const ReceivedSymbol> received,
+                           std::size_t symbol_size,
+                           std::uint8_t* const* source_rows,
+                           RseWorkspace& ws) const {
+  if (received.size() < k_)
+    throw std::invalid_argument("RseCodec::decode: fewer than k packets");
+  ws.seen_.assign(n_, 0);
+  ws.parity_.clear();
+  for (const ReceivedSymbol& r : received) {
+    if (r.index >= n_)
+      throw std::invalid_argument("RseCodec::decode: index out of range");
+    if (ws.seen_[r.index])
+      throw std::invalid_argument("RseCodec::decode: duplicate index");
+    ws.seen_[r.index] = 1;
+    if (r.index < k_) {
+      // Systematic: source arrives verbatim.
+      if (symbol_size > 0 && source_rows[r.index] != r.payload)
+        std::memcpy(source_rows[r.index], r.payload, symbol_size);
+    } else {
+      ws.parity_.push_back(&r);
     }
   }
-  return parity;
+
+  // Erased source positions.
+  ws.erased_.clear();
+  for (std::uint32_t j = 0; j < k_; ++j)
+    if (!ws.seen_[j]) ws.erased_.push_back(j);
+  const auto e = static_cast<std::uint32_t>(ws.erased_.size());
+  if (e == 0) return;
+  if (ws.parity_.size() < e)
+    throw std::invalid_argument("RseCodec::decode: not enough parity packets");
+
+  // Build the e x e system over the erased columns using the first e
+  // parity packets: A * s_erased = rhs, where rhs is the parity payload
+  // minus the known-source contributions.
+  const gf::Kernels& eng = gf::kernels();
+  gf::AddmulTerm terms[kMaxN];
+  ws.a_.assign(static_cast<std::size_t>(e) * e, 0);
+  ws.rhs_.configure(e, symbol_size);
+  for (std::uint32_t t = 0; t < e; ++t) {
+    const ReceivedSymbol& pkt = *ws.parity_[t];
+    const std::uint32_t prow = pkt.index - k_;
+    const std::uint8_t* row =
+        &parity_rows_[static_cast<std::size_t>(prow) * k_];
+    for (std::uint32_t u = 0; u < e; ++u)
+      ws.a_[static_cast<std::size_t>(t) * e + u] = row[ws.erased_[u]];
+    if (symbol_size > 0) std::memcpy(ws.rhs_.row(t), pkt.payload, symbol_size);
+    std::size_t nt = 0;
+    for (std::uint32_t j = 0; j < k_; ++j)
+      if (ws.seen_[j] && row[j] != 0) terms[nt++] = {source_rows[j], row[j]};
+    eng.addmul_batch(ws.rhs_.row(t), terms, nt, symbol_size);
+  }
+  gf256_invert_matrix(std::span(ws.a_), e, ws.inv_scratch_);
+  for (std::uint32_t u = 0; u < e; ++u) {
+    std::uint8_t* dst = source_rows[ws.erased_[u]];
+    if (symbol_size > 0) std::memset(dst, 0, symbol_size);
+    std::size_t nt = 0;
+    for (std::uint32_t t = 0; t < e; ++t) {
+      const std::uint8_t c = ws.a_[static_cast<std::size_t>(u) * e + t];
+      if (c != 0) terms[nt++] = {ws.rhs_.row(t), c};
+    }
+    eng.addmul_batch(dst, terms, nt, symbol_size);
+  }
 }
 
 std::vector<std::vector<std::uint8_t>>
@@ -118,56 +208,23 @@ RseCodec::decode(std::span<const Received> received) const {
   if (received.size() < k_)
     throw std::invalid_argument("RseCodec::decode: fewer than k packets");
   const std::size_t sym = received[0].payload.size();
-
-  std::vector<char> seen(n_, 0);
-  std::vector<std::vector<std::uint8_t>> source(k_);
-  std::vector<const Received*> parity_pkts;
-  for (const auto& r : received) {
+  std::vector<ReceivedSymbol> views;
+  views.reserve(received.size());
+  for (const Received& r : received) {
     if (r.index >= n_)
       throw std::invalid_argument("RseCodec::decode: index out of range");
     if (r.payload.size() != sym)
       throw std::invalid_argument("RseCodec::decode: symbol size mismatch");
-    if (seen[r.index])
-      throw std::invalid_argument("RseCodec::decode: duplicate index");
-    seen[r.index] = 1;
-    if (r.index < k_)
-      source[r.index] = r.payload;  // systematic: source arrives verbatim
-    else
-      parity_pkts.push_back(&r);
+    views.push_back({r.index, r.payload.data()});
   }
-
-  // Erased source positions.
-  std::vector<std::uint32_t> erased;
-  for (std::uint32_t j = 0; j < k_; ++j)
-    if (!seen[j]) erased.push_back(j);
-  const std::uint32_t e = static_cast<std::uint32_t>(erased.size());
-  if (e == 0) return source;
-  if (parity_pkts.size() < e)
-    throw std::invalid_argument("RseCodec::decode: not enough parity packets");
-
-  // Build the e x e system over the erased columns using the first e
-  // parity packets: A * s_erased = rhs, where rhs is the parity payload
-  // minus the known-source contributions.
-  std::vector<std::uint8_t> a(static_cast<std::size_t>(e) * e);
-  std::vector<std::vector<std::uint8_t>> rhs(e);
-  for (std::uint32_t t = 0; t < e; ++t) {
-    const Received& pkt = *parity_pkts[t];
-    const std::uint32_t prow = pkt.index - k_;
-    const auto row =
-        std::span(parity_rows_).subspan(static_cast<std::size_t>(prow) * k_, k_);
-    for (std::uint32_t u = 0; u < e; ++u)
-      a[static_cast<std::size_t>(t) * e + u] = row[erased[u]];
-    rhs[t] = pkt.payload;
-    for (std::uint32_t j = 0; j < k_; ++j)
-      if (seen[j]) gf::addmul(rhs[t], source[j], row[j]);
+  std::vector<std::vector<std::uint8_t>> source(k_);
+  std::uint8_t* source_ptrs[kMaxN];
+  for (std::uint32_t j = 0; j < k_; ++j) {
+    source[j].resize(sym);
+    source_ptrs[j] = source[j].data();
   }
-  gf256_invert_matrix(a, e);
-  for (std::uint32_t u = 0; u < e; ++u) {
-    std::vector<std::uint8_t> sol(sym, 0);
-    for (std::uint32_t t = 0; t < e; ++t)
-      gf::addmul(sol, rhs[t], a[static_cast<std::size_t>(u) * e + t]);
-    source[erased[u]] = std::move(sol);
-  }
+  RseWorkspace ws;
+  decode_into(views, sym, source_ptrs, ws);
   return source;
 }
 

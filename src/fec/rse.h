@@ -19,7 +19,34 @@
 #include <span>
 #include <vector>
 
+#include "fec/symbol_arena.h"
+
 namespace fecsched {
+
+/// A borrowed view of one received packet for the zero-allocation decode
+/// path: global index within [0, n) plus a pointer to symbol_size payload
+/// bytes owned by the caller.
+struct ReceivedSymbol {
+  std::uint32_t index = 0;
+  const std::uint8_t* payload = nullptr;
+};
+
+/// Reusable scratch state for RseCodec::decode_into.  One workspace serves
+/// any block geometry; reconfiguring between blocks/trials reuses the
+/// high-water allocations.  Contents are an implementation detail.
+class RseWorkspace {
+ public:
+  RseWorkspace() = default;
+
+ private:
+  friend class RseCodec;
+  std::vector<std::uint8_t> a_;            // e x e erased-column system
+  std::vector<std::uint8_t> inv_scratch_;  // identity side of the inversion
+  SymbolArena rhs_;                        // e parity right-hand sides
+  std::vector<char> seen_;
+  std::vector<std::uint32_t> erased_;
+  std::vector<const ReceivedSymbol*> parity_;
+};
 
 /// Systematic Reed-Solomon erasure code for one block.
 class RseCodec {
@@ -39,6 +66,15 @@ class RseCodec {
   [[nodiscard]] std::vector<std::vector<std::uint8_t>>
   encode(std::span<const std::vector<std::uint8_t>> source) const;
 
+  /// Zero-allocation encode core: source_rows[j] points at source symbol j
+  /// and parity_rows[i] at the destination for parity symbol i, all
+  /// symbol_size bytes and non-overlapping.  The caller validates shapes
+  /// once at workspace setup; this path runs the fused SIMD kernels with
+  /// no checks of its own (the gf/gf256_kernels.h contract).
+  void encode_into(const std::uint8_t* const* source_rows,
+                   std::size_t symbol_size,
+                   std::uint8_t* const* parity_rows) const;
+
   /// One received packet of the block: its index within [0, n) and payload.
   struct Received {
     std::uint32_t index;
@@ -51,6 +87,16 @@ class RseCodec {
   /// supplied.  Exactly k packets are used (MDS); extras are ignored.
   [[nodiscard]] std::vector<std::vector<std::uint8_t>>
   decode(std::span<const Received> received) const;
+
+  /// Zero-allocation decode core (beyond workspace growth): recovers all k
+  /// source symbols into source_rows[0..k), each symbol_size bytes, from
+  /// >= k received packet views with distinct indices.  Throws
+  /// std::invalid_argument exactly as decode() does for malformed sets
+  /// (payload sizes are the caller's contract).  The workspace is reusable
+  /// across calls and codecs.
+  void decode_into(std::span<const ReceivedSymbol> received,
+                   std::size_t symbol_size, std::uint8_t* const* source_rows,
+                   RseWorkspace& ws) const;
 
   /// Generator coefficient for packet row `i` (0-based, i in [0,n)) and
   /// source column `j`.  Rows < k form the identity.  Exposed for tests.
@@ -67,5 +113,11 @@ class RseCodec {
 /// Throws std::invalid_argument if the matrix is singular.
 /// Exposed for reuse by tests and by future codec variants.
 void gf256_invert_matrix(std::vector<std::uint8_t>& m, std::uint32_t size);
+
+/// Allocation-reusing variant: `scratch` carries the identity/result side
+/// of the elimination and may be reused across calls (it is resized as
+/// needed).  On return `m` holds the inverse, as in the vector overload.
+void gf256_invert_matrix(std::span<std::uint8_t> m, std::uint32_t size,
+                         std::vector<std::uint8_t>& scratch);
 
 }  // namespace fecsched

@@ -11,16 +11,25 @@ RseObjectEncoder::RseObjectEncoder(
   if (!plan_) throw std::invalid_argument("RseObjectEncoder: null plan");
   if (source.size() != plan_->k())
     throw std::invalid_argument("RseObjectEncoder: expected k source symbols");
+  // Validate once up front, then run every block through the unchecked
+  // flat encode core (no intermediate per-block parity vectors).
+  const std::size_t sym = source.empty() ? 0 : source[0].size();
+  for (const auto& s : source)
+    if (s.size() != sym)
+      throw std::invalid_argument("RseObjectEncoder: symbol size mismatch");
   source_.assign(source.begin(), source.end());
   parity_.resize(plan_->n() - plan_->k());
+  for (auto& p : parity_) p.resize(sym);
+  const std::uint8_t* source_rows[RseCodec::kMaxN];
+  std::uint8_t* parity_rows[RseCodec::kMaxN];
   for (std::uint32_t b = 0; b < plan_->block_count(); ++b) {
     const BlockInfo& blk = plan_->block(b);
     const RseCodec codec(blk.k, blk.n);
-    const std::span<const std::vector<std::uint8_t>> block_src(
-        source_.data() + blk.source_offset, blk.k);
-    auto parity = codec.encode(block_src);
+    for (std::uint32_t j = 0; j < blk.k; ++j)
+      source_rows[j] = source_[blk.source_offset + j].data();
     for (std::uint32_t i = 0; i < blk.n - blk.k; ++i)
-      parity_[blk.parity_offset - plan_->k() + i] = std::move(parity[i]);
+      parity_rows[i] = parity_[blk.parity_offset - plan_->k() + i].data();
+    codec.encode_into(source_rows, sym, parity_rows);
   }
 }
 
@@ -58,7 +67,17 @@ bool RseObjectDecoder::on_packet(PacketId id,
   if (st.received.size() < blk.k) return false;
 
   const RseCodec codec(blk.k, blk.n);
-  st.source = codec.decode(st.received);
+  std::vector<ReceivedSymbol> views;
+  views.reserve(st.received.size());
+  for (const RseCodec::Received& r : st.received)
+    views.push_back({r.index, r.payload.data()});
+  st.source.resize(blk.k);
+  std::uint8_t* source_rows[RseCodec::kMaxN];
+  for (std::uint32_t j = 0; j < blk.k; ++j) {
+    st.source[j].resize(symbol_size_);
+    source_rows[j] = st.source[j].data();
+  }
+  codec.decode_into(views, symbol_size_, source_rows, workspace_);
   st.received.clear();
   st.received.shrink_to_fit();
   st.decoded = true;

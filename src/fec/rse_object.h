@@ -70,6 +70,7 @@ class RseObjectDecoder {
   std::size_t symbol_size_;
   std::vector<BlockState> blocks_;
   std::vector<char> seen_;
+  RseWorkspace workspace_;  ///< decode scratch, reused across blocks
   std::uint32_t decoded_blocks_ = 0;
   std::uint32_t used_ = 0;
 };

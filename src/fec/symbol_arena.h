@@ -1,0 +1,81 @@
+// Contiguous row-major symbol storage for the codec hot paths.
+//
+// The payload codecs historically stored symbols as
+// std::vector<std::vector<std::uint8_t>> — one heap allocation per symbol,
+// rows scattered across the heap.  SymbolArena replaces that with a single
+// reusable buffer: `rows` symbols of `symbol_size` bytes each, rows padded
+// to a 64-byte stride and the base 64-byte aligned, so the SIMD GF(2^8)
+// kernels (gf/gf256_kernels.h) stream through full vectors and reconfiguring
+// between uses never reallocates once the high-water capacity is reached.
+//
+// configure() zero-fills every row (the codecs accumulate with XOR, which
+// requires a zero start — and deterministic contents keep trial replays
+// bit-exact regardless of arena reuse history).
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace fecsched {
+
+class SymbolArena {
+ public:
+  /// Row padding/alignment target (one cache line / one AVX-512 vector).
+  static constexpr std::size_t kAlign = 64;
+
+  SymbolArena() = default;
+
+  /// Shape the arena to `rows` x `symbol_size`, zero-filled.  Reuses the
+  /// existing allocation whenever it is large enough.
+  void configure(std::size_t rows, std::size_t symbol_size) {
+    rows_ = rows;
+    symbol_size_ = symbol_size;
+    stride_ = (symbol_size + kAlign - 1) / kAlign * kAlign;
+    const std::size_t bytes = rows_ * stride_;
+    if (bytes == 0) {
+      base_ = nullptr;
+      return;
+    }
+    if (buf_.size() < bytes + kAlign - 1) buf_.resize(bytes + kAlign - 1);
+    const auto addr = reinterpret_cast<std::uintptr_t>(buf_.data());
+    base_ = buf_.data() + ((kAlign - addr % kAlign) % kAlign);
+    std::memset(base_, 0, bytes);
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t symbol_size() const noexcept {
+    return symbol_size_;
+  }
+  /// Distance between consecutive rows in bytes (>= symbol_size()).
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+
+  [[nodiscard]] std::uint8_t* row(std::size_t i) noexcept {
+    return base_ + i * stride_;
+  }
+  [[nodiscard]] const std::uint8_t* row(std::size_t i) const noexcept {
+    return base_ + i * stride_;
+  }
+  [[nodiscard]] std::span<std::uint8_t> row_span(std::size_t i) noexcept {
+    return {row(i), symbol_size_};
+  }
+  [[nodiscard]] std::span<const std::uint8_t> row_span(
+      std::size_t i) const noexcept {
+    return {row(i), symbol_size_};
+  }
+
+  void zero_row(std::size_t i) noexcept {
+    if (symbol_size_ > 0) std::memset(row(i), 0, symbol_size_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::uint8_t* base_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t symbol_size_ = 0;
+  std::size_t stride_ = 0;
+};
+
+}  // namespace fecsched

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "gf/gf256_kernels.h"
+
 namespace fecsched::gf {
 namespace detail {
 
@@ -69,19 +71,17 @@ void addmul(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src,
             std::uint8_t coeff) {
   if (dst.size() != src.size())
     throw std::invalid_argument("gf256::addmul: span size mismatch");
-  if (coeff == 0) return;
-  if (coeff == 1) {
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
-    return;
-  }
-  const auto& row = detail::tables().mul_row[coeff];
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= row[src[i]];
+  kernels().addmul(dst.data(), src.data(), dst.size(), coeff);
 }
 
 void scale(std::span<std::uint8_t> dst, std::uint8_t coeff) {
-  if (coeff == 1) return;
-  const auto& row = detail::tables().mul_row[coeff];
-  for (auto& b : dst) b = row[b];
+  kernels().scale(dst.data(), dst.size(), coeff);
+}
+
+void xor_into(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src) {
+  if (dst.size() != src.size())
+    throw std::invalid_argument("gf256::xor_into: span size mismatch");
+  kernels().xor_into(dst.data(), src.data(), dst.size());
 }
 
 }  // namespace fecsched::gf

@@ -4,9 +4,10 @@
 // (0x11d), the same one used by Rizzo's classic erasure codec ("Effective
 // erasure codes for reliable computer communication protocols", CCR 1997).
 // Multiplication and division go through log/exp tables computed once at
-// static-initialisation time; the hot bulk operation `addmul` (y += c*x
-// over a byte span) additionally uses a per-coefficient 256-entry product
-// row so the inner loop is a single table lookup and XOR per byte.
+// static-initialisation time.  The bulk operations (addmul/scale/xor_into)
+// are thin validating wrappers over the SIMD-dispatched kernel engine in
+// gf/gf256_kernels.h — scalar product-row tables, 64-bit-wide XOR, or
+// split-nibble pshufb/vtbl backends selected once per process.
 
 #pragma once
 
@@ -57,11 +58,20 @@ const Tables& tables() noexcept;
 }
 
 /// dst ^= coeff * src, element-wise over equal-length spans.
-/// This is the single hot loop of RS encode/decode.
+/// This is the single hot loop of RS encode/decode.  Validates the span
+/// sizes (throws std::invalid_argument on mismatch), then runs the
+/// SIMD-dispatched kernel engine (gf/gf256_kernels.h); hot paths that have
+/// already validated their buffers at workspace setup call the unchecked
+/// kernels directly.
 void addmul(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src,
             std::uint8_t coeff);
 
 /// dst = coeff * dst element-wise.
 void scale(std::span<std::uint8_t> dst, std::uint8_t coeff);
+
+/// dst ^= src element-wise (the coeff == 1 addmul, exposed because the
+/// XOR-only LDGM/peeling paths use it pervasively).  Throws
+/// std::invalid_argument on span size mismatch.
+void xor_into(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src);
 
 }  // namespace fecsched::gf

@@ -36,28 +36,16 @@ namespace {
 constexpr std::uint32_t kArrival = 0;
 constexpr std::uint32_t kDeadline = 1;
 
-/// One sender emission (slot == index in the emission sequence).
-struct Emission {
-  bool is_repair = false;
-  std::uint64_t seq = 0;        ///< source seq, or repair index
-  std::uint64_t first = 0;      ///< repair window [first, last)
-  std::uint64_t last = 0;
-  std::uint64_t dup_target = 0;  ///< replication: duplicated source
-};
+using Emission = detail::MpathEmission;
+using Transport = detail::MpathTransport;
 
-/// Per-emission transport outcome.
-struct Transport {
-  std::vector<double> resolve;    ///< (would-be) arrival time, by emission
-  std::vector<char> delivered;    ///< channel verdict, by emission
-  std::vector<std::vector<bool>> path_events;  ///< loss trace per path
-};
-
-/// Dispatch every emission through the scheduler and the paths.
-Transport transmit_all(const std::vector<Emission>& emissions, PathSet& paths,
-                       PathScheduler& scheduler) {
-  Transport t;
-  t.resolve.resize(emissions.size());
-  t.delivered.resize(emissions.size());
+/// Dispatch every emission through the scheduler and the paths, filling
+/// the workspace transport buffers in place.
+void transmit_all(const std::vector<Emission>& emissions, PathSet& paths,
+                  PathScheduler& scheduler, Transport& t) {
+  t.resolve.assign(emissions.size(), 0.0);
+  t.delivered.assign(emissions.size(), 0);
+  for (auto& events : t.path_events) events.clear();
   t.path_events.resize(paths.size());
   for (std::size_t e = 0; e < emissions.size(); ++e) {
     const double slot = static_cast<double>(e);
@@ -68,7 +56,6 @@ Transport transmit_all(const std::vector<Emission>& emissions, PathSet& paths,
     t.delivered[e] = tx.lost ? 0 : 1;
     t.path_events[path].push_back(tx.lost);
   }
-  return t;
 }
 
 /// Shared aggregation tail (mirrors stream_trial's): tracker -> result.
@@ -101,8 +88,8 @@ MpathTrialResult finish(const DelayTracker& tracker, const PathSet& paths,
 // ------------------------------------------------- sliding / replication
 
 MpathTrialResult run_paced_mpath(const MpathTrialConfig& cfg, PathSet& paths,
-                                 PathScheduler& scheduler,
-                                 std::uint64_t seed) {
+                                 PathScheduler& scheduler, std::uint64_t seed,
+                                 MpathTrialWorkspace& ws) {
   const std::uint32_t S = cfg.stream.source_count;
   const std::uint32_t W = cfg.stream.window;
   const std::uint32_t interval = cfg.stream.repair_interval();
@@ -113,14 +100,20 @@ MpathTrialResult run_paced_mpath(const MpathTrialConfig& cfg, PathSet& paths,
   sw.repair_interval = interval;
   sw.coefficients = cfg.stream.coefficients;
   sw.seed = derive_seed(seed, {2});
-  SlidingWindowDecoder decoder(sw);
+  if (ws.stream.decoder)
+    ws.stream.decoder->reset(sw);
+  else
+    ws.stream.decoder.emplace(sw);
+  SlidingWindowDecoder& decoder = *ws.stream.decoder;
 
   // Emission sequence: identical to the single-path paced trial — sources
   // in order, one repair after every `interval`-th source, then a tail of
   // one window's worth of repairs.
-  std::vector<Emission> emissions;
+  std::vector<Emission>& emissions = ws.emissions;
+  emissions.clear();
   emissions.reserve(S + S / interval + (W + interval - 1) / interval + 1);
-  std::vector<std::size_t> source_slot(S);
+  std::vector<std::size_t>& source_slot = ws.source_slot;
+  source_slot.assign(S, 0);
   std::uint64_t repairs = 0;
   const auto emit_repair = [&](std::uint64_t produced) {
     Emission e;
@@ -142,11 +135,13 @@ MpathTrialResult run_paced_mpath(const MpathTrialConfig& cfg, PathSet& paths,
   const std::uint64_t tail = (W + interval - 1) / interval;
   for (std::uint64_t i = 0; i < tail; ++i) emit_repair(S);
 
-  DelayTracker tracker;
+  DelayTracker& tracker = ws.stream.tracker;
+  tracker.reset();
   for (std::uint32_t s = 0; s < S; ++s)
     tracker.on_sent(s, static_cast<double>(source_slot[s]));
 
-  const Transport transport = transmit_all(emissions, paths, scheduler);
+  transmit_all(emissions, paths, scheduler, ws.transport);
+  const Transport& transport = ws.transport;
 
   // Deadline of source s: one step past the latest (would-be) arrival of
   // anything that can still matter for it — the source itself, every
@@ -154,7 +149,8 @@ MpathTrialResult run_paced_mpath(const MpathTrialConfig& cfg, PathSet& paths,
   // s+W, or the final emission for the tail).  The witness term makes the
   // 1-path degenerate case give up in exactly the single-path trial's
   // slot.
-  std::vector<double> deadline(S);
+  std::vector<double>& deadline = ws.deadline;
+  deadline.resize(S);
   const double final_resolve = transport.resolve.back();
   for (std::uint32_t s = 0; s < S; ++s) {
     double m = transport.resolve[source_slot[s]];
@@ -181,7 +177,8 @@ MpathTrialResult run_paced_mpath(const MpathTrialConfig& cfg, PathSet& paths,
   // each give-up only once every source at or below it is past its own
   // deadline; on a single path deadlines are already monotone and this is
   // the identity (the degenerate oracle is unaffected).
-  Resequencer queue;
+  Resequencer& queue = ws.queue;
+  queue.clear();
   for (std::size_t e = 0; e < emissions.size(); ++e)
     if (transport.delivered[e])
       queue.push(transport.resolve[e], 1, e, kArrival, e);
@@ -192,7 +189,8 @@ MpathTrialResult run_paced_mpath(const MpathTrialConfig& cfg, PathSet& paths,
   }
 
   // Replication baseline state.
-  std::vector<char> have(S, 0);
+  std::vector<char>& have = ws.stream.have;
+  have.assign(S, 0);
   std::uint64_t repl_horizon = 0;
 
   std::uint64_t received = 0, reordered = 0, max_arrived = 0;
@@ -247,8 +245,8 @@ MpathTrialResult run_paced_mpath(const MpathTrialConfig& cfg, PathSet& paths,
 // ----------------------------------------------------------- block codes
 
 MpathTrialResult run_block_mpath(const MpathTrialConfig& cfg, PathSet& paths,
-                                 PathScheduler& scheduler,
-                                 std::uint64_t seed) {
+                                 PathScheduler& scheduler, std::uint64_t seed,
+                                 MpathTrialWorkspace& ws) {
   const std::uint32_t S = cfg.stream.source_count;
   const double ratio = 1.0 + cfg.stream.overhead;
   const bool rse = cfg.stream.scheme == StreamScheme::kBlockRse;
@@ -276,38 +274,44 @@ MpathTrialResult run_block_mpath(const MpathTrialConfig& cfg, PathSet& paths,
   }
 
   Rng rng(derive_seed(seed, {1}));
-  std::vector<PacketId> schedule;
+  std::vector<PacketId>& schedule = ws.stream.schedule;
   switch (cfg.stream.scheduling) {
     case StreamScheduling::kInterleaved:
-      schedule = make_schedule(*plan, TxModel::kTx5Interleaved, rng);
+      make_schedule(*plan, TxModel::kTx5Interleaved, rng, schedule);
       break;
     case StreamScheduling::kSequential:
     case StreamScheduling::kCarousel:  // rejected by validate()
-      schedule = rse ? per_block_sequential(*rse_plan)
-                     : make_schedule(*plan, TxModel::kTx1SeqSourceSeqParity,
-                                     rng);
+      if (rse)
+        per_block_sequential(*rse_plan, schedule);
+      else
+        make_schedule(*plan, TxModel::kTx1SeqSourceSeqParity, rng, schedule);
       break;
   }
 
-  std::vector<std::uint64_t> tx_slot(S, 0);
+  std::vector<std::uint64_t>& tx_slot = ws.stream.tx_slot;
+  tx_slot.assign(S, 0);
   for (std::size_t t = 0; t < schedule.size(); ++t)
     if (schedule[t] < S) tx_slot[schedule[t]] = t;
-  DelayTracker tracker;
+  DelayTracker& tracker = ws.stream.tracker;
+  tracker.reset();
   for (std::uint32_t s = 0; s < S; ++s)
     tracker.on_sent(s, static_cast<double>(tx_slot[s]));
 
-  std::vector<Emission> emissions(schedule.size());
+  std::vector<Emission>& emissions = ws.emissions;
+  emissions.assign(schedule.size(), Emission{});
   for (std::size_t e = 0; e < schedule.size(); ++e) {
     emissions[e].is_repair = schedule[e] >= S;
     emissions[e].seq = schedule[e];
   }
-  const Transport transport = transmit_all(emissions, paths, scheduler);
+  transmit_all(emissions, paths, scheduler, ws.transport);
+  const Transport& transport = ws.transport;
 
   // Block tie-break: arrivals (phase 0) before block/stream deadlines
   // (phase 1) at the same instant — a block's last packet may complete it
   // in the very slot the block would otherwise be declared dead, exactly
   // like the single-path trial.
-  Resequencer queue;
+  Resequencer& queue = ws.queue;
+  queue.clear();
   for (std::size_t e = 0; e < schedule.size(); ++e)
     if (transport.delivered[e])
       queue.push(transport.resolve[e], 0, e, kArrival, e);
@@ -326,17 +330,21 @@ MpathTrialResult run_block_mpath(const MpathTrialConfig& cfg, PathSet& paths,
   }
 
   // Decode state (mirrors the single-path block trial).
-  std::vector<char> seen(plan->n(), 0);
-  std::vector<std::uint32_t> block_received;
-  std::vector<char> block_decoded;
+  std::vector<char>& seen = ws.stream.seen;
+  seen.assign(plan->n(), 0);
+  std::vector<std::uint32_t>& block_received = ws.stream.block_received;
+  std::vector<char>& block_decoded = ws.stream.block_decoded;
   if (rse) {
     block_received.assign(rse_plan->block_count(), 0);
     block_decoded.assign(rse_plan->block_count(), 0);
   }
-  std::optional<PeelingDecoder> peeler;
-  std::vector<std::uint32_t> unknown_sources;
+  std::optional<PeelingDecoder>& peeler = ws.stream.peeler;
+  std::vector<std::uint32_t>& unknown_sources = ws.stream.unknown_sources;
   if (!rse) {
-    peeler.emplace(ldgm->matrix(), S);
+    if (peeler)
+      peeler->rebind(ldgm->matrix(), S);
+    else
+      peeler.emplace(ldgm->matrix(), S);
     unknown_sources.resize(S);
     for (std::uint32_t s = 0; s < S; ++s) unknown_sources[s] = s;
   }
@@ -406,7 +414,8 @@ MpathTrialResult run_block_mpath(const MpathTrialConfig& cfg, PathSet& paths,
 }  // namespace
 
 MpathTrialResult run_mpath_trial(const MpathTrialConfig& cfg,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed,
+                                 MpathTrialWorkspace& ws) {
   cfg.validate();
   PathSet paths(cfg.paths);
   paths.reset(seed);
@@ -414,12 +423,18 @@ MpathTrialResult run_mpath_trial(const MpathTrialConfig& cfg,
   switch (cfg.stream.scheme) {
     case StreamScheme::kSlidingWindow:
     case StreamScheme::kReplication:
-      return run_paced_mpath(cfg, paths, scheduler, seed);
+      return run_paced_mpath(cfg, paths, scheduler, seed, ws);
     case StreamScheme::kBlockRse:
     case StreamScheme::kLdgm:
-      return run_block_mpath(cfg, paths, scheduler, seed);
+      return run_block_mpath(cfg, paths, scheduler, seed, ws);
   }
   throw std::logic_error("run_mpath_trial: unreachable scheme");
+}
+
+MpathTrialResult run_mpath_trial(const MpathTrialConfig& cfg,
+                                 std::uint64_t seed) {
+  MpathTrialWorkspace ws;
+  return run_mpath_trial(cfg, seed, ws);
 }
 
 }  // namespace fecsched

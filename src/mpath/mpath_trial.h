@@ -38,10 +38,31 @@
 
 #include "adapt/channel_estimator.h"
 #include "mpath/path.h"
+#include "mpath/resequencer.h"
 #include "mpath/scheduler.h"
 #include "stream/stream_trial.h"
 
 namespace fecsched {
+
+namespace detail {
+/// One sender emission of the multipath replay (slot == index in the
+/// emission sequence).  Exposed only so MpathTrialWorkspace can own the
+/// buffers; the fields are an implementation detail of mpath_trial.cc.
+struct MpathEmission {
+  bool is_repair = false;
+  std::uint64_t seq = 0;        ///< source seq, or repair index
+  std::uint64_t first = 0;      ///< repair window [first, last)
+  std::uint64_t last = 0;
+  std::uint64_t dup_target = 0;  ///< replication: duplicated source
+};
+
+/// Per-emission transport outcome (same caveat as MpathEmission).
+struct MpathTransport {
+  std::vector<double> resolve;    ///< (would-be) arrival time, by emission
+  std::vector<char> delivered;    ///< channel verdict, by emission
+  std::vector<std::vector<bool>> path_events;  ///< loss trace per path
+};
+}  // namespace detail
 
 /// Everything that defines one multipath streaming trial.
 struct MpathTrialConfig {
@@ -74,10 +95,28 @@ struct MpathTrialResult {
   double reordered_fraction = 0.0;  ///< reordered / packets_received
 };
 
+/// Reusable per-trial state for run_mpath_trial (see StreamTrialWorkspace
+/// for the contract: fully re-initialised per trial, reuse only saves
+/// allocations).  The embedded stream workspace carries the decoders and
+/// delay tracker shared with the single-path trial machinery.
+struct MpathTrialWorkspace {
+  StreamTrialWorkspace stream;
+  std::vector<detail::MpathEmission> emissions;
+  detail::MpathTransport transport;
+  std::vector<std::size_t> source_slot;
+  std::vector<double> deadline;
+  Resequencer queue;
+};
+
 /// Run one multipath trial.  All randomness (path channels, schedules,
 /// LDGM graph, repair coefficients) derives from `seed`; path schedulers
 /// are deterministic, so the trial is reproducible.
 [[nodiscard]] MpathTrialResult run_mpath_trial(const MpathTrialConfig& cfg,
                                                std::uint64_t seed);
+
+/// Workspace-reusing variant (identical output, fewer allocations).
+[[nodiscard]] MpathTrialResult run_mpath_trial(const MpathTrialConfig& cfg,
+                                               std::uint64_t seed,
+                                               MpathTrialWorkspace& ws);
 
 }  // namespace fecsched

@@ -13,11 +13,11 @@ void append_range(std::vector<PacketId>& out, PacketId first, PacketId last) {
 
 }  // namespace
 
-std::vector<PacketId> make_schedule(const PacketPlan& plan, TxModel m, Rng& rng,
-                                    const ScheduleOptions& opt) {
+void make_schedule(const PacketPlan& plan, TxModel m, Rng& rng,
+                   std::vector<PacketId>& out, const ScheduleOptions& opt) {
   const PacketId k = plan.k();
   const PacketId n = plan.n();
-  std::vector<PacketId> out;
+  out.clear();
   out.reserve(n);
 
   switch (m) {
@@ -26,46 +26,50 @@ std::vector<PacketId> make_schedule(const PacketPlan& plan, TxModel m, Rng& rng,
       append_range(out, k, n);
       break;
 
-    case TxModel::kTx2SeqSourceRandParity: {
+    case TxModel::kTx2SeqSourceRandParity:
+      // Shuffling the parity tail in place consumes the identical Rng
+      // stream (same element count) as shuffling a separate parity vector.
       append_range(out, 0, k);
-      std::vector<PacketId> parity;
-      parity.reserve(n - k);
-      for (PacketId id = k; id < n; ++id) parity.push_back(id);
-      shuffle(parity, rng);
-      out.insert(out.end(), parity.begin(), parity.end());
-      break;
-    }
-
-    case TxModel::kTx3SeqParityRandSource: {
       append_range(out, k, n);
-      std::vector<PacketId> source;
-      source.reserve(k);
-      for (PacketId id = 0; id < k; ++id) source.push_back(id);
-      shuffle(source, rng);
-      out.insert(out.end(), source.begin(), source.end());
+      shuffle(std::span(out).subspan(k), rng);
       break;
-    }
+
+    case TxModel::kTx3SeqParityRandSource:
+      append_range(out, k, n);
+      append_range(out, 0, k);
+      shuffle(std::span(out).subspan(n - k), rng);
+      break;
 
     case TxModel::kTx4AllRandom:
       append_range(out, 0, n);
       shuffle(out, rng);
       break;
 
-    case TxModel::kTx5Interleaved:
-      out = plan.interleaved_order();
+    case TxModel::kTx5Interleaved: {
+      const std::vector<PacketId> order = plan.interleaved_order();
+      out.assign(order.begin(), order.end());
       break;
+    }
 
     case TxModel::kTx6FewSourceRandParity: {
       if (!(opt.source_fraction >= 0.0 && opt.source_fraction <= 1.0))
         throw std::invalid_argument("make_schedule: source_fraction in [0,1]");
       const auto picked = static_cast<std::uint32_t>(
           std::llround(opt.source_fraction * static_cast<double>(k)));
-      out = sample_without_replacement(k, picked, rng);
+      const std::vector<std::uint32_t> sources =
+          sample_without_replacement(k, picked, rng);
+      out.assign(sources.begin(), sources.end());
       append_range(out, k, n);
       shuffle(out, rng);
       break;
     }
   }
+}
+
+std::vector<PacketId> make_schedule(const PacketPlan& plan, TxModel m, Rng& rng,
+                                    const ScheduleOptions& opt) {
+  std::vector<PacketId> out;
+  make_schedule(plan, m, rng, out, opt);
   return out;
 }
 

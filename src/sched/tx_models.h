@@ -34,6 +34,13 @@ struct ScheduleOptions {
                                                   TxModel m, Rng& rng,
                                                   const ScheduleOptions& opt = {});
 
+/// Allocation-reusing variant: fills `out` in place (cleared first), so a
+/// trial workspace can replay schedules without per-trial allocations.
+/// Consumes exactly the same Rng stream and produces exactly the same
+/// schedule as the returning overload.
+void make_schedule(const PacketPlan& plan, TxModel m, Rng& rng,
+                   std::vector<PacketId>& out, const ScheduleOptions& opt = {});
+
 /// Truncate a schedule to its first `n_sent` packets (Sec. 6.2: stopping
 /// transmission early without changing the scheduling).  n_sent is clamped
 /// to the schedule length.

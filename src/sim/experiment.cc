@@ -108,11 +108,47 @@ std::unique_ptr<ErasureTracker> Experiment::new_tracker(
 }
 
 TrialResult Experiment::run_once(double p, double q, std::uint64_t seed) const {
-  const std::vector<PacketId> schedule = new_schedule(seed);
-  const std::unique_ptr<ErasureTracker> tracker = new_tracker(seed);
+  // Per-worker-thread trial workspace: the schedule buffer and the
+  // trackers are reused across trials of the same experiment state
+  // (trackers are reset(), schedules rebuilt in place), so grid sweeps
+  // stop allocating per trial.  LDGM experiments rotate across
+  // graph_count distinct graphs, so one tracker is cached per graph
+  // index — otherwise rotation would evict the cache almost every trial.
+  // Holding a shared_ptr to the state pins its address, so the cache key
+  // can never alias a different experiment's plan.
+  struct RunWorkspace {
+    std::shared_ptr<const void> state;
+    std::vector<std::unique_ptr<ErasureTracker>> trackers;  // by graph index
+    std::vector<PacketId> schedule;
+  };
+  thread_local RunWorkspace ws;
+
+  const std::uint64_t graph_pick = derive_seed(seed, {kTagGraphPick});
+  const PacketPlan& plan = state_->plan_for(graph_pick);
+  Rng sched_rng(derive_seed(seed, {kTagSchedule}));
+  make_schedule(plan, config_.tx, sched_rng, ws.schedule,
+                {config_.tx6_source_fraction});
+  if (config_.n_sent != 0 && config_.n_sent < ws.schedule.size())
+    ws.schedule.resize(config_.n_sent);
+
+  if (ws.state.get() != state_.get()) {
+    ws.trackers.clear();
+    ws.state = state_;
+  }
+  const std::size_t graph_index =
+      state_->graphs.empty()
+          ? 0
+          : static_cast<std::size_t>(graph_pick % state_->graphs.size());
+  if (ws.trackers.size() <= graph_index) ws.trackers.resize(graph_index + 1);
+  std::unique_ptr<ErasureTracker>& tracker = ws.trackers[graph_index];
+  if (tracker == nullptr)
+    tracker = new_tracker(seed);
+  else
+    tracker->reset();
+
   GilbertModel channel(p, q);
   channel.reset(derive_seed(seed, {kTagChannel}));
-  return run_trial(*tracker, schedule, channel);
+  return run_trial(*tracker, ws.schedule, channel);
 }
 
 TrialFn Experiment::trial_fn() const {

@@ -72,6 +72,8 @@ MpathSweepResult run_mpath_sweep(std::span<const ChannelPoint> points,
       points, options,
       [&](std::size_t c, double p, double q, std::uint32_t,
           std::uint64_t seed) {
+        // Per-worker-thread trial workspace (see sim/stream_delay.cc).
+        thread_local MpathTrialWorkspace ws;
         for (std::size_t d = 0; d < result.delay_spreads.size(); ++d) {
           for (std::size_t v = 0; v < result.variants.size(); ++v) {
             for (std::size_t o = 0; o < result.overheads.size(); ++o) {
@@ -81,7 +83,7 @@ MpathSweepResult run_mpath_sweep(std::span<const ChannelPoint> points,
               cfg.paths = config.make_paths(p, q, result.delay_spreads[d]);
               cfg.scheduler = result.variants[v].scheduler;
               const MpathTrialResult r =
-                  run_mpath_trial(cfg, derive_seed(seed, {d, v, o}));
+                  run_mpath_trial(cfg, derive_seed(seed, {d, v, o}), ws);
               MpathPointStats& s = result.stats[
                   ((c * result.delay_spreads.size() + d) *
                        result.variants.size() +

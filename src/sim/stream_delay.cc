@@ -66,6 +66,10 @@ StreamGridResult run_stream_delay_grid(std::span<const ChannelPoint> points,
       points, options,
       [&](std::size_t c, double p, double q, std::uint32_t,
           std::uint64_t seed) {
+        // One reusable trial workspace per worker thread: every member is
+        // re-initialised per trial, so results stay bit-identical to the
+        // workspace-free path while the inner loop stops allocating.
+        thread_local StreamTrialWorkspace ws;
         for (std::size_t v = 0; v < result.variants.size(); ++v) {
           for (std::size_t o = 0; o < result.overheads.size(); ++o) {
             StreamTrialConfig cfg = config.base;
@@ -74,7 +78,7 @@ StreamGridResult run_stream_delay_grid(std::span<const ChannelPoint> points,
             cfg.overhead = result.overheads[o];
             GilbertModel channel(p, q);
             const StreamTrialResult r =
-                run_stream_trial(cfg, channel, derive_seed(seed, {v, o}));
+                run_stream_trial(cfg, channel, derive_seed(seed, {v, o}), ws);
             StreamPointStats& s =
                 result.stats[(c * result.variants.size() + v) *
                                  result.overheads.size() +

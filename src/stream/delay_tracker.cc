@@ -7,6 +7,17 @@
 
 namespace fecsched {
 
+void DelayTracker::reset() {
+  records_.clear();
+  frontier_ = 0;
+  last_release_ = 0.0;
+  delays_.clear();
+  transport_sum_ = 0.0;
+  hol_sum_ = 0.0;
+  residual_ = {};
+  open_run_ = 0;
+}
+
 void DelayTracker::on_sent(std::uint64_t seq, double t) {
   if (seq != records_.size())
     throw std::invalid_argument(

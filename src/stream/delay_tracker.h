@@ -70,6 +70,10 @@ class DelayTracker {
   void on_available(std::uint64_t seq, double t);
   void on_lost(std::uint64_t seq, double t);
 
+  /// Restart for a new stream, keeping the per-source and delay-vector
+  /// allocations (the trial-workspace path).
+  void reset();
+
   /// Sources released so far (the in-order frontier: all seqs below this
   /// are finalised).
   [[nodiscard]] std::uint64_t released_through() const noexcept {

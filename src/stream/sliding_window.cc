@@ -1,9 +1,11 @@
 #include "stream/sliding_window.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "gf/gf256.h"
+#include "gf/gf256_kernels.h"
 #include "util/rng.h"
 
 namespace fecsched {
@@ -30,6 +32,7 @@ SlidingWindowEncoder::SlidingWindowEncoder(const SlidingWindowConfig& config,
                                            std::size_t symbol_size)
     : config_(config), symbol_size_(symbol_size) {
   config_.validate();
+  if (symbol_size_ > 0) history_.configure(config_.window, symbol_size_);
 }
 
 std::uint64_t SlidingWindowEncoder::push_source(
@@ -38,31 +41,43 @@ std::uint64_t SlidingWindowEncoder::push_source(
     if (payload.size() != symbol_size_)
       throw std::invalid_argument(
           "SlidingWindowEncoder::push_source: payload size mismatch");
-    history_.emplace_back(payload.begin(), payload.end());
-    if (history_.size() > config_.window) history_.pop_front();
+    std::memcpy(history_.row(next_ % config_.window), payload.data(),
+                symbol_size_);
   }
   return next_++;
 }
 
 RepairPacket SlidingWindowEncoder::make_repair() {
+  RepairPacket repair;
+  make_repair(repair);
+  return repair;
+}
+
+void SlidingWindowEncoder::make_repair(RepairPacket& out) {
   if (next_ == 0)
     throw std::logic_error(
         "SlidingWindowEncoder::make_repair: no source packets yet");
-  RepairPacket repair;
-  repair.repair_seq = repairs_++;
-  repair.last = next_;
-  repair.first = next_ >= config_.window ? next_ - config_.window : 0;
+  out.repair_seq = repairs_++;
+  out.last = next_;
+  out.first = next_ >= config_.window ? next_ - config_.window : 0;
   if (symbol_size_ > 0) {
-    repair.payload.assign(symbol_size_, 0);
-    // history_[i] holds source seq  next_ - history_.size() + i.
-    const std::uint64_t base = next_ - history_.size();
-    for (std::size_t i = 0; i < history_.size(); ++i) {
-      const std::uint64_t seq = base + i;
-      gf::addmul(repair.payload, history_[i],
-                 sliding_coefficient(config_, repair.repair_seq, seq));
+    out.payload.assign(symbol_size_, 0);
+    const gf::Kernels& eng = gf::kernels();
+    constexpr std::size_t kBatch = 64;
+    gf::AddmulTerm terms[kBatch];
+    std::size_t nt = 0;
+    for (std::uint64_t seq = out.first; seq < out.last; ++seq) {
+      if (nt == kBatch) {
+        eng.addmul_batch(out.payload.data(), terms, nt, symbol_size_);
+        nt = 0;
+      }
+      terms[nt++] = {history_.row(seq % config_.window),
+                     sliding_coefficient(config_, out.repair_seq, seq)};
     }
+    eng.addmul_batch(out.payload.data(), terms, nt, symbol_size_);
+  } else {
+    out.payload.clear();
   }
-  return repair;
 }
 
 // ---------------------------------------------------------------- decoder
@@ -71,6 +86,17 @@ SlidingWindowDecoder::SlidingWindowDecoder(const SlidingWindowConfig& config,
                                            std::size_t symbol_size)
     : config_(config), symbol_size_(symbol_size) {
   config_.validate();
+}
+
+void SlidingWindowDecoder::reset(const SlidingWindowConfig& config) {
+  config_ = config;
+  config_.validate();
+  horizon_ = 0;
+  known_n_ = 0;
+  lost_n_ = 0;
+  fate_.clear();
+  symbols_.clear();
+  eqs_.clear();
 }
 
 bool SlidingWindowDecoder::is_known(std::uint64_t seq) const {
@@ -166,9 +192,14 @@ void SlidingWindowDecoder::solve(std::vector<std::uint64_t>& newly) {
   // Gauss-Jordan over the active window: the unknowns are the union of the
   // equations' terms (at most a few windows wide), the rows are the
   // pending repair equations.  The system is tiny, so a dense pass per
-  // change is cheaper than maintaining an incremental factorisation.
+  // change is cheaper than maintaining an incremental factorisation.  The
+  // coefficient matrix lives flat in the member scratch (this runs on the
+  // per-packet delivery path), and the byte-row eliminations go through
+  // the SIMD kernel engine.
+  const gf::Kernels& eng = gf::kernels();
   while (true) {
-    std::vector<std::uint64_t> unknowns;
+    std::vector<std::uint64_t>& unknowns = scratch_unknowns_;
+    unknowns.clear();
     for (const auto& eq : eqs_)
       for (const auto& [seq, c] : eq.terms) unknowns.push_back(seq);
     std::sort(unknowns.begin(), unknowns.end());
@@ -185,71 +216,73 @@ void SlidingWindowDecoder::solve(std::vector<std::uint64_t>& newly) {
           unknowns.begin());
     };
 
-    struct Row {
-      std::vector<std::uint8_t> a;
-      std::vector<std::uint8_t> rhs;
-    };
-    std::vector<Row> rows;
-    rows.reserve(eqs_.size());
-    for (auto& eq : eqs_) {
-      Row row;
-      row.a.assign(u, 0);
-      for (const auto& [seq, c] : eq.terms) row.a[col_of(seq)] = c;
-      row.rhs = std::move(eq.rhs);
-      rows.push_back(std::move(row));
+    // Row i of the dense system: coefficients scratch_a_[i*u .. i*u+u),
+    // right-hand side scratch_rhs_[i] (moved out of the equation).
+    const std::size_t nrows = eqs_.size();
+    scratch_a_.assign(nrows * u, 0);
+    if (scratch_rhs_.size() < nrows) scratch_rhs_.resize(nrows);
+    for (std::size_t i = 0; i < nrows; ++i) {
+      std::uint8_t* row = scratch_a_.data() + i * u;
+      for (const auto& [seq, c] : eqs_[i].terms) row[col_of(seq)] = c;
+      scratch_rhs_[i] = std::move(eqs_[i].rhs);
     }
+    const auto a_row = [&](std::size_t i) { return scratch_a_.data() + i * u; };
 
     std::size_t pivot_row = 0;
-    for (std::size_t col = 0; col < u && pivot_row < rows.size(); ++col) {
+    for (std::size_t col = 0; col < u && pivot_row < nrows; ++col) {
       std::size_t r = pivot_row;
-      while (r < rows.size() && rows[r].a[col] == 0) ++r;
-      if (r == rows.size()) continue;
-      std::swap(rows[pivot_row], rows[r]);
-      Row& p = rows[pivot_row];
-      const std::uint8_t inv = gf::inv(p.a[col]);
-      if (inv != 1) {
-        for (auto& v : p.a) v = gf::mul(v, inv);
-        if (symbol_size_ > 0) gf::scale(p.rhs, inv);
+      while (r < nrows && a_row(r)[col] == 0) ++r;
+      if (r == nrows) continue;
+      if (r != pivot_row) {
+        std::swap_ranges(a_row(pivot_row), a_row(pivot_row) + u, a_row(r));
+        std::swap(scratch_rhs_[pivot_row], scratch_rhs_[r]);
       }
-      for (std::size_t other = 0; other < rows.size(); ++other) {
-        if (other == pivot_row || rows[other].a[col] == 0) continue;
-        const std::uint8_t f = rows[other].a[col];
-        for (std::size_t j = 0; j < u; ++j)
-          rows[other].a[j] =
-              gf::add(rows[other].a[j], gf::mul(f, p.a[j]));
-        if (symbol_size_ > 0) gf::addmul(rows[other].rhs, p.rhs, f);
+      std::uint8_t* p = a_row(pivot_row);
+      const std::uint8_t inv = gf::inv(p[col]);
+      if (inv != 1) {
+        eng.scale(p, u, inv);
+        if (symbol_size_ > 0) gf::scale(scratch_rhs_[pivot_row], inv);
+      }
+      for (std::size_t other = 0; other < nrows; ++other) {
+        if (other == pivot_row || a_row(other)[col] == 0) continue;
+        const std::uint8_t f = a_row(other)[col];
+        eng.addmul(a_row(other), p, u, f);
+        if (symbol_size_ > 0)
+          gf::addmul(scratch_rhs_[other], scratch_rhs_[pivot_row], f);
       }
       ++pivot_row;
     }
 
     // Harvest: zero rows are redundant, single-term rows are recoveries
     // (their pivot column is zero in every other row), the rest become the
-    // new active equation set.
+    // new active equation set.  The staging buffer is swapped with eqs_ so
+    // the discarded equations' capacities survive for the next pass.
     bool recovered = false;
-    std::vector<Equation> next;
-    next.reserve(rows.size());
-    for (auto& row : rows) {
+    std::vector<Equation>& next = scratch_next_;
+    next.clear();
+    for (std::size_t i = 0; i < nrows; ++i) {
+      const std::uint8_t* row = a_row(i);
       std::size_t nz = 0, last = 0;
       for (std::size_t j = 0; j < u; ++j)
-        if (row.a[j] != 0) {
+        if (row[j] != 0) {
           ++nz;
           last = j;
         }
       if (nz == 0) continue;  // redundant combination
       if (nz == 1) {
         // Normalised pivot: coefficient is 1, rhs is the payload.
-        learn(unknowns[last], std::move(row.rhs), newly);
+        learn(unknowns[last], std::move(scratch_rhs_[i]), newly);
         recovered = true;
         continue;
       }
       Equation eq;
       eq.terms.reserve(nz);
       for (std::size_t j = 0; j < u; ++j)
-        if (row.a[j] != 0) eq.terms.emplace_back(unknowns[j], row.a[j]);
-      eq.rhs = std::move(row.rhs);
+        if (row[j] != 0) eq.terms.emplace_back(unknowns[j], row[j]);
+      eq.rhs = std::move(scratch_rhs_[i]);
       next.push_back(std::move(eq));
     }
-    eqs_ = std::move(next);
+    eqs_.swap(next);
     if (!recovered) return;
     // A recovery never leaves its column behind (Jordan), but re-running
     // keeps the invariant simple and the system is already reduced, so the

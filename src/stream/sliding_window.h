@@ -38,12 +38,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <span>
 #include <vector>
 
 #include "fec/sparse_matrix.h"
+#include "fec/symbol_arena.h"
 
 namespace fecsched {
 
@@ -114,12 +114,18 @@ class SlidingWindowEncoder {
   /// packet.  Throws std::logic_error before the first source.
   [[nodiscard]] RepairPacket make_repair();
 
+  /// Allocation-reusing variant: fills `out` in place (out.payload keeps
+  /// its capacity across calls).
+  void make_repair(RepairPacket& out);
+
  private:
   SlidingWindowConfig config_;
   std::size_t symbol_size_;
   std::uint64_t next_ = 0;
   std::uint64_t repairs_ = 0;
-  std::deque<std::vector<std::uint8_t>> history_;  ///< last W payloads
+  /// Last W payloads as a flat ring: source seq s lives in arena row
+  /// s % window (payload mode only).
+  SymbolArena history_;
 };
 
 /// Receiver side: incremental GF(2^8) Gaussian elimination over the active
@@ -132,6 +138,10 @@ class SlidingWindowDecoder {
   [[nodiscard]] const SlidingWindowConfig& config() const noexcept {
     return config_;
   }
+
+  /// Restart for a new stream under a (possibly different) configuration,
+  /// keeping the solver scratch allocations — the trial-workspace path.
+  void reset(const SlidingWindowConfig& config);
 
   /// Feed one received source packet.  Returns the source seqs that became
   /// known as a result (the packet itself if new, plus any recoveries its
@@ -189,6 +199,15 @@ class SlidingWindowDecoder {
   std::map<std::uint64_t, std::uint8_t> fate_;
   std::map<std::uint64_t, std::vector<std::uint8_t>> symbols_;
   std::vector<Equation> eqs_;
+  // solve() scratch, reused across calls: the active unknowns, the flat
+  // (rows x unknowns) coefficient matrix of the dense pass, the rhs
+  // payloads moved out of the equations for the elimination, and the
+  // surviving-equation staging buffer (swapped with eqs_, so both keep
+  // their per-equation capacities alive).
+  std::vector<std::uint64_t> scratch_unknowns_;
+  std::vector<std::uint8_t> scratch_a_;
+  std::vector<std::vector<std::uint8_t>> scratch_rhs_;
+  std::vector<Equation> scratch_next_;
 };
 
 /// The binary support structure of the repairs a paced stream would emit:

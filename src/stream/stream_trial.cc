@@ -69,7 +69,8 @@ StreamTrialResult finish(const DelayTracker& tracker, std::uint64_t sent,
 // ------------------------------------------------- sliding / replication
 
 StreamTrialResult run_paced_trial(const StreamTrialConfig& cfg,
-                                  LossModel& channel, std::uint64_t seed) {
+                                  LossModel& channel, std::uint64_t seed,
+                                  StreamTrialWorkspace& ws) {
   const std::uint32_t S = cfg.source_count;
   const std::uint32_t W = cfg.window;
   const std::uint32_t interval = cfg.repair_interval();
@@ -80,15 +81,21 @@ StreamTrialResult run_paced_trial(const StreamTrialConfig& cfg,
   sw.repair_interval = interval;
   sw.coefficients = cfg.coefficients;
   sw.seed = derive_seed(seed, {2});
-  SlidingWindowDecoder decoder(sw);
+  if (ws.decoder)
+    ws.decoder->reset(sw);
+  else
+    ws.decoder.emplace(sw);
+  SlidingWindowDecoder& decoder = *ws.decoder;
 
-  DelayTracker tracker;
+  DelayTracker& tracker = ws.tracker;
+  tracker.reset();
   // Source s occupies slot s plus one slot per earlier repair.
   for (std::uint32_t s = 0; s < S; ++s)
     tracker.on_sent(s, static_cast<double>(s) + s / interval);
 
   // Replication baseline state: plain availability bitmap + give-up line.
-  std::vector<char> have(S, 0);
+  std::vector<char>& have = ws.have;
+  have.assign(S, 0);
   std::uint64_t repl_horizon = 0;
 
   std::uint64_t slot = 0, sent = 0, received = 0, repairs = 0;
@@ -159,7 +166,8 @@ StreamTrialResult run_paced_trial(const StreamTrialConfig& cfg,
 // ----------------------------------------------------------- block codes
 
 StreamTrialResult run_block_trial(const StreamTrialConfig& cfg,
-                                  LossModel& channel, std::uint64_t seed) {
+                                  LossModel& channel, std::uint64_t seed,
+                                  StreamTrialWorkspace& ws) {
   const std::uint32_t S = cfg.source_count;
   const double ratio = 1.0 + cfg.overhead;
   const bool rse = cfg.scheme == StreamScheme::kBlockRse;
@@ -187,33 +195,38 @@ StreamTrialResult run_block_trial(const StreamTrialConfig& cfg,
   }
 
   Rng rng(derive_seed(seed, {1}));
-  std::vector<PacketId> schedule;
+  std::vector<PacketId>& schedule = ws.schedule;
   switch (cfg.scheduling) {
     case StreamScheduling::kInterleaved:
-      schedule = make_schedule(*plan, TxModel::kTx5Interleaved, rng);
+      make_schedule(*plan, TxModel::kTx5Interleaved, rng, schedule);
       break;
     case StreamScheduling::kSequential:
     case StreamScheduling::kCarousel:
-      schedule = rse ? per_block_sequential(*rse_plan)
-                     : make_schedule(*plan, TxModel::kTx1SeqSourceSeqParity,
-                                     rng);
+      if (rse)
+        per_block_sequential(*rse_plan, schedule);
+      else
+        make_schedule(*plan, TxModel::kTx1SeqSourceSeqParity, rng, schedule);
       break;
   }
   const std::uint64_t cycles =
       cfg.scheduling == StreamScheduling::kCarousel ? cfg.max_cycles : 1;
 
   // First transmission slot of every source (cycle 0 covers all ids).
-  std::vector<std::uint64_t> tx_slot(S, 0);
+  std::vector<std::uint64_t>& tx_slot = ws.tx_slot;
+  tx_slot.assign(S, 0);
   for (std::size_t t = 0; t < schedule.size(); ++t)
     if (schedule[t] < S) tx_slot[schedule[t]] = t;
-  DelayTracker tracker;
+  DelayTracker& tracker = ws.tracker;
+  tracker.reset();
   for (std::uint32_t s = 0; s < S; ++s)
     tracker.on_sent(s, static_cast<double>(tx_slot[s]));
 
   // Non-carousel runs can give a block up the moment its last scheduled
   // packet has passed; a carousel always has another cycle coming.
-  std::vector<std::vector<std::uint32_t>> ends_at_slot;
-  if (rse && cycles == 1) {
+  const bool use_block_ends = rse && cycles == 1;
+  std::vector<std::vector<std::uint32_t>>& ends_at_slot = ws.ends_at_slot;
+  if (use_block_ends) {
+    for (auto& v : ends_at_slot) v.clear();
     ends_at_slot.resize(schedule.size());
     std::vector<std::int64_t> last(rse_plan->block_count(), -1);
     for (std::size_t t = 0; t < schedule.size(); ++t)
@@ -224,18 +237,22 @@ StreamTrialResult run_block_trial(const StreamTrialConfig& cfg,
   }
 
   // Decode state.
-  std::vector<char> seen(plan->n(), 0);
-  std::vector<std::uint32_t> block_received;
-  std::vector<char> block_decoded;
+  std::vector<char>& seen = ws.seen;
+  seen.assign(plan->n(), 0);
+  std::vector<std::uint32_t>& block_received = ws.block_received;
+  std::vector<char>& block_decoded = ws.block_decoded;
   std::uint32_t blocks_done = 0;
   if (rse) {
     block_received.assign(rse_plan->block_count(), 0);
     block_decoded.assign(rse_plan->block_count(), 0);
   }
-  std::optional<PeelingDecoder> peeler;
-  std::vector<std::uint32_t> unknown_sources;
+  std::optional<PeelingDecoder>& peeler = ws.peeler;
+  std::vector<std::uint32_t>& unknown_sources = ws.unknown_sources;
   if (!rse) {
-    peeler.emplace(ldgm->matrix(), S);
+    if (peeler)
+      peeler->rebind(ldgm->matrix(), S);
+    else
+      peeler.emplace(ldgm->matrix(), S);
     unknown_sources.resize(S);
     for (std::uint32_t s = 0; s < S; ++s) unknown_sources[s] = s;
   }
@@ -292,7 +309,7 @@ StreamTrialResult run_block_trial(const StreamTrialConfig& cfg,
         }
       }
     }
-    if (!ends_at_slot.empty()) {
+    if (use_block_ends) {
       for (std::uint32_t b : ends_at_slot[slot % schedule.size()]) {
         if (block_decoded[b]) continue;
         const BlockInfo& info = rse_plan->block(b);
@@ -331,8 +348,8 @@ StreamTrialResult run_block_trial(const StreamTrialConfig& cfg,
 
 }  // namespace
 
-std::vector<PacketId> per_block_sequential(const RsePlan& plan) {
-  std::vector<PacketId> out;
+void per_block_sequential(const RsePlan& plan, std::vector<PacketId>& out) {
+  out.clear();
   out.reserve(plan.n());
   for (std::uint32_t b = 0; b < plan.block_count(); ++b) {
     const BlockInfo& info = plan.block(b);
@@ -341,21 +358,33 @@ std::vector<PacketId> per_block_sequential(const RsePlan& plan) {
     for (std::uint32_t i = 0; i < info.n - info.k; ++i)
       out.push_back(info.parity_offset + i);
   }
+}
+
+std::vector<PacketId> per_block_sequential(const RsePlan& plan) {
+  std::vector<PacketId> out;
+  per_block_sequential(plan, out);
   return out;
 }
 
 StreamTrialResult run_stream_trial(const StreamTrialConfig& cfg,
-                                   LossModel& channel, std::uint64_t seed) {
+                                   LossModel& channel, std::uint64_t seed,
+                                   StreamTrialWorkspace& ws) {
   cfg.validate();
   switch (cfg.scheme) {
     case StreamScheme::kSlidingWindow:
     case StreamScheme::kReplication:
-      return run_paced_trial(cfg, channel, seed);
+      return run_paced_trial(cfg, channel, seed, ws);
     case StreamScheme::kBlockRse:
     case StreamScheme::kLdgm:
-      return run_block_trial(cfg, channel, seed);
+      return run_block_trial(cfg, channel, seed, ws);
   }
   throw std::logic_error("run_stream_trial: unreachable scheme");
+}
+
+StreamTrialResult run_stream_trial(const StreamTrialConfig& cfg,
+                                   LossModel& channel, std::uint64_t seed) {
+  StreamTrialWorkspace ws;
+  return run_stream_trial(cfg, channel, seed, ws);
 }
 
 }  // namespace fecsched

@@ -26,10 +26,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "channel/loss_model.h"
 #include "fec/ldgm.h"
+#include "fec/peeling_decoder.h"
 #include "stream/delay_tracker.h"
 #include "stream/sliding_window.h"
 
@@ -102,12 +104,37 @@ struct StreamTrialResult {
   bool all_delivered = false;    ///< no source was released as lost
 };
 
+/// Reusable per-trial state for run_stream_trial: the decoders, the delay
+/// tracker and every sizeable per-trial vector.  Sweeps keep one workspace
+/// per worker thread so the inner trial loop stops allocating; every
+/// member is fully re-initialised at the start of each trial, so reuse
+/// never changes a result bit (the threads=1-vs-N grid tests pin this).
+struct StreamTrialWorkspace {
+  DelayTracker tracker;
+  std::optional<SlidingWindowDecoder> decoder;
+  std::optional<PeelingDecoder> peeler;
+  std::vector<char> have;
+  std::vector<PacketId> schedule;
+  std::vector<std::uint64_t> tx_slot;
+  std::vector<std::vector<std::uint32_t>> ends_at_slot;
+  std::vector<char> seen;
+  std::vector<std::uint32_t> block_received;
+  std::vector<char> block_decoded;
+  std::vector<std::uint32_t> unknown_sources;
+};
+
 /// Run one streaming trial.  The channel is reset from `seed`; all other
 /// randomness (schedules, LDGM graph, repair coefficients) derives from
 /// `seed` too, so the trial is reproducible.
 [[nodiscard]] StreamTrialResult run_stream_trial(const StreamTrialConfig& cfg,
                                                  LossModel& channel,
                                                  std::uint64_t seed);
+
+/// Workspace-reusing variant (identical output, fewer allocations).
+[[nodiscard]] StreamTrialResult run_stream_trial(const StreamTrialConfig& cfg,
+                                                 LossModel& channel,
+                                                 std::uint64_t seed,
+                                                 StreamTrialWorkspace& ws);
 
 class RsePlan;
 
@@ -117,5 +144,8 @@ class RsePlan;
 /// (src/mpath/), which must emit the identical sequence for its 1-path
 /// degenerate case to reproduce this trial bit-for-bit.
 [[nodiscard]] std::vector<PacketId> per_block_sequential(const RsePlan& plan);
+
+/// Allocation-reusing variant: fills `out` in place (cleared first).
+void per_block_sequential(const RsePlan& plan, std::vector<PacketId>& out);
 
 }  // namespace fecsched

@@ -2,16 +2,22 @@
 // produce clean rejections (exceptions or false returns), never crashes,
 // corrupted state, or silently wrong decodes.
 
+#include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "channel/gilbert.h"
 #include "fec/ldgm.h"
 #include "fec/peeling_decoder.h"
 #include "fec/rse.h"
+#include "fec/symbol_arena.h"
 #include "flute/fdt.h"
 #include "flute/lct_header.h"
 #include "flute/session.h"
+#include "stream/sliding_window.h"
+#include "stream/stream_trial.h"
 #include "util/rng.h"
 
 namespace fecsched {
@@ -195,6 +201,141 @@ TEST(FuzzRse, DecodeRejectsRatherThanMisdecodes) {
     for (auto idx : subset)
       rx.push_back({idx, idx < 10 ? src[idx] : parity[idx - 10]});
     EXPECT_THROW((void)codec.decode(rx), std::invalid_argument);
+  }
+}
+
+TEST(FuzzRseWorkspace, ReusedWorkspaceDecodesRandomGeometries) {
+  // One RseWorkspace + arenas reused across 150 random (k, n, symbol_size,
+  // erasure pattern) rounds: every decode must reproduce the sources
+  // exactly — no state may leak between rounds.
+  Rng rng(20);
+  RseWorkspace ws;
+  SymbolArena src_arena, parity_arena, out_arena;
+  for (int round = 0; round < 150; ++round) {
+    const std::uint32_t k = 1 + static_cast<std::uint32_t>(rng.below(40));
+    const std::uint32_t n =
+        k + 1 + static_cast<std::uint32_t>(rng.below(60));
+    if (n > RseCodec::kMaxN) continue;
+    const std::size_t sym = 1 + rng.below(200);
+    const RseCodec codec(k, n);
+    src_arena.configure(k, sym);
+    parity_arena.configure(n - k, sym);
+    out_arena.configure(k, sym);
+    std::vector<const std::uint8_t*> src_rows(k);
+    std::vector<std::uint8_t*> parity_rows(n - k), out_rows(k);
+    for (std::uint32_t j = 0; j < k; ++j) {
+      for (std::size_t b = 0; b < sym; ++b)
+        src_arena.row(j)[b] = static_cast<std::uint8_t>(rng.below(256));
+      src_rows[j] = src_arena.row(j);
+      out_rows[j] = out_arena.row(j);
+    }
+    for (std::uint32_t i = 0; i < n - k; ++i)
+      parity_rows[i] = parity_arena.row(i);
+    codec.encode_into(src_rows.data(), sym, parity_rows.data());
+
+    // Receive exactly k distinct random packets (always decodable: MDS).
+    const auto picked = sample_without_replacement(n, k, rng);
+    std::vector<ReceivedSymbol> views;
+    for (const std::uint32_t idx : picked)
+      views.push_back({idx, idx < k ? src_arena.row(idx)
+                                    : parity_arena.row(idx - k)});
+    codec.decode_into(views, sym, out_rows.data(), ws);
+    for (std::uint32_t j = 0; j < k; ++j)
+      ASSERT_EQ(std::memcmp(out_arena.row(j), src_arena.row(j), sym), 0)
+          << "round " << round << " k=" << k << " n=" << n << " src " << j;
+  }
+}
+
+TEST(FuzzRseWorkspace, MalformedSetsThrowAndLeaveWorkspaceUsable) {
+  Rng rng(21);
+  const RseCodec codec(10, 25);
+  const std::size_t sym = 32;
+  SymbolArena arena, out;
+  arena.configure(25, sym);
+  out.configure(10, sym);
+  std::vector<std::uint8_t*> out_rows(10);
+  for (std::uint32_t j = 0; j < 10; ++j) out_rows[j] = out.row(j);
+  RseWorkspace ws;
+  for (int round = 0; round < 300; ++round) {
+    const std::uint32_t take = static_cast<std::uint32_t>(rng.below(10));
+    const auto subset = sample_without_replacement(25, take, rng);
+    std::vector<ReceivedSymbol> views;
+    for (const std::uint32_t idx : subset) views.push_back({idx, arena.row(idx)});
+    EXPECT_THROW(codec.decode_into(views, sym, out_rows.data(), ws),
+                 std::invalid_argument);
+  }
+  // The workspace must still serve a well-formed decode afterwards.
+  std::vector<ReceivedSymbol> good;
+  for (std::uint32_t idx = 0; idx < 10; ++idx)
+    good.push_back({idx, arena.row(idx)});
+  EXPECT_NO_THROW(codec.decode_into(good, sym, out_rows.data(), ws));
+}
+
+TEST(FuzzTrialWorkspace, RandomStreamTrialsMatchFreshRuns) {
+  // Random configurations hammered through one reused workspace; every
+  // result must equal the workspace-free run.
+  Rng rng(22);
+  StreamTrialWorkspace ws;
+  const StreamScheme schemes[] = {StreamScheme::kSlidingWindow,
+                                  StreamScheme::kReplication,
+                                  StreamScheme::kBlockRse, StreamScheme::kLdgm};
+  const StreamScheduling scheds[] = {StreamScheduling::kSequential,
+                                     StreamScheduling::kInterleaved};
+  for (int round = 0; round < 25; ++round) {
+    StreamTrialConfig cfg;
+    cfg.scheme = schemes[rng.below(4)];
+    cfg.scheduling = scheds[rng.below(2)];
+    cfg.source_count = 100 + static_cast<std::uint32_t>(rng.below(300));
+    cfg.overhead = 0.2 + 0.1 * static_cast<double>(rng.below(3));
+    cfg.window = 16 + static_cast<std::uint32_t>(rng.below(32));
+    cfg.block_k = 16 + static_cast<std::uint32_t>(rng.below(32));
+    const double p = 0.02 + 0.03 * rng.uniform01();
+    const double q = 0.3 + 0.4 * rng.uniform01();
+    const std::uint64_t seed = rng();
+    GilbertModel c1(p, q), c2(p, q);
+    const StreamTrialResult fresh = run_stream_trial(cfg, c1, seed);
+    const StreamTrialResult reused = run_stream_trial(cfg, c2, seed, ws);
+    ASSERT_EQ(fresh.delays, reused.delays) << "round " << round;
+    ASSERT_EQ(fresh.packets_sent, reused.packets_sent);
+    ASSERT_EQ(fresh.packets_received, reused.packets_received);
+    ASSERT_EQ(fresh.residual.lost, reused.residual.lost);
+    ASSERT_EQ(fresh.all_delivered, reused.all_delivered);
+  }
+}
+
+TEST(FuzzTrialWorkspace, SlidingDecoderResetMatchesFreshDecoder) {
+  Rng rng(23);
+  SlidingWindowConfig base;
+  std::optional<SlidingWindowDecoder> reused;
+  for (int round = 0; round < 40; ++round) {
+    SlidingWindowConfig cfg = base;
+    cfg.window = 4 + static_cast<std::uint32_t>(rng.below(16));
+    cfg.repair_interval = 1 + static_cast<std::uint32_t>(rng.below(5));
+    cfg.seed = rng();
+    SlidingWindowDecoder fresh(cfg);
+    if (reused)
+      reused->reset(cfg);
+    else
+      reused.emplace(cfg);
+    SlidingWindowEncoder encoder(cfg);
+    for (int step = 0; step < 200; ++step) {
+      const std::uint64_t s = encoder.push_source();
+      const bool lost = rng.below(5) == 0;
+      if (!lost) {
+        ASSERT_EQ(fresh.on_source(s), reused->on_source(s));
+      }
+      if ((s + 1) % cfg.repair_interval == 0) {
+        const RepairPacket r = encoder.make_repair();
+        if (rng.below(4) != 0)
+          ASSERT_EQ(fresh.on_repair(r), reused->on_repair(r));
+      }
+      if (s + 1 > cfg.window)
+        ASSERT_EQ(fresh.give_up_before(s + 1 - cfg.window),
+                  reused->give_up_before(s + 1 - cfg.window));
+    }
+    ASSERT_EQ(fresh.known_count(), reused->known_count());
+    ASSERT_EQ(fresh.lost_count(), reused->lost_count());
+    ASSERT_EQ(fresh.active_equations(), reused->active_equations());
   }
 }
 

@@ -28,3 +28,32 @@ ctest --output-on-failure --no-tests=error \
 ctest --output-on-failure --no-tests=error \
       -R 'Path|Mpath|Resequencer'
 ./bench_mpath --k=1000 --trials=10
+
+# Codec kernel gate (src/gf/ SIMD engine + zero-allocation hot paths):
+# 1. the kernel self-tests — exhaustive SIMD-vs-scalar bit-equivalence on
+#    every backend the host supports, plus the workspace/arena API suites;
+ctest --output-on-failure --no-tests=error \
+      -R 'Gf256Kernels|SymbolArena|RseWorkspace|LdgmWorkspace|TrialWorkspace|FuzzRseWorkspace|FuzzTrialWorkspace'
+# 2. a reduced-scale codec-speed smoke whose exit status enforces the perf
+#    acceptance criteria on SIMD hosts (>= 4x GF(256) addmul and >= 1.5x
+#    end-to-end RSE encode/decode over the scalar baseline) — skipped when
+#    google-benchmark was unavailable at build time;
+if [ -x ./bench_codec_speed ]; then
+  ./bench_codec_speed --json BENCH_codec_speed.json --check --min-time=0.1
+fi
+# 3. bit-identity of one grid, stream and mpath point: the default
+#    (auto-dispatched) backend and the forced-scalar backend must both
+#    reproduce the pinned scalar-path outputs byte for byte.
+./fecsched_cli sweep --code=rse --tx=1 --ratio=1.5 --k=400 --trials=3 \
+  | cmp - ../tools/pinned/grid_point.txt
+./fecsched_cli stream --p=0.02 --q=0.4 --sources=800 --trials=3 \
+  | cmp - ../tools/pinned/stream_point.txt
+./fecsched_cli mpath --p=0.02 --q=0.4 --sources=600 --trials=2 \
+  | cmp - ../tools/pinned/mpath_point.txt
+FECSCHED_GF_BACKEND=scalar ./fecsched_cli sweep --code=rse --tx=1 --ratio=1.5 --k=400 --trials=3 \
+  | cmp - ../tools/pinned/grid_point.txt
+FECSCHED_GF_BACKEND=scalar ./fecsched_cli stream --p=0.02 --q=0.4 --sources=800 --trials=3 \
+  | cmp - ../tools/pinned/stream_point.txt
+FECSCHED_GF_BACKEND=scalar ./fecsched_cli mpath --p=0.02 --q=0.4 --sources=600 --trials=2 \
+  | cmp - ../tools/pinned/mpath_point.txt
+echo "codec gate: kernels bit-identical, perf criteria met"
