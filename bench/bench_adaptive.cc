@@ -20,6 +20,7 @@
 #include <cstring>
 #include <string>
 
+#include "api/scenario.h"
 #include "bench_common.h"
 #include "sim/adaptive_compare.h"
 
@@ -52,21 +53,20 @@ int main(int argc, char** argv) {
   std::printf("%u adaptive objects per point, first %u are warm-up\n\n",
               objects, warmup);
 
-  AdaptiveCompareConfig cfg;
-  cfg.k = scale.k;
-  cfg.objects = objects;
-  cfg.warmup_objects = warmup;
-  cfg.seed = scale.seed;
-
-  const auto points = burst_grid({0.05, 0.1, 0.2}, {1.0, 4.0, 10.0});
-  // One worker per channel point (--threads, 0 = all cores); every point
-  // is seed-determined, so the table matches a serial run digit for digit.
-  const auto results = bench::parallel_map(
-      static_cast<std::uint32_t>(points.size()), scale.threads,
-      [&](std::uint32_t i) {
-        return run_adaptive_compare_point(points[i].first, points[i].second,
-                                          cfg);
-      });
+  // One declarative scenario (src/api/): the (p_global x burst) axes
+  // expand into one worker per channel point (--threads, 0 = all cores);
+  // every point is seed-determined, so the table matches a serial run —
+  // and the pre-API hand-rolled parallel_map loop — digit for digit.
+  api::ScenarioSpec spec;
+  spec.engine = "adaptive";
+  spec.code.k = scale.k;
+  spec.adapt.objects = objects;
+  spec.adapt.warmup = warmup;
+  spec.run.seed = scale.seed;
+  spec.run.threads = scale.threads;
+  spec.sweep.p_globals = {0.05, 0.1, 0.2};
+  spec.sweep.bursts = {1.0, 4.0, 10.0};
+  const auto results = api::run_scenario_sweep(spec).adaptive;
 
   std::printf("%-8s %-6s %-26s %10s %10s %8s %6s\n", "p_glob", "burst",
               "best static tuple", "static", "adaptive", "gap%", "fails");

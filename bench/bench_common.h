@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "api/scenario.h"
+#include "flute/fdt.h"
 #include "sim/experiment.h"
 #include "sim/grid.h"
 #include "sim/table_io.h"
@@ -203,6 +205,47 @@ inline ExperimentConfig make_config(CodeKind code, TxModel tx, double ratio,
   cfg.expansion_ratio = ratio;
   cfg.k = s.k;
   return cfg;
+}
+
+/// Scenario-API equivalent of make_config + run_options: one paper-grid
+/// sweep as a declarative spec (registry names via the FLUTE wire names).
+inline api::ScenarioSpec make_grid_spec(CodeKind code, TxModel tx,
+                                        double ratio, const Scale& s) {
+  api::ScenarioSpec spec;
+  spec.engine = "grid";
+  spec.code.name = flute::code_wire_name(code);
+  spec.code.ratio = ratio;
+  spec.code.k = s.k;
+  spec.tx.model = "tx" + std::to_string(static_cast<int>(tx));
+  spec.run.trials = s.trials;
+  spec.run.seed = s.seed;
+  spec.run.threads = s.threads;
+  spec.sweep.grid = "paper";
+  return spec;
+}
+
+/// Scenario-API sweep-and-print: identical rendering to the
+/// ExperimentConfig overload above (the grid engine reuses
+/// Experiment::run, so every digit matches).
+inline GridResult run_and_print(const api::ScenarioSpec& spec,
+                                const std::string& caption,
+                                bool print_received_ratio = false) {
+  GridResult grid = *api::run_scenario_sweep(spec).grid;
+  TableOptions topt;
+  topt.caption = caption;
+  std::cout << "\n";
+  write_paper_table(std::cout, grid, topt);
+  if (print_received_ratio) {
+    std::cout << "\n# n_received/k ceiling for the same sweep ('-' never "
+                 "printed: counts all trials)\n";
+    GridResult ceiling = grid;
+    for (auto& cell : ceiling.cells) {
+      cell.inefficiency = cell.received_ratio;
+      cell.failures = 0;  // the ceiling exists for failed trials too
+    }
+    write_paper_table(std::cout, ceiling, {});
+  }
+  return grid;
 }
 
 }  // namespace fecsched::bench

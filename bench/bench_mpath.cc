@@ -22,6 +22,7 @@
 #include <cstdio>
 
 #include "adapt/controller.h"
+#include "api/scenario.h"
 #include "bench_common.h"
 #include "sim/mpath_sweep.h"
 #include "sim/stream_delay.h"
@@ -58,26 +59,35 @@ int main(int argc, char** argv) {
     window = std::max(window, rec.window);
   }
 
-  MpathSweepConfig cfg;
-  cfg.base.scheme = StreamScheme::kSlidingWindow;
-  cfg.base.source_count = scale.k;
-  cfg.base.window = window;
-  cfg.overheads = {kOverhead};
+  // One declarative scenario (src/api/): the sweep axes expand over the
+  // same run_mpath_sweep machinery, and an empty scheduler name selects
+  // every packet-to-path mapping — byte-identical to the pre-API
+  // hand-built MpathSweepConfig.
+  api::ScenarioSpec spec;
+  spec.engine = "mpath";
+  spec.code.name = "sliding-window";
+  spec.run.sources = scale.k;
+  spec.code.window = window;
+  spec.run.trials = scale.trials;
+  spec.run.seed = scale.seed;
+  spec.run.threads = scale.threads;
+  spec.sweep.p_globals = {0.02, 0.05};
+  spec.sweep.bursts = {2.0, 5.0};
+  spec.sweep.overheads = {kOverhead};
   // Two uncongested paths; spread 0 is the symmetric control, spread 40
   // puts 5 vs 45 slots of propagation delay on them.
-  cfg.path_count = 2;
-  cfg.path_capacity = 1.0;
-  cfg.base_delay = 25.0;
-  cfg.delay_spreads = {0.0, 40.0};
+  spec.paths.count = 2;
+  spec.paths.capacity = 1.0;
+  spec.paths.base_delay = 25.0;
+  spec.sweep.delay_spreads = {0.0, 40.0};
 
   std::printf("\nmultipath bench: %u source packets over %u paths "
               "(delays 25+-spread/2, capacity %.1f/slot each), overhead "
               "%.2f, window %u, %u trials/point%s\n\n",
-              scale.k, cfg.path_count, cfg.path_capacity, kOverhead, window,
-              scale.trials, scale.paper ? " [paper scale]" : "");
+              scale.k, spec.paths.count, spec.paths.capacity, kOverhead,
+              window, scale.trials, scale.paper ? " [paper scale]" : "");
 
-  GridRunOptions opt = bench::run_options(scale);
-  const MpathSweepResult grid = run_mpath_sweep(points, cfg, opt);
+  const MpathSweepResult grid = *api::run_scenario_sweep(spec).mpath;
 
   std::printf("%-8s %-6s %-7s %-17s %10s %10s %10s %9s %8s %8s\n", "p_glob",
               "burst", "spread", "scheduler", "mean", "p95", "p99",

@@ -19,6 +19,7 @@
 #include <cstdio>
 
 #include "adapt/controller.h"
+#include "api/scenario.h"
 #include "bench_common.h"
 #include "sim/stream_delay.h"
 
@@ -60,30 +61,28 @@ int main(int argc, char** argv) {
     window = std::max(window, rec.window);
   }
 
-  StreamGridConfig cfg;
-  cfg.overheads = {kOverhead};
-  cfg.base.source_count = scale.k;
-  cfg.base.window = window;
-  cfg.base.block_k = 64;
-  cfg.variants = {
-      {"sliding-window", StreamScheme::kSlidingWindow,
-       StreamScheduling::kSequential},
-      {"block-rse/seq", StreamScheme::kBlockRse,
-       StreamScheduling::kSequential},
-      {"block-rse/interleaved", StreamScheme::kBlockRse,
-       StreamScheduling::kInterleaved},
-      {"ldgm/seq", StreamScheme::kLdgm, StreamScheduling::kSequential},
-      {"replication", StreamScheme::kReplication,
-       StreamScheduling::kSequential},
-  };
+  // One declarative scenario (src/api/): the sweep axes expand over the
+  // same run_stream_delay_grid machinery, and an empty code name selects
+  // the default comparison variants — byte-identical to the pre-API
+  // hand-built StreamGridConfig.
+  api::ScenarioSpec spec;
+  spec.engine = "stream";
+  spec.run.sources = scale.k;
+  spec.code.window = window;
+  spec.code.block_k = 64;
+  spec.run.trials = scale.trials;
+  spec.run.seed = scale.seed;
+  spec.run.threads = scale.threads;
+  spec.sweep.p_globals = {0.02, 0.05};
+  spec.sweep.bursts = {2.0, 5.0};
+  spec.sweep.overheads = {kOverhead};
 
   std::printf("\nstream delay bench: %u source packets, overhead %.2f, "
               "window %u, block_k %u, %u trials/point%s\n\n",
-              scale.k, kOverhead, window, cfg.base.block_k, scale.trials,
+              scale.k, kOverhead, window, spec.code.block_k, scale.trials,
               scale.paper ? " [paper scale]" : "");
 
-  GridRunOptions opt = bench::run_options(scale);
-  const StreamGridResult grid = run_stream_delay_grid(points, cfg, opt);
+  const StreamGridResult grid = *api::run_scenario_sweep(spec).stream;
 
   std::printf("%-8s %-6s %-22s %10s %10s %10s %10s %10s\n", "p_glob",
               "burst", "scheme", "mean", "p95", "p99", "resid-run",

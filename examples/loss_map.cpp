@@ -6,13 +6,19 @@
 //   $ ./loss_map [tx_model 1-6] [ratio]
 //
 // Defaults: Tx_model_4, ratio 2.5, LDGM Triangle (the universal tuple).
+//
+// The experiment is one declarative scenario (src/api/): the spec names
+// the code/tx/ratio through the registry, api::run_scenario() drives the
+// exact grid machinery the CLI and benches use, and this example only
+// renders the returned cells.  Print the equivalent JSON document with
+// `fecsched_cli sweep --dump-spec` and replay it with `fecsched_cli run`.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "api/scenario.h"
 #include "sim/analytic.h"
-#include "sim/experiment.h"
 
 int main(int argc, char** argv) {
   using namespace fecsched;
@@ -24,28 +30,31 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  ExperimentConfig cfg;
-  cfg.code = CodeKind::kLdgmTriangle;
-  cfg.tx = static_cast<TxModel>(tx_num);
-  cfg.expansion_ratio = ratio;
-  cfg.k = 2000;
-  const Experiment experiment(cfg);
+  api::ScenarioSpec spec;
+  spec.engine = "grid";
+  spec.code.name = "ldgm-triangle";
+  spec.code.ratio = ratio;
+  spec.code.k = 2000;
+  spec.tx.model = "tx" + std::to_string(tx_num);
+  spec.run.trials = 10;
+  spec.run.seed = 0x5eedf00dULL;
+  spec.sweep.grid = "paper";
 
-  GridSpec spec = GridSpec::paper();
-  GridRunOptions opt;
-  opt.trials_per_cell = 10;
-  const GridResult grid = experiment.run(spec, opt);
+  const api::ScenarioResult result = api::run_scenario(spec);
+  const GridResult& grid = *result.grid;
+  const GridSpec& axes = grid.spec;
 
   std::printf("operability map: LDGM Triangle + %s, ratio %.1f, k=%u\n",
-              std::string(to_string(cfg.tx)).c_str(), ratio, cfg.k);
+              std::string(to_string(result.grid_config->tx)).c_str(), ratio,
+              spec.code.k);
   std::printf("legend: '.'<=1.05  '+'<=1.15  'o'<=1.30  'O'>1.30  "
               "'x' unreliable  '#' beyond the Fig. 6 limit\n\n");
   std::printf("        q -> ");
-  for (double q : spec.q_values) std::printf("%4.0f", q * 100);
+  for (double q : axes.q_values) std::printf("%4.0f", q * 100);
   std::printf("  [%%]\n");
-  for (std::size_t pi = 0; pi < spec.p_values.size(); ++pi) {
-    std::printf("p = %5.1f%%   ", spec.p_values[pi] * 100);
-    for (std::size_t qi = 0; qi < spec.q_values.size(); ++qi) {
+  for (std::size_t pi = 0; pi < axes.p_values.size(); ++pi) {
+    std::printf("p = %5.1f%%   ", axes.p_values[pi] * 100);
+    for (std::size_t qi = 0; qi < axes.q_values.size(); ++qi) {
       const CellResult& cell = grid.cell(pi, qi);
       char ch;
       if (!decoding_feasible(cell.p, cell.q, 1.0, ratio))

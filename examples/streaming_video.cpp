@@ -13,14 +13,16 @@
 //
 // The window size comes from the adaptive subsystem's streaming hook
 // (AdaptiveController::recommend_window) fed with the channel estimate a
-// receiver report would produce.
+// receiver report would produce; the channel itself is instantiated by
+// name through the scenario API's registry (src/api/) — swap "gilbert"
+// for any registered loss model to re-run the demo on it.
 
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "adapt/controller.h"
-#include "channel/gilbert.h"
+#include "api/registry.h"
 #include "stream/delay_tracker.h"
 #include "stream/sliding_window.h"
 
@@ -32,11 +34,13 @@ int main() {
   constexpr double kPacketsPerSecond = 30.0 * 1.25;  // source + repair pacing
   constexpr double kSlotMs = 1000.0 / kPacketsPerSecond;
 
-  // A bursty last-mile link: 3% loss in bursts of 4 packets on average.
+  // A bursty last-mile link: 3% loss in bursts of 4 packets on average
+  // (the "gilbert" entry of the scenario registry).
   const double p_global = 0.03, mean_burst = 4.0;
   const double q = 1.0 / mean_burst;
   const double p = p_global * q / (1.0 - p_global);
-  GilbertModel channel(p, q);
+  const auto channel_ptr = api::registry().make_channel("gilbert", {p, q});
+  LossModel& channel = *channel_ptr;
   channel.reset(2026);
 
   // Window recommendation from the adaptive hook at the true channel.

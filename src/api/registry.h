@@ -1,0 +1,114 @@
+// String-keyed factory registries for the scenario API (src/api/).
+//
+// Every axis of the paper's joint space — which FEC code, which loss
+// model, which transmission model, which packet-to-path scheduler — is
+// addressable by a stable name, so a scenario is data (a ScenarioSpec /
+// JSON document), not code.  The registry is the single source of truth
+// for those names: the CLI's flag parsers, the spec JSON layer, the
+// `fecsched_cli list` subcommand and the engines all resolve through it,
+// which is what keeps a fifth subsystem a registry entry instead of a
+// fifth fork.
+//
+// Lookups are alias-aware (the CLI's historical shorthands — "sliding",
+// "rr", "seq", "1".."6" — resolve to the same entries) and failures
+// throw std::invalid_argument naming the offending key and the known
+// names, so a typo in a spec file is a one-line diagnosis.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "channel/loss_model.h"
+#include "fec/types.h"
+#include "mpath/scheduler.h"
+#include "stream/stream_trial.h"
+
+namespace fecsched::api {
+
+/// Library version reported by `fecsched_cli --version`.
+inline constexpr std::string_view kVersion = "0.5.0";
+
+/// One registered name.
+struct RegistryEntry {
+  std::string name;                       ///< canonical key
+  std::vector<std::string> aliases;       ///< accepted shorthands
+  std::string description;                ///< one line, for list/describe
+  std::vector<std::string> engines;       ///< engines that accept it
+};
+
+/// Parameters a channel factory consumes (a resolved Gilbert operating
+/// point; non-Markov models ignore what they do not use).
+struct ChannelParams {
+  double p = 0.0;
+  double q = 1.0;
+};
+
+/// The four discoverable sections of the scenario vocabulary.
+enum class RegistrySection { kCodes, kChannels, kTxModels, kPathSchedulers };
+
+[[nodiscard]] constexpr std::string_view to_string(RegistrySection s) noexcept {
+  switch (s) {
+    case RegistrySection::kCodes: return "codes";
+    case RegistrySection::kChannels: return "channels";
+    case RegistrySection::kTxModels: return "tx-models";
+    case RegistrySection::kPathSchedulers: return "path-schedulers";
+  }
+  return "?";
+}
+
+/// The scenario name space.  Immutable after construction; access the
+/// process-wide instance through registry().
+class Registry {
+ public:
+  Registry();
+
+  /// Every entry of a section, registration order.
+  [[nodiscard]] const std::vector<RegistryEntry>& list(
+      RegistrySection section) const;
+
+  /// Alias-aware lookup of one entry; nullopt when the name is unknown.
+  [[nodiscard]] std::optional<RegistryEntry> describe(
+      RegistrySection section, std::string_view name) const;
+
+  // Typed resolvers.  Each accepts the canonical name or any alias and
+  // throws std::invalid_argument ("unknown <what> '<name>' (known: ...)")
+  // otherwise.
+  [[nodiscard]] CodeKind code(std::string_view name) const;
+  [[nodiscard]] StreamScheme stream_scheme(std::string_view name) const;
+  [[nodiscard]] TxModel tx_model(std::string_view name) const;
+  [[nodiscard]] StreamScheduling stream_scheduling(std::string_view name) const;
+  [[nodiscard]] PathScheduling path_scheduler(std::string_view name) const;
+
+  /// Instantiate a loss model by name ("gilbert", "bernoulli",
+  /// "perfect") at the given operating point.
+  [[nodiscard]] std::unique_ptr<LossModel> make_channel(
+      std::string_view name, const ChannelParams& params) const;
+
+  /// Does this block code name also name a streaming scheme (and vice
+  /// versa)?  Used by spec validation to explain engine mismatches.
+  [[nodiscard]] bool known_in_engine(std::string_view code_name,
+                                     std::string_view engine) const;
+
+ private:
+  const RegistryEntry* lookup(RegistrySection section,
+                              std::string_view name) const;
+  /// Throw naming the known set; a non-empty `engine_filter` restricts
+  /// the listed names to entries that engine accepts.
+  [[noreturn]] void unknown(RegistrySection section, std::string_view what,
+                            std::string_view name,
+                            std::string_view engine_filter = {}) const;
+
+  std::vector<RegistryEntry> codes_;
+  std::vector<RegistryEntry> channels_;
+  std::vector<RegistryEntry> tx_models_;
+  std::vector<RegistryEntry> path_schedulers_;
+};
+
+/// The process-wide registry (constructed on first use, thread-safe).
+[[nodiscard]] const Registry& registry();
+
+}  // namespace fecsched::api

@@ -1,0 +1,414 @@
+// run_scenario / run_scenario_sweep: the registry-driven dispatch from a
+// declarative ScenarioSpec onto the four experiment engines.
+//
+// Bit-identity is the design constraint: each engine loop below consumes
+// the exact Rng streams and seed derivations the legacy surface it
+// replaced used (fecsched_cli subcommand loops, run_stream_delay_grid,
+// run_mpath_sweep, run_adaptive_compare, Experiment::run), so a spec
+// that mirrors a legacy call reproduces its result exactly.  Oracle
+// tests in tests/api_test.cc and the pinned-output gate in tools/ci.sh
+// hold this line.
+
+#include "api/scenario.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "adapt/controller.h"
+#include "mpath/path_adapt.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace fecsched::api {
+
+namespace {
+
+GridRunOptions to_grid_options(const ScenarioSpec& spec) {
+  GridRunOptions opt;
+  opt.trials_per_cell = spec.run.trials;
+  opt.master_seed = spec.run.seed;
+  opt.threads = spec.run.threads;
+  return opt;
+}
+
+// ---------------------------------------------------------------- grid
+
+ScenarioResult run_grid_engine(const ScenarioSpec& spec) {
+  ScenarioResult result;
+  result.engine = spec.engine;
+  const ChannelPoint pt = spec.channel.point();
+  result.p = pt.p;
+  result.q = pt.q;
+  result.trials = spec.run.trials;
+  result.seed = spec.run.seed;
+
+  const ExperimentConfig cfg = to_experiment_config(spec);
+  const Experiment experiment(cfg);
+  result.grid_config = cfg;
+  result.grid_n_total = experiment.n_total();
+  result.grid = experiment.run(to_grid_spec(spec), to_grid_options(spec));
+
+  RunningStats inefficiency;
+  RunningStats received;
+  std::uint32_t peak_memory = 0;
+  for (const CellResult& cell : result.grid->cells) {
+    if (cell.reportable()) inefficiency.add(cell.inefficiency.mean());
+    if (cell.trials > 0) received.add(cell.received_ratio.mean());
+    peak_memory = std::max(peak_memory, cell.peak_memory_symbols);
+  }
+  if (inefficiency.count() > 0)
+    result.summary.inefficiency = inefficiency.mean();
+  if (received.count() > 0) result.summary.received_ratio = received.mean();
+  result.summary.sent_ratio =
+      static_cast<double>(experiment.n_total()) / static_cast<double>(cfg.k);
+  result.summary.peak_memory_symbols = peak_memory;
+  return result;
+}
+
+// -------------------------------------------------------------- stream
+
+/// The single-point stream/mpath engines merge every trial's full delay
+/// distribution (the CLI's histogram output), so they carry the CLI's
+/// historical memory guard — and they cannot honour axis sweep lists, so
+/// a populated sweep section is an error here, not a silent no-op.
+void check_single_point_spec(const ScenarioSpec& spec) {
+  if (!spec.sweep.empty())
+    throw std::invalid_argument(
+        "spec: sweep axes are set but engine '" + spec.engine +
+        "' runs a single point under run_scenario — use "
+        "run_scenario_sweep (there is no CLI sweep surface for this "
+        "engine yet; drop the \"sweep\" section to run one point)");
+  if (static_cast<std::uint64_t>(spec.run.sources) * spec.run.trials >
+      20000000)
+    throw std::invalid_argument(
+        "--sources x --trials must not exceed 20000000 (the full delay "
+        "distribution is held in memory)");
+}
+
+std::vector<StreamVariant> stream_variants(const ScenarioSpec& spec) {
+  if (spec.code.name.empty()) return StreamGridConfig::default_variants();
+  const StreamScheme scheme = registry().stream_scheme(spec.code.name);
+  const StreamScheduling sched = registry().stream_scheduling(spec.tx.stream);
+  return {{std::string(to_string(scheme)), scheme, sched}};
+}
+
+void fill_delay_summary(ScenarioSummary& summary,
+                        const std::vector<double>& sorted_delays, double mean,
+                        double residual_mean_run,
+                        std::uint64_t residual_max_run, std::uint64_t delivered,
+                        std::uint64_t lost) {
+  summary.delay_mean = mean;
+  summary.delay_p50 = sorted_percentile(sorted_delays, 0.50);
+  summary.delay_p95 = sorted_percentile(sorted_delays, 0.95);
+  summary.delay_p99 = sorted_percentile(sorted_delays, 0.99);
+  summary.delay_max = sorted_delays.empty() ? 0.0 : sorted_delays.back();
+  summary.residual_mean_run = residual_mean_run;
+  summary.residual_max_run = residual_max_run;
+  summary.lost_fraction =
+      delivered + lost
+          ? static_cast<double>(lost) / static_cast<double>(delivered + lost)
+          : 0.0;
+}
+
+ScenarioResult run_stream_engine(const ScenarioSpec& spec) {
+  check_single_point_spec(spec);
+  ScenarioResult result;
+  result.engine = spec.engine;
+  const ChannelPoint pt = spec.channel.point();
+  result.p = pt.p;
+  result.q = pt.q;
+  result.trials = spec.run.trials;
+  result.seed = spec.run.seed;
+
+  const StreamTrialConfig base = to_stream_config(spec);
+  result.stream_base = base;
+  const std::vector<StreamVariant> variants = stream_variants(spec);
+  // Validate every variant before running any trial.
+  for (const StreamVariant& v : variants) {
+    StreamTrialConfig cfg = base;
+    cfg.scheme = v.scheme;
+    cfg.scheduling = v.scheduling;
+    cfg.validate();
+  }
+
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    StreamOutcome outcome;
+    outcome.variant = variants[v];
+    StreamTrialConfig cfg = base;
+    cfg.scheme = variants[v].scheme;
+    cfg.scheduling = variants[v].scheduling;
+    for (std::uint32_t t = 0; t < spec.run.trials; ++t) {
+      const auto channel =
+          registry().make_channel(spec.channel.model, {pt.p, pt.q});
+      const StreamTrialResult r =
+          run_stream_trial(cfg, *channel, derive_seed(spec.run.seed, {v, t}));
+      outcome.delays.insert(outcome.delays.end(), r.delays.begin(),
+                            r.delays.end());
+      outcome.delivered += r.delay.delivered;
+      outcome.lost += r.residual.lost;
+      outcome.residual_runs += r.residual.runs;
+      outcome.residual_max_run =
+          std::max(outcome.residual_max_run, r.residual.max_run_length);
+      const auto delivered = static_cast<double>(r.delay.delivered);
+      outcome.delay_sum += r.delay.mean * delivered;
+      outcome.transport_sum += r.delay.mean_transport * delivered;
+      outcome.hol_sum += r.delay.mean_hol * delivered;
+      outcome.overhead_actual_sum += r.overhead_actual;
+      outcome.packets_sent += r.packets_sent;
+      outcome.packets_received += r.packets_received;
+      ++outcome.trials;
+    }
+    std::sort(outcome.delays.begin(), outcome.delays.end());
+    result.stream.push_back(std::move(outcome));
+  }
+
+  const StreamOutcome& first = result.stream.front();
+  fill_delay_summary(result.summary, first.delays, first.mean(),
+                     first.mean_residual_run(), first.residual_max_run,
+                     first.delivered, first.lost);
+  const double produced =
+      static_cast<double>(base.source_count) * first.trials;
+  if (produced > 0.0) {
+    result.summary.sent_ratio =
+        static_cast<double>(first.packets_sent) / produced;
+    result.summary.received_ratio =
+        static_cast<double>(first.packets_received) / produced;
+  }
+  return result;
+}
+
+// --------------------------------------------------------------- mpath
+
+std::vector<MpathVariant> mpath_variants(const ScenarioSpec& spec) {
+  if (spec.paths.scheduler.empty()) return MpathSweepConfig::default_variants();
+  const PathScheduling mode = registry().path_scheduler(spec.paths.scheduler);
+  return {{std::string(to_string(mode)), mode}};
+}
+
+ScenarioResult run_mpath_engine(const ScenarioSpec& spec) {
+  check_single_point_spec(spec);
+  ScenarioResult result;
+  result.engine = spec.engine;
+  const ChannelPoint pt = spec.channel.point();
+  result.p = pt.p;
+  result.q = pt.q;
+  result.trials = spec.run.trials;
+  result.seed = spec.run.seed;
+
+  MpathTrialConfig base = to_mpath_config(spec);
+  if (base.paths.empty())
+    throw std::invalid_argument("mpath scenario needs at least one path");
+  const std::vector<MpathVariant> variants = mpath_variants(spec);
+  for (const MpathVariant& v : variants) {
+    MpathTrialConfig cfg = base;
+    cfg.scheduler = v.scheduler;
+    cfg.validate();
+  }
+
+  if (spec.adapt.enabled) {
+    // Warm up a PathAdapter on round-robin probe trials (every path sees
+    // traffic), then let src/adapt/ pick repair weights and the window.
+    PathAdapter adapter(base.paths.size());
+    MpathTrialConfig probe = base;
+    probe.scheduler = PathScheduling::kRoundRobin;
+    for (std::uint32_t t = 0; t < spec.adapt.warmup; ++t)
+      adapter.observe(
+          run_mpath_trial(probe, derive_seed(spec.run.seed, {99, t})));
+    AdaptiveController controller;
+    adapter.apply(base, controller);
+    result.mpath_estimates = adapter.estimates();
+    result.mpath_warmup = spec.adapt.warmup;
+  }
+
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    MpathOutcome outcome;
+    outcome.variant = variants[v];
+    MpathTrialConfig cfg = base;
+    cfg.scheduler = variants[v].scheduler;
+    for (std::uint32_t t = 0; t < spec.run.trials; ++t) {
+      const MpathTrialResult r =
+          run_mpath_trial(cfg, derive_seed(spec.run.seed, {v, t}));
+      outcome.delays.insert(outcome.delays.end(), r.stream.delays.begin(),
+                            r.stream.delays.end());
+      outcome.delivered += r.stream.delay.delivered;
+      outcome.lost += r.stream.residual.lost;
+      outcome.residual_runs += r.stream.residual.runs;
+      outcome.residual_max_run =
+          std::max(outcome.residual_max_run, r.stream.residual.max_run_length);
+      const auto delivered = static_cast<double>(r.stream.delay.delivered);
+      outcome.delay_sum += r.stream.delay.mean * delivered;
+      outcome.hol_sum += r.stream.delay.mean_hol * delivered;
+      outcome.reordered_fraction_sum += r.reordered_fraction;
+      outcome.overhead_actual_sum += r.stream.overhead_actual;
+      outcome.packets_sent += r.stream.packets_sent;
+      outcome.packets_received += r.stream.packets_received;
+      if (outcome.paths.empty()) {
+        outcome.paths = r.paths;
+      } else {
+        for (std::size_t i = 0; i < r.paths.size(); ++i) {
+          outcome.paths[i].sent += r.paths[i].sent;
+          outcome.paths[i].lost += r.paths[i].lost;
+          outcome.paths[i].mean_queue_wait += r.paths[i].mean_queue_wait;
+          outcome.paths[i].mean_transit += r.paths[i].mean_transit;
+        }
+      }
+      ++outcome.trials;
+    }
+    // The per-path means were summed per trial; normalise.
+    for (PathStats& path : outcome.paths) {
+      path.mean_queue_wait /= static_cast<double>(outcome.trials);
+      path.mean_transit /= static_cast<double>(outcome.trials);
+    }
+    std::sort(outcome.delays.begin(), outcome.delays.end());
+    result.mpath.push_back(std::move(outcome));
+  }
+  result.mpath_base = std::move(base);
+
+  const MpathOutcome& first = result.mpath.front();
+  fill_delay_summary(result.summary, first.delays, first.mean(),
+                     first.mean_residual_run(), first.residual_max_run,
+                     first.delivered, first.lost);
+  const double produced =
+      static_cast<double>(result.mpath_base->stream.source_count) *
+      first.trials;
+  if (produced > 0.0) {
+    result.summary.sent_ratio =
+        static_cast<double>(first.packets_sent) / produced;
+    result.summary.received_ratio =
+        static_cast<double>(first.packets_received) / produced;
+  }
+  return result;
+}
+
+// ------------------------------------------------------------ adaptive
+
+std::vector<std::pair<double, double>> adaptive_points(
+    const ScenarioSpec& spec) {
+  if (!spec.sweep.p_globals.empty() || !spec.sweep.bursts.empty()) {
+    if (spec.sweep.p_globals.empty() || spec.sweep.bursts.empty())
+      throw std::invalid_argument(
+          "spec: sweep.p_global and sweep.burst must both be given");
+    return burst_grid(spec.sweep.p_globals, spec.sweep.bursts);
+  }
+  const ChannelPoint pt = spec.channel.point();
+  return {{pt.p, pt.q}};
+}
+
+ScenarioResult run_adaptive_engine(const ScenarioSpec& spec) {
+  ScenarioResult result;
+  result.engine = spec.engine;
+  const ChannelPoint pt = spec.channel.point();
+  result.p = pt.p;
+  result.q = pt.q;
+  result.trials = spec.run.trials;
+  result.seed = spec.run.seed;
+
+  AdaptiveCompareConfig cfg = to_adaptive_config(spec);
+  cfg.validate();
+  result.adaptive = run_adaptive_compare(adaptive_points(spec), cfg);
+  result.adaptive_config = std::move(cfg);
+
+  RunningStats steady;
+  RunningStats sent_ratio;
+  for (const AdaptiveComparePoint& point : result.adaptive) {
+    if (point.adaptive_steady.count() > 0)
+      steady.add(point.adaptive_steady.mean());
+    for (const AdaptiveTrajectoryPoint& step : point.trajectory)
+      sent_ratio.add(static_cast<double>(step.n_sent) /
+                     static_cast<double>(result.adaptive_config->k));
+  }
+  if (steady.count() > 0) result.summary.inefficiency = steady.mean();
+  if (sent_ratio.count() > 0) result.summary.sent_ratio = sent_ratio.mean();
+  return result;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  spec.validate();
+  if (spec.engine == "grid") return run_grid_engine(spec);
+  if (spec.engine == "stream") return run_stream_engine(spec);
+  if (spec.engine == "mpath") return run_mpath_engine(spec);
+  if (spec.engine == "adaptive") return run_adaptive_engine(spec);
+  throw std::invalid_argument("spec: unknown engine '" + spec.engine + "'");
+}
+
+ScenarioSweepResult run_scenario_sweep(const ScenarioSpec& spec) {
+  spec.validate();
+  ScenarioSweepResult result;
+  result.engine = spec.engine;
+
+  if (spec.engine == "grid") {
+    const ExperimentConfig cfg = to_experiment_config(spec);
+    const Experiment experiment(cfg);
+    result.grid = experiment.run(to_grid_spec(spec), to_grid_options(spec));
+    result.points = grid_points(result.grid->spec);
+    return result;
+  }
+
+  result.points = sweep_channel_points(spec);
+  const std::vector<double> overheads = spec.sweep.overheads.empty()
+                                            ? std::vector<double>{spec.code.overhead}
+                                            : spec.sweep.overheads;
+
+  if (spec.engine == "stream") {
+    StreamGridConfig cfg;
+    cfg.base = to_stream_config(spec);
+    cfg.overheads = overheads;
+    if (!spec.code.name.empty()) cfg.variants = stream_variants(spec);
+    result.stream =
+        run_stream_delay_grid(result.points, cfg, to_grid_options(spec));
+    return result;
+  }
+
+  if (spec.engine == "mpath") {
+    // The axis sweep generates its path topology (count/base_delay +
+    // the delay_spread axis) and has no warm-up phase; honouring only
+    // part of an explicit-paths or adapt-enabled spec would silently
+    // change its semantics, so reject those outright.
+    if (spec.adapt.enabled)
+      throw std::invalid_argument(
+          "spec: adapt.enabled is not supported by the mpath axis sweep "
+          "(warm-up adaptation is a single-point feature — drop the sweep "
+          "section or adapt.enabled)");
+    if (!spec.paths.list.empty())
+      throw std::invalid_argument(
+          "spec: the mpath axis sweep generates its paths from "
+          "paths.count/base_delay/capacity and the delay_spread axis — "
+          "explicit paths.list entries would be ignored");
+    MpathSweepConfig cfg;
+    cfg.base = to_stream_config(spec);
+    cfg.overheads = overheads;
+    if (!spec.sweep.delay_spreads.empty())
+      cfg.delay_spreads = spec.sweep.delay_spreads;
+    cfg.base_delay = spec.paths.base_delay;
+    cfg.path_count = spec.paths.count;
+    cfg.path_capacity = spec.paths.capacity;
+    if (!spec.paths.scheduler.empty()) cfg.variants = mpath_variants(spec);
+    result.mpath = run_mpath_sweep(result.points, cfg, to_grid_options(spec));
+    return result;
+  }
+
+  if (spec.engine == "adaptive") {
+    AdaptiveCompareConfig cfg = to_adaptive_config(spec);
+    cfg.validate();
+    const std::vector<std::pair<double, double>> points =
+        adaptive_points(spec);
+    result.points.clear();
+    for (const auto& [p, q] : points) result.points.push_back({p, q});
+    // One worker per channel point; every point is seed-determined, so
+    // the result matches a serial run digit for digit.
+    std::vector<AdaptiveComparePoint> out(points.size());
+    parallel_for_index(points.size(), spec.run.threads, [&](std::size_t i) {
+      out[i] =
+          run_adaptive_compare_point(points[i].first, points[i].second, cfg);
+    });
+    result.adaptive = std::move(out);
+    return result;
+  }
+
+  throw std::invalid_argument("spec: unknown engine '" + spec.engine + "'");
+}
+
+}  // namespace fecsched::api

@@ -10,6 +10,13 @@
 
 namespace fecsched {
 
+void AdaptiveCompareConfig::validate() const {
+  if (k == 0 || k > 1000000)
+    throw std::invalid_argument("--k must be in [1, 1000000]");
+  if (objects == 0 || objects > 100000)
+    throw std::invalid_argument("--objects must be in [1, 100000]");
+}
+
 namespace {
 
 /// Experiment instances are expensive to build (LDGM graphs, RSE plans);

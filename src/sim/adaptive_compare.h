@@ -90,6 +90,11 @@ struct AdaptiveCompareConfig {
   /// (off = always send the full schedule, isolating tuple choice).
   bool use_nsent = true;
   std::uint64_t seed = 0xada2c0deULL;
+
+  /// Range checks shared by the CLI and the scenario API.  Throws
+  /// std::invalid_argument (messages phrased in CLI flag terms, the
+  /// vocabulary both surfaces use).
+  void validate() const;
 };
 
 /// Run the comparison at one channel point.

@@ -1,5 +1,7 @@
 #include "sim/grid.h"
 
+#include <algorithm>
+
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -55,6 +57,8 @@ GridResult run_grid(const GridSpec& spec, std::uint32_t k,
                  CellResult& cell = result.cells[c];
                  const TrialResult r = trial_fn(p, q, seed);
                  ++cell.trials;
+                 cell.peak_memory_symbols =
+                     std::max(cell.peak_memory_symbols, r.peak_memory_symbols);
                  cell.received_ratio.add(r.received_ratio(k));
                  if (r.decoded)
                    cell.inefficiency.add(r.inefficiency(k));

@@ -40,6 +40,10 @@ struct CellResult {
   RunningStats received_ratio;  ///< n_received/k over all trials
   std::uint32_t failures = 0;   ///< trials that did not decode
   std::uint32_t trials = 0;
+  /// Largest decoder working set seen by any trial of the cell, in
+  /// packet-sized symbols (the paper's future-work memory metric; feeds
+  /// the scenario API's unified summary).
+  std::uint32_t peak_memory_symbols = 0;
 
   /// Paper rule: report a value only when every trial decoded.
   [[nodiscard]] bool reportable() const noexcept {

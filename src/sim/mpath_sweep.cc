@@ -90,19 +90,7 @@ MpathSweepResult run_mpath_sweep(std::span<const ChannelPoint> points,
                    v) *
                       result.overheads.size() +
                   o];
-              s.stream.mean_delay.add(r.stream.delay.mean);
-              s.stream.p95_delay.add(r.stream.delay.p95);
-              s.stream.p99_delay.add(r.stream.delay.p99);
-              s.stream.max_delay.add(r.stream.delay.max);
-              s.stream.mean_hol.add(r.stream.delay.mean_hol);
-              s.stream.residual_mean_run.add(r.stream.residual.mean_run_length);
-              s.stream.residual_max_run.add(
-                  static_cast<double>(r.stream.residual.max_run_length));
-              s.stream.undelivered_fraction.add(
-                  static_cast<double>(r.stream.residual.lost) /
-                  static_cast<double>(cfg.stream.source_count));
-              s.stream.overhead_actual.add(r.stream.overhead_actual);
-              ++s.stream.trials;
+              s.stream.add(r.stream, cfg.stream.source_count);
               s.reordered_fraction.add(r.reordered_fraction);
               std::uint64_t best_sent = 0, total_sent = 0;
               std::size_t best = 0;

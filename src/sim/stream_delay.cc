@@ -7,6 +7,21 @@
 
 namespace fecsched {
 
+void StreamPointStats::add(const StreamTrialResult& r,
+                           std::uint32_t source_count) {
+  mean_delay.add(r.delay.mean);
+  p95_delay.add(r.delay.p95);
+  p99_delay.add(r.delay.p99);
+  max_delay.add(r.delay.max);
+  mean_hol.add(r.delay.mean_hol);
+  residual_mean_run.add(r.residual.mean_run_length);
+  residual_max_run.add(static_cast<double>(r.residual.max_run_length));
+  undelivered_fraction.add(static_cast<double>(r.residual.lost) /
+                           static_cast<double>(source_count));
+  overhead_actual.add(r.overhead_actual);
+  ++trials;
+}
+
 std::vector<StreamVariant> StreamGridConfig::default_variants() {
   return {
       {"sliding-window", StreamScheme::kSlidingWindow,
@@ -79,23 +94,11 @@ StreamGridResult run_stream_delay_grid(std::span<const ChannelPoint> points,
             GilbertModel channel(p, q);
             const StreamTrialResult r =
                 run_stream_trial(cfg, channel, derive_seed(seed, {v, o}), ws);
-            StreamPointStats& s =
-                result.stats[(c * result.variants.size() + v) *
-                                 result.overheads.size() +
-                             o];
-            s.mean_delay.add(r.delay.mean);
-            s.p95_delay.add(r.delay.p95);
-            s.p99_delay.add(r.delay.p99);
-            s.max_delay.add(r.delay.max);
-            s.mean_hol.add(r.delay.mean_hol);
-            s.residual_mean_run.add(r.residual.mean_run_length);
-            s.residual_max_run.add(
-                static_cast<double>(r.residual.max_run_length));
-            s.undelivered_fraction.add(
-                static_cast<double>(r.residual.lost) /
-                static_cast<double>(cfg.source_count));
-            s.overhead_actual.add(r.overhead_actual);
-            ++s.trials;
+            result
+                .stats[(c * result.variants.size() + v) *
+                           result.overheads.size() +
+                       o]
+                .add(r, cfg.source_count);
           }
         }
       });

@@ -55,6 +55,10 @@ struct StreamPointStats {
   RunningStats undelivered_fraction;  ///< lost sources / source_count
   RunningStats overhead_actual;
   std::uint32_t trials = 0;
+
+  /// Accumulate one trial (shared by the stream and multipath sweeps;
+  /// the accumulation order is part of the bit-identity contract).
+  void add(const StreamTrialResult& r, std::uint32_t source_count);
 };
 
 /// A completed stream delay sweep.

@@ -1,9 +1,9 @@
 #!/bin/sh
 # Tier-1 verify, exactly as CI runs it (usable locally too):
 # configure + build + ctest.  The build promotes warnings to errors for
-# the new adaptive (src/adapt/), streaming (src/stream/) and multipath
-# (src/mpath/) subsystems via CMake source properties; everything else
-# builds with -Wall -Wextra.
+# the new scenario-API (src/api/), adaptive (src/adapt/), streaming
+# (src/stream/) and multipath (src/mpath/) subsystems via CMake source
+# properties; everything else builds with -Wall -Wextra.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -57,3 +57,43 @@ FECSCHED_GF_BACKEND=scalar ./fecsched_cli stream --p=0.02 --q=0.4 --sources=800 
 FECSCHED_GF_BACKEND=scalar ./fecsched_cli mpath --p=0.02 --q=0.4 --sources=600 --trials=2 \
   | cmp - ../tools/pinned/mpath_point.txt
 echo "codec gate: kernels bit-identical, perf criteria met"
+
+# Scenario API gate (src/api/, -Werror via CMake):
+# 1. the API test suite — registry discoverability, spec JSON fixed-point
+#    round-tripping, and the per-engine bit-identity oracles;
+ctest --output-on-failure --no-tests=error \
+      -R 'Registry|ApiJson|SpecRoundTrip|ScenarioOracle|ScenarioSweep'
+# 2. registry discoverability and strict flag handling: `list` and
+#    `--version` succeed, an unknown flag fails naming itself on every
+#    subcommand parser;
+./fecsched_cli list > /dev/null
+./fecsched_cli list --describe=sliding-window > /dev/null
+./fecsched_cli --version > /dev/null
+for sub in sweep plan universal limits fit adapt stream mpath run list; do
+  if ./fecsched_cli "$sub" --definitely-not-a-flag=1 > /dev/null 2>&1; then
+    echo "BUG: $sub accepted an unknown flag"; exit 1
+  fi
+done
+# 3. run_scenario bit-identity: replaying the pinned spec documents
+#    through `run --spec` must reproduce the pinned pre-API outputs byte
+#    for byte (one grid, one stream, one mpath, one adaptive point), and
+#    the flag-built subcommands must emit the identical JSON documents.
+./fecsched_cli run --spec=../tools/pinned/grid_spec.json \
+  | cmp - ../tools/pinned/grid_point.txt
+./fecsched_cli run --spec=../tools/pinned/stream_spec.json --json \
+  | cmp - ../tools/pinned/stream_point.json
+./fecsched_cli run --spec=../tools/pinned/mpath_spec.json --json \
+  | cmp - ../tools/pinned/mpath_point.json
+./fecsched_cli run --spec=../tools/pinned/adapt_spec.json --json \
+  | cmp - ../tools/pinned/adapt_point.json
+./fecsched_cli stream --p=0.02 --q=0.4 --sources=800 --trials=3 --json \
+  | cmp - ../tools/pinned/stream_point.json
+./fecsched_cli mpath --p=0.02 --q=0.4 --sources=600 --trials=2 --json \
+  | cmp - ../tools/pinned/mpath_point.json
+./fecsched_cli adapt --p=0.02 --q=0.4 --k=400 --objects=8 --warmup=2 --json \
+  | cmp - ../tools/pinned/adapt_point.json
+# 4. --dump-spec is the inverse of --spec: dumping a pinned spec document
+#    reproduces it byte for byte (serialization is a fixed point).
+./fecsched_cli run --spec=../tools/pinned/stream_spec.json --dump-spec \
+  | cmp - ../tools/pinned/stream_spec.json
+echo "scenario API gate: specs round-trip, engines bit-identical"

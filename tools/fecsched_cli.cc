@@ -1,6 +1,13 @@
 // fecsched command-line interface: run the paper's experiments and the
 // Sec. 6 planning machinery without writing code.
 //
+// Every experiment subcommand is a thin builder of an api::ScenarioSpec
+// (src/api/): flags map onto the declarative spec, api::run_scenario()
+// dispatches to the right engine, and the printers below render the
+// unified ScenarioResult.  Any subcommand invocation can therefore be
+// captured as a JSON document (--dump-spec) and replayed byte-for-byte
+// with `fecsched_cli run --spec=file.json`.
+//
 //   fecsched_cli sweep     --code=ldgm-triangle --tx=4 --ratio=2.5
 //                          [--k=4000 --trials=30 --seed=N]
 //       Sweep the paper's 14x14 (p, q) grid and print the appendix-style
@@ -56,6 +63,20 @@
 //       learns each path from warm-up trials, then repair weights and
 //       the window come from src/adapt/.  --json emits per-scheduler
 //       delay histograms, per-path stats and reordering.
+//
+//   fecsched_cli run       --spec=<file.json> [--json] [--dump-spec]
+//       Execute a stored scenario spec (the document --dump-spec emits).
+//
+//   fecsched_cli list      [--describe=<name>]
+//       Print every registered code / channel / tx-model / path-scheduler
+//       with a one-line description (api::registry()).
+//
+//   fecsched_cli --version
+//       Print the library version.
+//
+// Every experiment subcommand also accepts --dump-spec (print the
+// equivalent scenario JSON instead of running).  Unknown flags fail with
+// exit status 2 naming the flag.
 
 #include <cstdio>
 #include <cstring>
@@ -68,21 +89,17 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <set>
 
+#include "api/scenario.h"
 #include "channel/gilbert.h"
 #include "channel/trace.h"
 #include "core/nsent.h"
 #include "core/planner.h"
 #include "flute/fdt.h"
-#include "mpath/mpath_trial.h"
-#include "mpath/path_adapt.h"
-#include "sim/adaptive_compare.h"
 #include "sim/analytic.h"
-#include "sim/experiment.h"
-#include "sim/mpath_sweep.h"
-#include "sim/stream_delay.h"
 #include "sim/table_io.h"
-#include "util/rng.h"
+#include "util/stats.h"
 
 namespace {
 
@@ -114,7 +131,11 @@ struct Args {
   }
 };
 
-Args parse_args(int argc, char** argv, int first) {
+/// Parse --key=value flags and reject anything the subcommand does not
+/// know: a typo must fail loudly (exit 2, naming the flag) on *every*
+/// subcommand, not silently run the default experiment.
+Args parse_args(int argc, char** argv, int first, const std::string& cmd,
+                const std::set<std::string>& allowed) {
   Args args;
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
@@ -124,58 +145,165 @@ Args parse_args(int argc, char** argv, int first) {
     }
     arg = arg.substr(2);
     const auto eq = arg.find('=');
+    const std::string key = eq == std::string::npos ? arg : arg.substr(0, eq);
+    if (allowed.find(key) == allowed.end()) {
+      std::fprintf(stderr,
+                   "fecsched_cli %s: unknown flag '--%s' (see "
+                   "'fecsched_cli --help')\n",
+                   cmd.c_str(), key.c_str());
+      std::exit(2);
+    }
     if (eq == std::string::npos)
-      args.kv.emplace_back(arg, "1");
+      args.kv.emplace_back(key, "1");
     else
-      args.kv.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+      args.kv.emplace_back(key, arg.substr(eq + 1));
   }
   return args;
 }
 
-CodeKind parse_code(const Args& args) {
-  const auto name = args.get("code").value_or("ldgm-triangle");
-  const auto code = flute::code_from_wire_name(name);
-  if (!code) {
-    std::fprintf(stderr,
-                 "unknown code '%s' (rse, ldgm, ldgm-staircase, "
-                 "ldgm-triangle, replication)\n",
-                 name.c_str());
-    std::exit(2);
-  }
-  return *code;
+/// Print the spec and stop when --dump-spec was given.  Validates first:
+/// a document this emits must be replayable, so inputs the runner would
+/// reject fail here too (exit 2) instead of dumping an unrunnable spec.
+bool maybe_dump_spec(const Args& args, const api::ScenarioSpec& spec) {
+  if (!args.get("dump-spec")) return false;
+  spec.validate();
+  std::cout << spec.to_json() << "\n";
+  return true;
 }
 
-int cmd_sweep(const Args& args) {
-  ExperimentConfig cfg;
-  cfg.code = parse_code(args);
-  const auto tx = args.integer("tx", 4);
-  if (tx < 1 || tx > 6) {
-    std::fprintf(stderr, "--tx must be 1..6\n");
-    return 2;
+// ------------------------------------------------- spec builders
+
+/// Channel flags shared by the engine subcommands.  Either explicit
+/// (p, q) or the recommendation-space (p_global, burst) coordinates;
+/// `default_*` carry each subcommand's historical fallbacks.
+void build_channel(const Args& args, api::ChannelSpec& channel,
+                   double default_p, double default_q, double default_pg,
+                   double default_burst) {
+  if (args.get("pglobal") || args.get("burst")) {
+    channel.p_global = args.number("pglobal", default_pg);
+    channel.mean_burst = args.number("burst", default_burst);
+  } else {
+    channel.p = args.number("p", default_p);
+    channel.q = args.number("q", default_q);
   }
-  cfg.tx = static_cast<TxModel>(tx);
-  cfg.expansion_ratio = args.number("ratio", 2.5);
-  cfg.k = static_cast<std::uint32_t>(args.integer("k", 4000));
-  const Experiment experiment(cfg);
+}
 
-  GridRunOptions opt;
-  opt.trials_per_cell = static_cast<std::uint32_t>(args.integer("trials", 30));
-  opt.master_seed = args.integer("seed", 0x5eedf00dULL);
-  const GridResult grid = experiment.run(GridSpec::paper(), opt);
+api::ScenarioSpec build_sweep_spec(const Args& args) {
+  api::ScenarioSpec spec;
+  spec.engine = "grid";
+  spec.code.name = args.get("code").value_or("ldgm-triangle");
+  const auto tx = args.integer("tx", 4);
+  if (tx < 1 || tx > 6) throw std::invalid_argument("--tx must be 1..6");
+  spec.tx.model = "tx" + std::to_string(tx);
+  spec.code.ratio = args.number("ratio", 2.5);
+  spec.code.k = static_cast<std::uint32_t>(args.integer("k", 4000));
+  spec.run.trials = static_cast<std::uint32_t>(args.integer("trials", 30));
+  spec.run.seed = args.integer("seed", 0x5eedf00dULL);
+  spec.sweep.grid = "paper";
+  return spec;
+}
 
+api::ScenarioSpec build_stream_spec(const Args& args) {
+  api::ScenarioSpec spec;
+  spec.engine = "stream";
+  build_channel(args, spec.channel, 0.01, 0.5, 0.02, 1.0);
+  spec.run.sources = static_cast<std::uint32_t>(args.integer("sources", 2000));
+  spec.code.overhead = args.number("overhead", 0.25);
+  spec.code.window = static_cast<std::uint32_t>(args.integer("window", 64));
+  spec.code.block_k = static_cast<std::uint32_t>(args.integer("blockk", 64));
+  spec.run.trials = static_cast<std::uint32_t>(args.integer("trials", 8));
+  spec.run.seed = args.integer("seed", 0x57e4a9edULL);
+  if (const auto s = args.get("sched")) spec.tx.stream = *s;
+  if (const auto s = args.get("scheme")) spec.code.name = *s;
+  return spec;
+}
+
+api::ScenarioSpec build_mpath_spec(const Args& args) {
+  api::ScenarioSpec spec;
+  spec.engine = "mpath";
+  build_channel(args, spec.channel, 0.01, 0.5, 0.02, 2.0);
+  spec.run.sources = static_cast<std::uint32_t>(args.integer("sources", 2000));
+  spec.code.overhead = args.number("overhead", 0.25);
+  spec.code.window = static_cast<std::uint32_t>(args.integer("window", 64));
+  spec.code.block_k = static_cast<std::uint32_t>(args.integer("blockk", 64));
+  spec.run.trials = static_cast<std::uint32_t>(args.integer("trials", 8));
+  spec.run.seed = args.integer("seed", 0x3147a7b5ULL);
+  spec.adapt.enabled = args.get("adapt").has_value();
+  spec.adapt.warmup = static_cast<std::uint32_t>(args.integer("warmup", 5));
+  if (const auto s = args.get("sched")) spec.tx.stream = *s;
+  if (const auto s = args.get("scheme")) spec.code.name = *s;
+  if (const auto s = args.get("scheduler")) spec.paths.scheduler = *s;
+
+  std::vector<double> delays;
+  for (const auto& v : args.get_all("delay")) delays.push_back(std::stod(v));
+  if (delays.empty()) delays = {5.0, 45.0};
+  std::vector<double> capacities;
+  for (const auto& v : args.get_all("capacity"))
+    capacities.push_back(std::stod(v));
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    const double capacity =
+        i < capacities.size()
+            ? capacities[i]
+            : (capacities.empty() ? 1.0 : capacities.back());
+    spec.paths.list.push_back({delays[i], capacity});
+  }
+  return spec;
+}
+
+api::ScenarioSpec build_adapt_spec(const Args& args) {
+  api::ScenarioSpec spec;
+  spec.engine = "adaptive";
+  spec.code.k = static_cast<std::uint32_t>(args.integer("k", 2000));
+  spec.adapt.enabled = true;
+  spec.adapt.objects = static_cast<std::uint32_t>(args.integer("objects", 40));
+  spec.adapt.warmup = static_cast<std::uint32_t>(args.integer("warmup", 10));
+  spec.run.seed = args.integer("seed", 0xada2c0deULL);
+  if (args.get("p") || args.get("q")) {
+    spec.channel.p = args.number("p", 0.0);
+    spec.channel.q = args.number("q", 1.0);
+  } else {
+    for (const auto& v : args.get_all("pglobal"))
+      spec.sweep.p_globals.push_back(std::stod(v));
+    for (const auto& v : args.get_all("burst"))
+      spec.sweep.bursts.push_back(std::stod(v));
+    if (spec.sweep.p_globals.empty()) spec.sweep.p_globals = {0.05, 0.1, 0.2};
+    if (spec.sweep.bursts.empty()) spec.sweep.bursts = {1.0, 4.0, 10.0};
+  }
+  return spec;
+}
+
+// ------------------------------------------------------ grid printing
+
+int print_grid_result(const Args& args, const api::ScenarioResult& result) {
+  const ExperimentConfig& cfg = *result.grid_config;
   TableOptions topt;
   topt.caption = std::string(to_string(cfg.code)) + " + " +
                  std::string(to_string(cfg.tx)) + ", ratio " +
                  format_fixed(cfg.expansion_ratio, 2) + ", k=" +
                  std::to_string(cfg.k) + " (mean inefficiency; '-' = some "
                  "trial failed)";
-  write_paper_table(std::cout, grid, topt);
+  write_paper_table(std::cout, *result.grid, topt);
   if (args.get("gnuplot")) {
     std::cout << "\n# gnuplot surface (p q inefficiency)\n";
-    write_gnuplot_surface(std::cout, grid);
+    write_gnuplot_surface(std::cout, *result.grid);
   }
   return 0;
 }
+
+int cmd_sweep(const Args& args) {
+  api::ScenarioResult result;
+  try {
+    const api::ScenarioSpec spec = build_sweep_spec(args);
+    if (maybe_dump_spec(args, spec)) return 0;
+    result = api::run_scenario(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep: %s\n", e.what());
+    return 2;
+  }
+  return print_grid_result(args, result);
+}
+
+// ------------------------------------------- planning subcommands
 
 int cmd_plan(const Args& args) {
   const double p = args.number("p", 0.0);
@@ -323,14 +451,13 @@ void json_tuple(std::ostream& os, const CandidateTuple& tuple) {
      << format_fixed(tuple.expansion_ratio, 2) << "}";
 }
 
-void write_adapt_json(std::ostream& os,
-                      const std::vector<AdaptiveComparePoint>& results,
-                      const AdaptiveCompareConfig& cfg) {
+void write_adapt_json(std::ostream& os, const api::ScenarioResult& result) {
+  const AdaptiveCompareConfig& cfg = *result.adaptive_config;
   os << "{\"k\":" << cfg.k << ",\"objects\":" << cfg.objects
      << ",\"warmup\":" << cfg.warmup_objects << ",\"seed\":" << cfg.seed
      << ",\"points\":[";
   bool first_point = true;
-  for (const auto& r : results) {
+  for (const auto& r : result.adaptive) {
     if (!first_point) os << ",";
     first_point = false;
     os << "\n{\"p\":" << format_fixed(r.p, 6) << ",\"q\":"
@@ -383,47 +510,18 @@ void write_adapt_json(std::ostream& os,
   os << "\n]}\n";
 }
 
-int cmd_adapt(const Args& args) {
-  AdaptiveCompareConfig cfg;
-  std::vector<std::pair<double, double>> points;
-  std::vector<AdaptiveComparePoint> results;
-  try {
-    cfg.k = static_cast<std::uint32_t>(args.integer("k", 2000));
-    cfg.objects = static_cast<std::uint32_t>(args.integer("objects", 40));
-    cfg.warmup_objects = static_cast<std::uint32_t>(args.integer("warmup", 10));
-    cfg.seed = args.integer("seed", cfg.seed);
-    if (cfg.k == 0 || cfg.k > 1000000)
-      throw std::invalid_argument("--k must be in [1, 1000000]");
-    if (cfg.objects == 0 || cfg.objects > 100000)
-      throw std::invalid_argument("--objects must be in [1, 100000]");
-
-    if (args.get("p") || args.get("q")) {
-      points.emplace_back(args.number("p", 0.0), args.number("q", 1.0));
-    } else {
-      std::vector<double> p_globals, bursts;
-      for (const auto& v : args.get_all("pglobal"))
-        p_globals.push_back(std::stod(v));
-      for (const auto& v : args.get_all("burst")) bursts.push_back(std::stod(v));
-      if (p_globals.empty()) p_globals = {0.05, 0.1, 0.2};
-      if (bursts.empty()) bursts = {1.0, 4.0, 10.0};
-      points = burst_grid(p_globals, bursts);
-    }
-    results = run_adaptive_compare(points, cfg);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "adapt: %s\n", e.what());
-    return 2;
-  }
-
+int print_adapt_result(const Args& args, const api::ScenarioResult& result) {
   if (args.get("json")) {
-    write_adapt_json(std::cout, results, cfg);
+    write_adapt_json(std::cout, result);
     return 0;
   }
 
+  const AdaptiveCompareConfig& cfg = *result.adaptive_config;
   std::printf("adaptive vs static, k=%u, %u objects (%u warm-up) per point\n\n",
               cfg.k, cfg.objects, cfg.warmup_objects);
   std::printf("%-8s %-8s %-26s %10s %10s %6s\n", "p_glob", "burst",
               "best static tuple", "static", "adaptive", "fails");
-  for (const auto& r : results) {
+  for (const auto& r : result.adaptive) {
     const std::string label =
         r.best_baseline >= 0
             ? to_string(
@@ -444,54 +542,46 @@ int cmd_adapt(const Args& args) {
   return 0;
 }
 
+int cmd_adapt(const Args& args) {
+  api::ScenarioResult result;
+  try {
+    const api::ScenarioSpec spec = build_adapt_spec(args);
+    if (maybe_dump_spec(args, spec)) return 0;
+    result = api::run_scenario(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "adapt: %s\n", e.what());
+    return 2;
+  }
+  return print_adapt_result(args, result);
+}
+
 // ------------------------------------------------------------- stream
 
-/// Merged per-variant outcome over all trials at the channel point.
-/// Transport/HOL sums are weighted by each trial's delivered count so the
-/// documented identity mean == mean_transport + mean_hol survives merging.
-struct StreamCliOutcome {
-  StreamVariant variant;
-  std::vector<double> delays;  ///< all delivered delays, sorted ascending
-  std::uint64_t delivered = 0;
-  std::uint64_t lost = 0;
-  std::uint64_t residual_runs = 0;
-  std::uint64_t residual_max_run = 0;
-  double delay_sum = 0.0;
-  double transport_sum = 0.0;  ///< per-trial mean x delivered, summed
-  double hol_sum = 0.0;
-  double overhead_actual_sum = 0.0;
-  std::uint32_t trials = 0;
+void write_histogram(std::ostream& os, const std::vector<double>& delays) {
+  std::map<long long, std::uint64_t> histogram;
+  for (double d : delays) ++histogram[std::llround(d)];
+  os << ",\"histogram\":[";
+  bool first_bin = true;
+  for (const auto& [delay, count] : histogram) {
+    if (!first_bin) os << ",";
+    first_bin = false;
+    os << "{\"delay\":" << delay << ",\"count\":" << count << "}";
+  }
+  os << "]}";
+}
 
-  [[nodiscard]] double mean() const {
-    return delays.empty() ? 0.0
-                          : delay_sum / static_cast<double>(delays.size());
-  }
-  [[nodiscard]] double mean_transport() const {
-    return delivered ? transport_sum / static_cast<double>(delivered) : 0.0;
-  }
-  [[nodiscard]] double mean_hol() const {
-    return delivered ? hol_sum / static_cast<double>(delivered) : 0.0;
-  }
-  [[nodiscard]] double mean_residual_run() const {
-    return residual_runs ? static_cast<double>(lost) /
-                               static_cast<double>(residual_runs)
-                         : 0.0;
-  }
-};
-
-void write_stream_json(std::ostream& os,
-                       const std::vector<StreamCliOutcome>& outcomes,
-                       const StreamTrialConfig& base, double p, double q,
-                       std::uint32_t trials, std::uint64_t seed) {
-  os << "{\"sources\":" << base.source_count << ",\"trials\":" << trials
-     << ",\"seed\":" << seed << ",\"p\":" << format_fixed(p, 6)
-     << ",\"q\":" << format_fixed(q, 6) << ",\"p_global\":"
-     << format_fixed(global_loss_probability(p, q), 4) << ",\"mean_burst\":"
-     << format_fixed(q > 0 ? 1.0 / q : 0.0, 2) << ",\"overhead\":"
-     << format_fixed(base.overhead, 4) << ",\"window\":" << base.window
-     << ",\"block_k\":" << base.block_k << ",\"variants\":[";
+void write_stream_json(std::ostream& os, const api::ScenarioResult& result) {
+  const StreamTrialConfig& base = *result.stream_base;
+  const double p = result.p, q = result.q;
+  os << "{\"sources\":" << base.source_count << ",\"trials\":"
+     << result.trials << ",\"seed\":" << result.seed << ",\"p\":"
+     << format_fixed(p, 6) << ",\"q\":" << format_fixed(q, 6)
+     << ",\"p_global\":" << format_fixed(global_loss_probability(p, q), 4)
+     << ",\"mean_burst\":" << format_fixed(q > 0 ? 1.0 / q : 0.0, 2)
+     << ",\"overhead\":" << format_fixed(base.overhead, 4) << ",\"window\":"
+     << base.window << ",\"block_k\":" << base.block_k << ",\"variants\":[";
   bool first = true;
-  for (const auto& o : outcomes) {
+  for (const api::StreamOutcome& o : result.stream) {
     if (!first) os << ",";
     first = false;
     const double t = o.trials ? static_cast<double>(o.trials) : 1.0;
@@ -511,128 +601,28 @@ void write_stream_json(std::ostream& os,
        << format_fixed(o.mean_residual_run(), 2)
        << ",\"max_run_length\":" << o.residual_max_run << "}";
     // The full merged delay distribution, binned to integer slots.
-    std::map<long long, std::uint64_t> histogram;
-    for (double d : o.delays) ++histogram[std::llround(d)];
-    os << ",\"histogram\":[";
-    bool first_bin = true;
-    for (const auto& [delay, count] : histogram) {
-      if (!first_bin) os << ",";
-      first_bin = false;
-      os << "{\"delay\":" << delay << ",\"count\":" << count << "}";
-    }
-    os << "]}";
+    write_histogram(os, o.delays);
   }
   os << "\n]}\n";
 }
 
-int cmd_stream(const Args& args) {
-  StreamTrialConfig base;
-  std::vector<StreamVariant> variants;
-  double p = 0.0, q = 1.0;
-  std::uint32_t trials = 0;
-  std::uint64_t seed = 0;
-  try {
-    if (args.get("pglobal") || args.get("burst")) {
-      const ChannelPoint pt = gilbert_point(args.number("pglobal", 0.02),
-                                            args.number("burst", 1.0));
-      p = pt.p;
-      q = pt.q;
-    } else {
-      p = args.number("p", 0.01);
-      q = args.number("q", 0.5);
-    }
-    base.source_count =
-        static_cast<std::uint32_t>(args.integer("sources", 2000));
-    base.overhead = args.number("overhead", 0.25);
-    base.window = static_cast<std::uint32_t>(args.integer("window", 64));
-    base.block_k = static_cast<std::uint32_t>(args.integer("blockk", 64));
-    trials = static_cast<std::uint32_t>(args.integer("trials", 8));
-    seed = args.integer("seed", 0x57e4a9edULL);
-    if (base.source_count == 0 || base.source_count > 1000000)
-      throw std::invalid_argument("--sources must be in [1, 1000000]");
-    if (trials == 0 || trials > 10000)
-      throw std::invalid_argument("--trials must be in [1, 10000]");
-    // The merged delay distribution is kept in memory per variant.
-    if (static_cast<std::uint64_t>(base.source_count) * trials > 20000000)
-      throw std::invalid_argument(
-          "--sources x --trials must not exceed 20000000 (the full delay "
-          "distribution is held in memory)");
-
-    StreamScheduling sched = StreamScheduling::kSequential;
-    if (const auto s = args.get("sched")) {
-      if (*s == "seq") sched = StreamScheduling::kSequential;
-      else if (*s == "interleaved") sched = StreamScheduling::kInterleaved;
-      else if (*s == "carousel") sched = StreamScheduling::kCarousel;
-      else throw std::invalid_argument("--sched must be seq|interleaved|carousel");
-    }
-    if (const auto s = args.get("scheme")) {
-      StreamScheme scheme;
-      if (*s == "sliding") scheme = StreamScheme::kSlidingWindow;
-      else if (*s == "rse") scheme = StreamScheme::kBlockRse;
-      else if (*s == "ldgm") scheme = StreamScheme::kLdgm;
-      else if (*s == "replication") scheme = StreamScheme::kReplication;
-      else throw std::invalid_argument(
-          "--scheme must be sliding|rse|ldgm|replication");
-      variants.push_back({std::string(to_string(scheme)), scheme, sched});
-    } else {
-      variants = StreamGridConfig::default_variants();
-    }
-
-    // Validate every variant before running any trial.
-    for (const StreamVariant& v : variants) {
-      StreamTrialConfig cfg = base;
-      cfg.scheme = v.scheme;
-      cfg.scheduling = v.scheduling;
-      cfg.validate();
-    }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "stream: %s\n", e.what());
-    return 2;
-  }
-
-  std::vector<StreamCliOutcome> outcomes;
-  for (std::size_t v = 0; v < variants.size(); ++v) {
-    StreamCliOutcome outcome;
-    outcome.variant = variants[v];
-    StreamTrialConfig cfg = base;
-    cfg.scheme = variants[v].scheme;
-    cfg.scheduling = variants[v].scheduling;
-    for (std::uint32_t t = 0; t < trials; ++t) {
-      GilbertModel channel(p, q);
-      const StreamTrialResult r =
-          run_stream_trial(cfg, channel, derive_seed(seed, {v, t}));
-      outcome.delays.insert(outcome.delays.end(), r.delays.begin(),
-                            r.delays.end());
-      outcome.delivered += r.delay.delivered;
-      outcome.lost += r.residual.lost;
-      outcome.residual_runs += r.residual.runs;
-      outcome.residual_max_run =
-          std::max(outcome.residual_max_run, r.residual.max_run_length);
-      const auto delivered = static_cast<double>(r.delay.delivered);
-      outcome.delay_sum += r.delay.mean * delivered;
-      outcome.transport_sum += r.delay.mean_transport * delivered;
-      outcome.hol_sum += r.delay.mean_hol * delivered;
-      outcome.overhead_actual_sum += r.overhead_actual;
-      ++outcome.trials;
-    }
-    std::sort(outcome.delays.begin(), outcome.delays.end());
-    outcomes.push_back(std::move(outcome));
-  }
-
+int print_stream_result(const Args& args, const api::ScenarioResult& result) {
   if (args.get("json")) {
-    write_stream_json(std::cout, outcomes, base, p, q, trials, seed);
+    write_stream_json(std::cout, result);
     return 0;
   }
 
+  const StreamTrialConfig& base = *result.stream_base;
+  const double p = result.p, q = result.q;
   std::printf("streaming: %u sources, overhead %.3f, window %u, block_k %u, "
               "%u trials\n",
               base.source_count, base.overhead, base.window, base.block_k,
-              trials);
+              result.trials);
   std::printf("channel: p=%.4f q=%.4f (p_global=%.4f, mean burst %.2f)\n\n",
               p, q, global_loss_probability(p, q), q > 0 ? 1.0 / q : 0.0);
   std::printf("%-26s %9s %9s %9s %9s %10s %8s\n", "scheme+scheduling", "mean",
               "p95", "p99", "max", "resid-run", "lost%");
-  for (const auto& o : outcomes) {
+  for (const api::StreamOutcome& o : result.stream) {
     const std::string label = std::string(to_string(o.variant.scheme)) + "/" +
                               std::string(to_string(o.variant.scheduling));
     std::printf("%-26s %9.2f %9.2f %9.2f %9.2f %10.2f %7.3f%%\n",
@@ -648,49 +638,31 @@ int cmd_stream(const Args& args) {
   return 0;
 }
 
+int cmd_stream(const Args& args) {
+  api::ScenarioResult result;
+  try {
+    const api::ScenarioSpec spec = build_stream_spec(args);
+    if (maybe_dump_spec(args, spec)) return 0;
+    result = api::run_scenario(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stream: %s\n", e.what());
+    return 2;
+  }
+  return print_stream_result(args, result);
+}
+
 // -------------------------------------------------------------- mpath
 
-/// Merged per-scheduler outcome over all trials (the multipath analogue
-/// of StreamCliOutcome, plus reordering and per-path aggregates).
-struct MpathCliOutcome {
-  MpathVariant variant;
-  std::vector<double> delays;  ///< all delivered delays, sorted ascending
-  std::uint64_t delivered = 0;
-  std::uint64_t lost = 0;
-  std::uint64_t residual_runs = 0;
-  std::uint64_t residual_max_run = 0;
-  double delay_sum = 0.0;
-  double hol_sum = 0.0;  ///< per-trial mean x delivered, summed
-  double reordered_fraction_sum = 0.0;
-  double overhead_actual_sum = 0.0;
-  std::vector<PathStats> paths;  ///< counters summed over trials
-  std::uint32_t trials = 0;
-
-  [[nodiscard]] double mean() const {
-    return delays.empty() ? 0.0
-                          : delay_sum / static_cast<double>(delays.size());
-  }
-  [[nodiscard]] double mean_hol() const {
-    return delivered ? hol_sum / static_cast<double>(delivered) : 0.0;
-  }
-  [[nodiscard]] double mean_residual_run() const {
-    return residual_runs ? static_cast<double>(lost) /
-                               static_cast<double>(residual_runs)
-                         : 0.0;
-  }
-};
-
-void write_mpath_json(std::ostream& os,
-                      const std::vector<MpathCliOutcome>& outcomes,
-                      const MpathTrialConfig& base, double p, double q,
-                      std::uint32_t trials, std::uint64_t seed) {
+void write_mpath_json(std::ostream& os, const api::ScenarioResult& result) {
+  const MpathTrialConfig& base = *result.mpath_base;
+  const double p = result.p, q = result.q;
   os << "{\"sources\":" << base.stream.source_count << ",\"trials\":"
-     << trials << ",\"seed\":" << seed << ",\"p\":" << format_fixed(p, 6)
-     << ",\"q\":" << format_fixed(q, 6) << ",\"p_global\":"
-     << format_fixed(global_loss_probability(p, q), 4) << ",\"mean_burst\":"
-     << format_fixed(q > 0 ? 1.0 / q : 0.0, 2) << ",\"overhead\":"
-     << format_fixed(base.stream.overhead, 4) << ",\"window\":"
-     << base.stream.window << ",\"scheme\":\""
+     << result.trials << ",\"seed\":" << result.seed << ",\"p\":"
+     << format_fixed(p, 6) << ",\"q\":" << format_fixed(q, 6)
+     << ",\"p_global\":" << format_fixed(global_loss_probability(p, q), 4)
+     << ",\"mean_burst\":" << format_fixed(q > 0 ? 1.0 / q : 0.0, 2)
+     << ",\"overhead\":" << format_fixed(base.stream.overhead, 4)
+     << ",\"window\":" << base.stream.window << ",\"scheme\":\""
      << json_escape(to_string(base.stream.scheme)) << "\",\"paths\":[";
   for (std::size_t i = 0; i < base.paths.size(); ++i) {
     if (i) os << ",";
@@ -708,7 +680,7 @@ void write_mpath_json(std::ostream& os,
   }
   os << ",\"schedulers\":[";
   bool first = true;
-  for (const auto& o : outcomes) {
+  for (const api::MpathOutcome& o : result.mpath) {
     if (!first) os << ",";
     first = false;
     const double t = o.trials ? static_cast<double>(o.trials) : 1.0;
@@ -738,185 +710,38 @@ void write_mpath_json(std::ostream& os,
          << format_fixed(o.paths[i].mean_transit, 4) << "}";
     }
     os << "]";
-    std::map<long long, std::uint64_t> histogram;
-    for (double d : o.delays) ++histogram[std::llround(d)];
-    os << ",\"histogram\":[";
-    bool first_bin = true;
-    for (const auto& [delay, count] : histogram) {
-      if (!first_bin) os << ",";
-      first_bin = false;
-      os << "{\"delay\":" << delay << ",\"count\":" << count << "}";
-    }
-    os << "]}";
+    write_histogram(os, o.delays);
   }
   os << "\n]}\n";
 }
 
-int cmd_mpath(const Args& args) {
-  MpathTrialConfig base;
-  std::vector<MpathVariant> variants;
-  double p = 0.0, q = 1.0;
-  std::uint32_t trials = 0, warmup = 0;
-  std::uint64_t seed = 0;
-  bool adapt = false;
-  try {
-    if (args.get("pglobal") || args.get("burst")) {
-      const ChannelPoint pt = gilbert_point(args.number("pglobal", 0.02),
-                                            args.number("burst", 2.0));
-      p = pt.p;
-      q = pt.q;
-    } else {
-      p = args.number("p", 0.01);
-      q = args.number("q", 0.5);
-    }
-    base.stream.source_count =
-        static_cast<std::uint32_t>(args.integer("sources", 2000));
-    base.stream.overhead = args.number("overhead", 0.25);
-    base.stream.window =
-        static_cast<std::uint32_t>(args.integer("window", 64));
-    base.stream.block_k =
-        static_cast<std::uint32_t>(args.integer("blockk", 64));
-    trials = static_cast<std::uint32_t>(args.integer("trials", 8));
-    warmup = static_cast<std::uint32_t>(args.integer("warmup", 5));
-    seed = args.integer("seed", 0x3147a7b5ULL);
-    adapt = args.get("adapt").has_value();
-    if (base.stream.source_count == 0 || base.stream.source_count > 1000000)
-      throw std::invalid_argument("--sources must be in [1, 1000000]");
-    if (trials == 0 || trials > 10000)
-      throw std::invalid_argument("--trials must be in [1, 10000]");
-    if (static_cast<std::uint64_t>(base.stream.source_count) * trials >
-        20000000)
-      throw std::invalid_argument(
-          "--sources x --trials must not exceed 20000000 (the full delay "
-          "distribution is held in memory)");
+int print_mpath_result(const Args& args, const api::ScenarioResult& result) {
+  const MpathTrialConfig& base = *result.mpath_base;
+  const double p = result.p, q = result.q;
 
-    std::vector<double> delays;
-    for (const auto& v : args.get_all("delay")) delays.push_back(std::stod(v));
-    if (delays.empty()) delays = {5.0, 45.0};
-    std::vector<double> capacities;
-    for (const auto& v : args.get_all("capacity"))
-      capacities.push_back(std::stod(v));
-    for (std::size_t i = 0; i < delays.size(); ++i) {
-      const double capacity =
-          i < capacities.size()
-              ? capacities[i]
-              : (capacities.empty() ? 1.0 : capacities.back());
-      base.paths.push_back(PathSpec::gilbert(p, q, delays[i], capacity));
+  // Keep stdout pure JSON under --json; the learned weights/window appear
+  // in the document itself ("repair_weights", "window").
+  if (!result.mpath_estimates.empty() && !args.get("json")) {
+    std::printf("per-path estimates after %u warm-up trials "
+                "(src/adapt/ closed loop):\n",
+                result.mpath_warmup);
+    const auto& estimates = result.mpath_estimates;
+    for (std::size_t i = 0; i < estimates.size(); ++i) {
+      const std::string label = base.paths[i].label.empty()
+                                    ? "path" + std::to_string(i)
+                                    : base.paths[i].label;
+      std::printf("  %s: p_global=%.4f mean_burst=%.2f%s -> repair "
+                  "weight %.2f\n",
+                  label.c_str(), estimates[i].p_global,
+                  estimates[i].mean_burst,
+                  estimates[i].bursty ? " (bursty)" : "",
+                  base.repair_weights[i]);
     }
-
-    if (const auto s = args.get("sched")) {
-      if (*s == "seq") base.stream.scheduling = StreamScheduling::kSequential;
-      else if (*s == "interleaved")
-        base.stream.scheduling = StreamScheduling::kInterleaved;
-      else throw std::invalid_argument("--sched must be seq|interleaved");
-    }
-    if (const auto s = args.get("scheme")) {
-      if (*s == "sliding") base.stream.scheme = StreamScheme::kSlidingWindow;
-      else if (*s == "rse") base.stream.scheme = StreamScheme::kBlockRse;
-      else if (*s == "ldgm") base.stream.scheme = StreamScheme::kLdgm;
-      else if (*s == "replication")
-        base.stream.scheme = StreamScheme::kReplication;
-      else throw std::invalid_argument(
-          "--scheme must be sliding|rse|ldgm|replication");
-    }
-    if (const auto s = args.get("scheduler")) {
-      PathScheduling mode;
-      if (*s == "rr") mode = PathScheduling::kRoundRobin;
-      else if (*s == "weighted") mode = PathScheduling::kWeighted;
-      else if (*s == "split") mode = PathScheduling::kSplit;
-      else if (*s == "earliest") mode = PathScheduling::kEarliestArrival;
-      else throw std::invalid_argument(
-          "--scheduler must be rr|weighted|split|earliest");
-      variants.push_back({std::string(to_string(mode)), mode});
-    } else {
-      variants = MpathSweepConfig::default_variants();
-    }
-    for (const MpathVariant& v : variants) {
-      MpathTrialConfig cfg = base;
-      cfg.scheduler = v.scheduler;
-      cfg.validate();
-    }
-
-    if (adapt) {
-      // Warm up a PathAdapter on round-robin probe trials (every path sees
-      // traffic), then let src/adapt/ pick repair weights and the window.
-      PathAdapter adapter(base.paths.size());
-      MpathTrialConfig probe = base;
-      probe.scheduler = PathScheduling::kRoundRobin;
-      for (std::uint32_t t = 0; t < warmup; ++t)
-        adapter.observe(run_mpath_trial(probe, derive_seed(seed, {99, t})));
-      AdaptiveController controller;
-      adapter.apply(base, controller);
-      // Keep stdout pure JSON under --json; the learned weights/window
-      // appear in the document itself ("repair_weights", "window").
-      if (!args.get("json")) {
-        std::printf("per-path estimates after %u warm-up trials "
-                    "(src/adapt/ closed loop):\n",
-                    warmup);
-        const auto estimates = adapter.estimates();
-        for (std::size_t i = 0; i < estimates.size(); ++i) {
-          const std::string label = base.paths[i].label.empty()
-                                        ? "path" + std::to_string(i)
-                                        : base.paths[i].label;
-          std::printf("  %s: p_global=%.4f mean_burst=%.2f%s -> repair "
-                      "weight %.2f\n",
-                      label.c_str(), estimates[i].p_global,
-                      estimates[i].mean_burst,
-                      estimates[i].bursty ? " (bursty)" : "",
-                      base.repair_weights[i]);
-        }
-        std::printf("  window <- %u\n\n", base.stream.window);
-      }
-    }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "mpath: %s\n", e.what());
-    return 2;
-  }
-
-  std::vector<MpathCliOutcome> outcomes;
-  for (std::size_t v = 0; v < variants.size(); ++v) {
-    MpathCliOutcome outcome;
-    outcome.variant = variants[v];
-    MpathTrialConfig cfg = base;
-    cfg.scheduler = variants[v].scheduler;
-    for (std::uint32_t t = 0; t < trials; ++t) {
-      const MpathTrialResult r =
-          run_mpath_trial(cfg, derive_seed(seed, {v, t}));
-      outcome.delays.insert(outcome.delays.end(), r.stream.delays.begin(),
-                            r.stream.delays.end());
-      outcome.delivered += r.stream.delay.delivered;
-      outcome.lost += r.stream.residual.lost;
-      outcome.residual_runs += r.stream.residual.runs;
-      outcome.residual_max_run =
-          std::max(outcome.residual_max_run, r.stream.residual.max_run_length);
-      const auto delivered = static_cast<double>(r.stream.delay.delivered);
-      outcome.delay_sum += r.stream.delay.mean * delivered;
-      outcome.hol_sum += r.stream.delay.mean_hol * delivered;
-      outcome.reordered_fraction_sum += r.reordered_fraction;
-      outcome.overhead_actual_sum += r.stream.overhead_actual;
-      if (outcome.paths.empty()) {
-        outcome.paths = r.paths;
-      } else {
-        for (std::size_t i = 0; i < r.paths.size(); ++i) {
-          outcome.paths[i].sent += r.paths[i].sent;
-          outcome.paths[i].lost += r.paths[i].lost;
-          outcome.paths[i].mean_queue_wait += r.paths[i].mean_queue_wait;
-          outcome.paths[i].mean_transit += r.paths[i].mean_transit;
-        }
-      }
-      ++outcome.trials;
-    }
-    // The per-path means were summed per trial; normalise.
-    for (auto& path : outcome.paths) {
-      path.mean_queue_wait /= static_cast<double>(outcome.trials);
-      path.mean_transit /= static_cast<double>(outcome.trials);
-    }
-    std::sort(outcome.delays.begin(), outcome.delays.end());
-    outcomes.push_back(std::move(outcome));
+    std::printf("  window <- %u\n\n", base.stream.window);
   }
 
   if (args.get("json")) {
-    write_mpath_json(std::cout, outcomes, base, p, q, trials, seed);
+    write_mpath_json(std::cout, result);
     return 0;
   }
 
@@ -924,7 +749,7 @@ int cmd_mpath(const Args& args) {
               "%.3f, window %u, %u trials\n",
               base.stream.source_count, base.paths.size(),
               std::string(to_string(base.stream.scheme)).c_str(),
-              base.stream.overhead, base.stream.window, trials);
+              base.stream.overhead, base.stream.window, result.trials);
   std::printf("channel/path: p=%.4f q=%.4f (p_global=%.4f, mean burst "
               "%.2f); delays:",
               p, q, global_loss_probability(p, q), q > 0 ? 1.0 / q : 0.0);
@@ -933,7 +758,7 @@ int cmd_mpath(const Args& args) {
   std::printf(" slots\n\n");
   std::printf("%-18s %9s %9s %9s %9s %9s %8s\n", "scheduler", "mean", "p95",
               "p99", "max", "reorder%", "lost%");
-  for (const auto& o : outcomes) {
+  for (const api::MpathOutcome& o : result.mpath) {
     const double t = o.trials ? static_cast<double>(o.trials) : 1.0;
     std::printf("%-18s %9.2f %9.2f %9.2f %9.2f %8.2f%% %7.3f%%\n",
                 o.variant.label.c_str(), o.mean(),
@@ -956,10 +781,102 @@ int cmd_mpath(const Args& args) {
   return 0;
 }
 
+int cmd_mpath(const Args& args) {
+  api::ScenarioResult result;
+  try {
+    const api::ScenarioSpec spec = build_mpath_spec(args);
+    if (maybe_dump_spec(args, spec)) return 0;
+    result = api::run_scenario(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mpath: %s\n", e.what());
+    return 2;
+  }
+  return print_mpath_result(args, result);
+}
+
+// --------------------------------------------------- run / list
+
+int cmd_run(const Args& args) {
+  api::ScenarioResult result;
+  std::string engine;
+  try {
+    const auto path = args.get("spec");
+    if (!path) throw std::invalid_argument("run requires --spec=<file.json>");
+    std::ifstream in(*path);
+    if (!in) throw std::invalid_argument("cannot open " + *path);
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    const api::ScenarioSpec spec = api::ScenarioSpec::from_json(text);
+    engine = spec.engine;
+    if (maybe_dump_spec(args, spec)) return 0;
+    if (args.get("json") && engine == "grid")
+      throw std::invalid_argument(
+          "--json is not supported for the grid engine (the paper table is "
+          "the output)");
+    result = api::run_scenario(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "run: %s\n", e.what());
+    return 2;
+  }
+  if (engine == "grid") return print_grid_result(args, result);
+  if (engine == "stream") return print_stream_result(args, result);
+  if (engine == "mpath") return print_mpath_result(args, result);
+  return print_adapt_result(args, result);
+}
+
+int cmd_list(const Args& args) {
+  const api::Registry& reg = api::registry();
+  const api::RegistrySection sections[] = {
+      api::RegistrySection::kCodes, api::RegistrySection::kChannels,
+      api::RegistrySection::kTxModels, api::RegistrySection::kPathSchedulers};
+
+  if (const auto name = args.get("describe")) {
+    for (const api::RegistrySection section : sections) {
+      if (const auto entry = reg.describe(section, *name)) {
+        std::printf("%s '%s': %s\n",
+                    std::string(to_string(section)).c_str(),
+                    entry->name.c_str(), entry->description.c_str());
+        if (!entry->aliases.empty()) {
+          std::printf("  aliases:");
+          for (const auto& a : entry->aliases) std::printf(" %s", a.c_str());
+          std::printf("\n");
+        }
+        std::printf("  engines:");
+        for (const auto& e : entry->engines) std::printf(" %s", e.c_str());
+        std::printf("\n");
+        return 0;
+      }
+    }
+    std::fprintf(stderr, "list: unknown name '%s'\n", name->c_str());
+    return 2;
+  }
+
+  std::printf("scenario registry (spec names; engines: grid, stream, mpath, "
+              "adaptive)\n");
+  for (const api::RegistrySection section : sections) {
+    std::printf("\n%s:\n", std::string(to_string(section)).c_str());
+    for (const api::RegistryEntry& listed : reg.list(section)) {
+      // Round-trip through describe() — the discoverability API the
+      // spec layer and external tools use.
+      const auto entry = *reg.describe(section, listed.name);
+      std::string name = entry.name;
+      for (const auto& a : entry.aliases) name += "|" + a;
+      std::string engines;
+      for (const auto& e : entry.engines)
+        engines += (engines.empty() ? "" : ",") + e;
+      std::printf("  %-24s %-26s %s\n", name.c_str(),
+                  ("[" + engines + "]").c_str(), entry.description.c_str());
+    }
+  }
+  std::printf("\n(use --describe=<name> for one entry; specs reference "
+              "these names — see 'fecsched_cli run --spec')\n");
+  return 0;
+}
+
 void usage(std::FILE* out) {
   std::fprintf(out,
                "usage: fecsched_cli "
-               "<sweep|plan|universal|limits|fit|adapt|stream|mpath> "
+               "<sweep|plan|universal|limits|fit|adapt|stream|mpath|run|list> "
                "[--key=value ...]\n"
                "\n"
                "  sweep      paper 14x14 (p, q) inefficiency table for one "
@@ -976,10 +893,46 @@ void usage(std::FILE* out) {
                "(src/stream/)\n"
                "  mpath      multipath packet-to-path scheduling comparison "
                "(src/mpath/)\n"
+               "  run        execute a scenario spec JSON "
+               "(--spec=file.json; see --dump-spec)\n"
+               "  list       print the scenario registry (codes, channels, "
+               "tx models, path schedulers)\n"
+               "\n"
+               "  --version  print the library version\n"
+               "  every experiment subcommand accepts --dump-spec (print "
+               "the scenario JSON and exit)\n"
                "\n"
                "run 'fecsched_cli --help' or see the header of "
                "tools/fecsched_cli.cc for per-command flags\n");
 }
+
+struct Command {
+  const char* name;
+  int (*handler)(const Args&);
+  std::set<std::string> allowed;
+};
+
+const Command kCommands[] = {
+    {"sweep", cmd_sweep,
+     {"code", "tx", "ratio", "k", "trials", "seed", "gnuplot", "dump-spec"}},
+    {"plan", cmd_plan, {"p", "q", "k", "trials", "bytes", "payload",
+                        "tolerance"}},
+    {"universal", cmd_universal, {"k", "trials"}},
+    {"limits", cmd_limits, {"ratio"}},
+    {"fit", cmd_fit, {"trace"}},
+    {"adapt", cmd_adapt,
+     {"p", "q", "pglobal", "burst", "k", "objects", "warmup", "seed", "json",
+      "dump-spec"}},
+    {"stream", cmd_stream,
+     {"p", "q", "pglobal", "burst", "scheme", "sched", "overhead", "window",
+      "blockk", "sources", "trials", "seed", "json", "dump-spec"}},
+    {"mpath", cmd_mpath,
+     {"p", "q", "pglobal", "burst", "delay", "capacity", "scheduler",
+      "scheme", "sched", "adapt", "warmup", "overhead", "window", "blockk",
+      "sources", "trials", "seed", "json", "dump-spec"}},
+    {"run", cmd_run, {"spec", "json", "gnuplot", "dump-spec"}},
+    {"list", cmd_list, {"describe"}},
+};
 
 }  // namespace
 
@@ -993,15 +946,16 @@ int main(int argc, char** argv) {
     usage(stdout);
     return 0;
   }
-  const Args args = parse_args(argc, argv, 2);
-  if (cmd == "sweep") return cmd_sweep(args);
-  if (cmd == "plan") return cmd_plan(args);
-  if (cmd == "universal") return cmd_universal(args);
-  if (cmd == "limits") return cmd_limits(args);
-  if (cmd == "fit") return cmd_fit(args);
-  if (cmd == "adapt") return cmd_adapt(args);
-  if (cmd == "stream") return cmd_stream(args);
-  if (cmd == "mpath") return cmd_mpath(args);
+  if (cmd == "--version" || cmd == "version") {
+    std::printf("fecsched_cli %s\n", std::string(api::kVersion).c_str());
+    return 0;
+  }
+  for (const Command& command : kCommands) {
+    if (cmd == command.name) {
+      const Args args = parse_args(argc, argv, 2, cmd, command.allowed);
+      return command.handler(args);
+    }
+  }
   usage(stderr);
   return 2;
 }
