@@ -15,6 +15,7 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -113,7 +114,11 @@ class JsonWriter {
   JsonWriter& value(const char* v) { return value(std::string(v)); }
   JsonWriter& value(double v) {
     comma();
-    out_ << v;
+    // NaN/Inf are not JSON; emit null so downstream parsers keep working.
+    if (std::isfinite(v))
+      out_ << v;
+    else
+      out_ << "null";
     return *this;
   }
   JsonWriter& value(std::uint64_t v) {

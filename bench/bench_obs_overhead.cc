@@ -1,0 +1,185 @@
+// bench_obs_overhead: price the observability layer (src/obs/).
+//
+// Three variants of the same grid-trial workload — identical schedules,
+// channel seeds and trackers — replayed at one Gilbert point:
+//
+//   baseline   the pre-obs hot loop: run_trial called directly, no
+//              TrialScope, no Hook (a verbatim local copy of what the
+//              engines did before src/obs/ existed)
+//   disabled   the product per-trial path with no session armed:
+//              TrialScope + dormant Hook + the engaged() branch into
+//              run_trial (what every un-flagged run pays today)
+//   enabled    a metrics session armed: TrialScope + engaged Hook into
+//              run_trial_observed (what --metrics costs)
+//
+// Samples are interleaved (baseline/disabled/enabled per round) and
+// time-batched to >= 25 ms so scheduler noise averages out; the reported
+// figure is the median ns/trial.  All three variants must produce
+// bit-identical TrialResults — observation never changes a result.
+//
+//   --check       exit 1 unless disabled-vs-baseline overhead < 2%
+//   --k, --trials, --seed as in bench_common.h (one cell, not a grid)
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "bench_common.h"
+#include "channel/gilbert.h"
+#include "obs/obs.h"
+#include "sim/trial.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fecsched;
+
+constexpr double kP = 0.01;
+constexpr double kQ = 0.5;
+// Mirrors the (schedule, channel) seed-path tags of Experiment::run_once;
+// only sameness across variants matters here, not the exact stream.
+constexpr std::uint64_t kTagChannel = 2;
+
+using Clock = std::chrono::steady_clock;
+
+struct Workload {
+  std::vector<std::vector<PacketId>> schedules;  // one per trial
+  std::vector<std::uint64_t> channel_seeds;
+  std::unique_ptr<ErasureTracker> tracker;  // reset() per trial
+  std::uint32_t k = 0;
+};
+
+enum class Mode { kBaseline, kDisabled, kEnabled };
+
+std::vector<TrialResult> replay(const Workload& w, Mode mode) {
+  std::vector<TrialResult> results;
+  results.reserve(w.schedules.size());
+  for (std::size_t t = 0; t < w.schedules.size(); ++t) {
+    w.tracker->reset();
+    GilbertModel channel(kP, kQ);
+    channel.reset(w.channel_seeds[t]);
+    if (mode == Mode::kBaseline) {
+      // Pre-obs hot loop, verbatim.
+      results.push_back(run_trial(*w.tracker, w.schedules[t], channel));
+    } else {
+      // Product per-trial path (sim/grid.cc + Experiment::run_once).
+      const obs::TrialScope scope(t);
+      const obs::Hook hook;
+      if (hook.engaged())
+        results.push_back(
+            run_trial_observed(*w.tracker, w.schedules[t], channel, w.k, hook));
+      else
+        results.push_back(run_trial(*w.tracker, w.schedules[t], channel));
+    }
+  }
+  return results;
+}
+
+/// One time-batched sample: >= `reps` replays, returns ns per trial.
+double sample(const Workload& w, Mode mode, std::uint32_t reps) {
+  const Clock::time_point t0 = Clock::now();
+  for (std::uint32_t r = 0; r < reps; ++r) {
+    const std::vector<TrialResult> results = replay(w, mode);
+    if (results.empty()) std::abort();  // keep the optimizer honest
+  }
+  const double ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+  return ns / (static_cast<double>(reps) *
+               static_cast<double>(w.schedules.size()));
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+bool same_results(const std::vector<TrialResult>& a,
+                  const std::vector<TrialResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].decoded != b[i].decoded || a[i].n_needed != b[i].n_needed ||
+        a[i].n_received != b[i].n_received || a[i].n_sent != b[i].n_sent ||
+        a[i].peak_memory_symbols != b[i].peak_memory_symbols)
+      return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Scale scale = bench::parse_scale(argc, argv);
+  bool check = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--check") check = true;
+
+  ExperimentConfig cfg;
+  cfg.k = scale.paper ? 4000 : scale.k;
+  cfg.graph_count = 1;  // single LDGM graph -> one reusable tracker
+  const Experiment experiment(cfg);
+
+  Workload w;
+  w.k = cfg.k;
+  for (std::uint32_t t = 0; t < scale.trials; ++t) {
+    const std::uint64_t seed = derive_seed(scale.seed, {0, t});
+    w.schedules.push_back(experiment.new_schedule(seed));
+    w.channel_seeds.push_back(derive_seed(seed, {kTagChannel}));
+  }
+  w.tracker = experiment.new_tracker(derive_seed(scale.seed, {0, 0}));
+
+  // Observation must never change a result: compare all three variants
+  // trial by trial before timing anything.
+  const std::vector<TrialResult> expect = replay(w, Mode::kBaseline);
+  bool identical = same_results(expect, replay(w, Mode::kDisabled));
+  {
+    const obs::Config obs_cfg{.metrics = true};
+    const obs::Session session(obs_cfg);
+    identical = identical && same_results(expect, replay(w, Mode::kEnabled));
+  }
+  if (!identical) {
+    std::cout << "FAIL: TrialResults differ across obs modes\n";
+    return 1;
+  }
+
+  // Calibrate the batch size so one sample spans >= 25 ms.
+  const double probe_ns = sample(w, Mode::kBaseline, 1) *
+                          static_cast<double>(w.schedules.size());
+  const auto reps = static_cast<std::uint32_t>(
+      std::max(1.0, 25e6 / std::max(probe_ns, 1.0)));
+
+  constexpr int kSamples = 9;
+  std::vector<double> base_ns, off_ns, on_ns;
+  for (int s = 0; s < kSamples; ++s) {
+    base_ns.push_back(sample(w, Mode::kBaseline, reps));
+    off_ns.push_back(sample(w, Mode::kDisabled, reps));
+    const obs::Config obs_cfg{.metrics = true};
+    const obs::Session session(obs_cfg);
+    on_ns.push_back(sample(w, Mode::kEnabled, reps));
+  }
+
+  const double base = median(base_ns);
+  const double off = median(off_ns);
+  const double on = median(on_ns);
+  const double off_overhead = (off - base) / base;
+  const double on_overhead = (on - base) / base;
+
+  std::cout << "obs overhead @ (p=" << kP << ", q=" << kQ << "), k=" << cfg.k
+            << ", " << scale.trials << " trials/batch, " << reps
+            << " reps/sample, " << kSamples << " samples\n";
+  std::cout << "  baseline (pre-obs loop):   " << base << " ns/trial\n";
+  std::cout << "  obs disabled (product):    " << off << " ns/trial  ("
+            << off_overhead * 100.0 << "% vs baseline)\n";
+  std::cout << "  obs enabled (--metrics):   " << on << " ns/trial  ("
+            << on_overhead * 100.0 << "% vs baseline)\n";
+
+  if (check) {
+    if (off_overhead >= 0.02) {
+      std::cout << "CHECK FAIL: disabled-mode overhead "
+                << off_overhead * 100.0 << "% >= 2%\n";
+      return 1;
+    }
+    std::cout << "CHECK OK: disabled-mode overhead " << off_overhead * 100.0
+              << "% < 2%\n";
+  }
+  return 0;
+}

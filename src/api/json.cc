@@ -1,5 +1,6 @@
 #include "api/json.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
@@ -63,8 +64,7 @@ class Parser {
 
  private:
   [[noreturn]] void error(const std::string& what) const {
-    throw std::invalid_argument("json: offset " + std::to_string(pos_) +
-                                ": " + what);
+    throw JsonParseError(pos_, what);
   }
 
   void skip_ws() {
@@ -400,6 +400,21 @@ std::string Json::dump(int indent) const {
 
 Json Json::parse(std::string_view text) {
   return Parser(text).parse_document();
+}
+
+std::pair<std::size_t, std::size_t> json_line_col(std::string_view text,
+                                                  std::size_t offset) noexcept {
+  const std::size_t end = std::min(offset, text.size());
+  std::size_t line = 1, col = 1;
+  for (std::size_t i = 0; i < end; ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+  }
+  return {line, col};
 }
 
 }  // namespace fecsched::api

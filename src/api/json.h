@@ -17,13 +17,37 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 namespace fecsched::api {
+
+/// Parse failure with the byte offset of the offending character.  The
+/// message keeps the legacy "json: offset N: ..." text; callers that know
+/// the source text can turn the offset into line:col (json_line_col).
+class JsonParseError : public std::invalid_argument {
+ public:
+  JsonParseError(std::size_t offset, const std::string& what)
+      : std::invalid_argument("json: offset " + std::to_string(offset) +
+                              ": " + what),
+        offset_(offset) {}
+
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// 1-based (line, column) of a byte offset in `text`, counting '\n' line
+/// breaks.  Offsets past the end report the position just after the last
+/// character (where "unexpected end of input" points).
+[[nodiscard]] std::pair<std::size_t, std::size_t> json_line_col(
+    std::string_view text, std::size_t offset) noexcept;
 
 /// One JSON value.  Objects preserve insertion order so serialization is
 /// deterministic.

@@ -12,9 +12,12 @@
 #include "api/scenario.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "adapt/controller.h"
+#include "gf/gf256_kernels.h"
 #include "mpath/path_adapt.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -23,6 +26,40 @@
 namespace fecsched::api {
 
 namespace {
+
+// -------------------------------------------------------- observability
+
+obs::RunManifest make_manifest(const ScenarioSpec& spec, double wall_seconds) {
+  obs::RunManifest m;
+  m.fingerprint = obs::spec_fingerprint(spec.to_json());
+  m.version = std::string(kVersion);
+  m.gf_backend = std::string(gf::to_string(gf::current_backend()));
+  m.engine = spec.engine;
+  m.threads = spec.run.threads;
+  m.hardware_threads = std::thread::hardware_concurrency();
+  m.wall_seconds = wall_seconds;
+  return m;
+}
+
+/// Fill the manifest, merge the session's observations (when armed) and
+/// write the trace file.  Called after the engine joined its workers.
+void finish_observability(const ScenarioSpec& spec, obs::Session& session,
+                          std::chrono::steady_clock::time_point t0,
+                          obs::RunManifest& manifest,
+                          std::optional<obs::Report>& out) {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  manifest = make_manifest(spec, wall);
+  if (!session.active()) return;
+  obs::Report report = session.finish();
+  if (!spec.obs.trace.empty())
+    obs::write_trace_file(
+        spec.obs.trace,
+        obs::manifest_to_trace_line(manifest, spec.obs.trace_sample),
+        report.events, report.metrics);
+  out = std::move(report);
+}
 
 GridRunOptions to_grid_options(const ScenarioSpec& spec) {
   GridRunOptions opt;
@@ -139,6 +176,8 @@ ScenarioResult run_stream_engine(const ScenarioSpec& spec) {
     cfg.scheme = variants[v].scheme;
     cfg.scheduling = variants[v].scheduling;
     for (std::uint32_t t = 0; t < spec.run.trials; ++t) {
+      const obs::TrialScope trial_scope(
+          static_cast<std::uint64_t>(v) * spec.run.trials + t);
       const auto channel =
           registry().make_channel(spec.channel.model, {pt.p, pt.q});
       const StreamTrialResult r =
@@ -212,9 +251,14 @@ ScenarioResult run_mpath_engine(const ScenarioSpec& spec) {
     PathAdapter adapter(base.paths.size());
     MpathTrialConfig probe = base;
     probe.scheduler = PathScheduling::kRoundRobin;
-    for (std::uint32_t t = 0; t < spec.adapt.warmup; ++t)
+    for (std::uint32_t t = 0; t < spec.adapt.warmup; ++t) {
+      // Warm-up trial ordinals continue past the variant trials so trace
+      // events from probes are distinguishable from measured trials.
+      const obs::TrialScope trial_scope(
+          static_cast<std::uint64_t>(variants.size()) * spec.run.trials + t);
       adapter.observe(
           run_mpath_trial(probe, derive_seed(spec.run.seed, {99, t})));
+    }
     AdaptiveController controller;
     adapter.apply(base, controller);
     result.mpath_estimates = adapter.estimates();
@@ -227,6 +271,8 @@ ScenarioResult run_mpath_engine(const ScenarioSpec& spec) {
     MpathTrialConfig cfg = base;
     cfg.scheduler = variants[v].scheduler;
     for (std::uint32_t t = 0; t < spec.run.trials; ++t) {
+      const obs::TrialScope trial_scope(
+          static_cast<std::uint64_t>(v) * spec.run.trials + t);
       const MpathTrialResult r =
           run_mpath_trial(cfg, derive_seed(spec.run.seed, {v, t}));
       outcome.delays.insert(outcome.delays.end(), r.stream.delays.begin(),
@@ -323,19 +369,37 @@ ScenarioResult run_adaptive_engine(const ScenarioSpec& spec) {
   return result;
 }
 
+ScenarioSweepResult run_scenario_sweep_engines(const ScenarioSpec& spec);
+
 }  // namespace
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
   spec.validate();
-  if (spec.engine == "grid") return run_grid_engine(spec);
-  if (spec.engine == "stream") return run_stream_engine(spec);
-  if (spec.engine == "mpath") return run_mpath_engine(spec);
-  if (spec.engine == "adaptive") return run_adaptive_engine(spec);
-  throw std::invalid_argument("spec: unknown engine '" + spec.engine + "'");
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::Session session(spec.obs.config());
+  ScenarioResult result = [&] {
+    if (spec.engine == "grid") return run_grid_engine(spec);
+    if (spec.engine == "stream") return run_stream_engine(spec);
+    if (spec.engine == "mpath") return run_mpath_engine(spec);
+    if (spec.engine == "adaptive") return run_adaptive_engine(spec);
+    throw std::invalid_argument("spec: unknown engine '" + spec.engine + "'");
+  }();
+  finish_observability(spec, session, t0, result.manifest, result.obs);
+  return result;
 }
 
 ScenarioSweepResult run_scenario_sweep(const ScenarioSpec& spec) {
   spec.validate();
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::Session session(spec.obs.config());
+  ScenarioSweepResult result = run_scenario_sweep_engines(spec);
+  finish_observability(spec, session, t0, result.manifest, result.obs);
+  return result;
+}
+
+namespace {
+
+ScenarioSweepResult run_scenario_sweep_engines(const ScenarioSpec& spec) {
   ScenarioSweepResult result;
   result.engine = spec.engine;
 
@@ -410,5 +474,7 @@ ScenarioSweepResult run_scenario_sweep(const ScenarioSpec& spec) {
 
   throw std::invalid_argument("spec: unknown engine '" + spec.engine + "'");
 }
+
+}  // namespace
 
 }  // namespace fecsched::api

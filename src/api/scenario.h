@@ -31,6 +31,7 @@
 
 #include "api/registry.h"
 #include "mpath/mpath_trial.h"
+#include "obs/obs.h"
 #include "sim/adaptive_compare.h"
 #include "sim/experiment.h"
 #include "sim/grid.h"
@@ -107,6 +108,27 @@ struct RunSpec {
   unsigned threads = 0;          ///< sweep workers; 0 = one per hw thread
 };
 
+/// Observability knobs (src/obs/): what run_scenario collects beyond the
+/// engine result.  All off by default — and when off, results (text and
+/// JSON) are byte-identical to a pre-obs build.  `trace` names a JSONL
+/// output file; `trace_sample` keeps every Nth trial ordinal (1 = all).
+struct ObsSpec {
+  bool metrics = false;
+  bool profile = false;
+  std::string trace;
+  std::uint32_t trace_sample = 1;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return metrics || profile || !trace.empty();
+  }
+  /// The obs::Session config: profiling and tracing imply metrics (the
+  /// profile report and the trace summary line both embed them).
+  [[nodiscard]] obs::Config config() const noexcept {
+    return {metrics, profile, !trace.empty(), trace_sample};
+  }
+  [[nodiscard]] bool operator==(const ObsSpec&) const = default;
+};
+
 /// Per-axis sweep lists.  Empty = single-point run.  grid names a
 /// built-in (p, q) grid ("paper", "fig7"); p/q give explicit axes.
 struct SweepSpec {
@@ -135,6 +157,7 @@ struct ScenarioSpec {
   AdaptSpec adapt;
   RunSpec run;
   SweepSpec sweep;
+  ObsSpec obs;
 
   /// Structural validation (names resolve, ranges hold).  Engine-level
   /// config validation still runs inside run_scenario.  Throws
@@ -265,6 +288,11 @@ struct ScenarioResult {
   // engine == "adaptive"
   std::vector<AdaptiveComparePoint> adaptive;
   std::optional<AdaptiveCompareConfig> adaptive_config;
+
+  /// Run provenance (always filled by run_scenario).
+  obs::RunManifest manifest;
+  /// Collected observations; engaged only when spec.obs.enabled().
+  std::optional<obs::Report> obs;
 };
 
 /// Axis-sweep payloads: the engines' native sweep results, produced by
@@ -277,6 +305,9 @@ struct ScenarioSweepResult {
   std::optional<StreamGridResult> stream;
   std::optional<MpathSweepResult> mpath;
   std::vector<AdaptiveComparePoint> adaptive;
+
+  obs::RunManifest manifest;         ///< run provenance (always filled)
+  std::optional<obs::Report> obs;    ///< engaged only when spec.obs.enabled()
 };
 
 // ------------------------------------------------------------- runner

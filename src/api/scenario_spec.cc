@@ -89,6 +89,17 @@ Json spec_to_json_value(const ScenarioSpec& s) {
   sweep.set("overhead", doubles_array(s.sweep.overheads));
   sweep.set("delay_spread", doubles_array(s.sweep.delay_spreads));
   root.set("sweep", std::move(sweep));
+
+  // Omitted entirely when default so pre-obs spec documents stay
+  // byte-identical fixed points.
+  if (!(s.obs == ObsSpec{})) {
+    Json obs = Json::object();
+    obs.set("metrics", Json(s.obs.metrics));
+    obs.set("profile", Json(s.obs.profile));
+    obs.set("trace", Json(s.obs.trace));
+    obs.set("trace_sample", Json::integer(s.obs.trace_sample));
+    root.set("obs", std::move(obs));
+  }
   return root;
 }
 
@@ -229,6 +240,18 @@ void parse_sweep(const Json& v, SweepSpec& out) {
   });
 }
 
+void parse_obs(const Json& v, ObsSpec& out) {
+  walk_object(v, "obs", [&](const std::string& key, const Json& val) {
+    if (key == "metrics") out.metrics = val.as_bool("obs.metrics");
+    else if (key == "profile") out.profile = val.as_bool("obs.profile");
+    else if (key == "trace") out.trace = val.as_string("obs.trace");
+    else if (key == "trace_sample")
+      out.trace_sample = as_uint32(val, "obs.trace_sample");
+    else return false;
+    return true;
+  });
+}
+
 }  // namespace
 
 ChannelPoint ChannelSpec::point() const {
@@ -253,6 +276,7 @@ ScenarioSpec ScenarioSpec::from_json(std::string_view text) {
     else if (key == "adapt") parse_adapt(val, spec.adapt);
     else if (key == "run") parse_run(val, spec.run);
     else if (key == "sweep") parse_sweep(val, spec.sweep);
+    else if (key == "obs") parse_obs(val, spec.obs);
     else return false;
     return true;
   });
@@ -266,6 +290,9 @@ void ScenarioSpec::validate() const {
       engine != "adaptive")
     spec_error("unknown engine '" + engine +
                "' (grid, stream, mpath, adaptive)");
+
+  if (obs.trace_sample == 0)
+    spec_error("obs.trace_sample must be >= 1");
 
   if (!reg.describe(RegistrySection::kChannels, channel.model))
     spec_error("unknown channel model '" + channel.model + "'");

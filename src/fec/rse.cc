@@ -6,6 +6,7 @@
 
 #include "gf/gf256.h"
 #include "gf/gf256_kernels.h"
+#include "obs/obs.h"
 
 namespace fecsched {
 
@@ -33,6 +34,7 @@ std::vector<std::uint8_t> gf_matmul(const std::vector<std::uint8_t>& lhs,
 
 void gf256_invert_matrix(std::span<std::uint8_t> m, std::uint32_t size,
                          std::vector<std::uint8_t>& scratch) {
+  const obs::PhaseScope phase_scope(obs::current(), obs::Phase::kMatrixInvert);
   if (m.size() != static_cast<std::size_t>(size) * size)
     throw std::invalid_argument("gf256_invert_matrix: bad dimensions");
   const std::size_t s = size;

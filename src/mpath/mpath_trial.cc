@@ -9,6 +9,7 @@
 #include "fec/block_partition.h"
 #include "fec/peeling_decoder.h"
 #include "mpath/resequencer.h"
+#include "obs/obs.h"
 #include "sched/tx_models.h"
 #include "stream/delay_tracker.h"
 #include "stream/sliding_window.h"
@@ -40,21 +41,39 @@ using Emission = detail::MpathEmission;
 using Transport = detail::MpathTransport;
 
 /// Dispatch every emission through the scheduler and the paths, filling
-/// the workspace transport buffers in place.
+/// the workspace transport buffers in place.  `repair_id_base` maps an
+/// emission to its trace packet id: sources keep their seq, repairs get
+/// `repair_id_base + seq` (0 for block schemes, whose seq is already the
+/// unified PacketId; S for paced schemes, whose repairs count from 0).
 void transmit_all(const std::vector<Emission>& emissions, PathSet& paths,
-                  PathScheduler& scheduler, Transport& t) {
+                  PathScheduler& scheduler, Transport& t, const obs::Hook& hook,
+                  std::uint64_t repair_id_base) {
   t.resolve.assign(emissions.size(), 0.0);
   t.delivered.assign(emissions.size(), 0);
   for (auto& events : t.path_events) events.clear();
   t.path_events.resize(paths.size());
   for (std::size_t e = 0; e < emissions.size(); ++e) {
     const double slot = static_cast<double>(e);
-    const std::size_t path =
-        scheduler.pick(paths, slot, emissions[e].is_repair);
-    const Transmission tx = paths.transmit(path, slot);
+    const std::size_t path = hook.timed(obs::Phase::kSchedule, [&] {
+      return scheduler.pick(paths, slot, emissions[e].is_repair);
+    });
+    const Transmission tx = hook.timed(obs::Phase::kChannelDraw, [&] {
+      return paths.transmit(path, slot);
+    });
     t.resolve[e] = tx.arrival;
     t.delivered[e] = tx.lost ? 0 : 1;
     t.path_events[path].push_back(tx.lost);
+    if (hook.tracing()) {
+      const std::uint64_t id = emissions[e].is_repair
+                                   ? repair_id_base + emissions[e].seq
+                                   : emissions[e].seq;
+      const auto path_id = static_cast<std::int32_t>(path);
+      hook.sent(slot, id, emissions[e].is_repair, path_id);
+      if (tx.lost)
+        hook.lost(tx.arrival, id, emissions[e].is_repair, path_id);
+      else
+        hook.received(tx.arrival, id, emissions[e].is_repair, path_id);
+    }
   }
 }
 
@@ -62,7 +81,7 @@ void transmit_all(const std::vector<Emission>& emissions, PathSet& paths,
 MpathTrialResult finish(const DelayTracker& tracker, const PathSet& paths,
                         const Transport& transport, std::uint64_t sent,
                         std::uint64_t received, std::uint64_t reordered,
-                        std::uint32_t source_count) {
+                        std::uint32_t source_count, const obs::Hook& hook) {
   MpathTrialResult result;
   result.stream.delay = tracker.summary();
   result.stream.residual = tracker.residual_loss();
@@ -82,6 +101,21 @@ MpathTrialResult finish(const DelayTracker& tracker, const PathSet& paths,
   result.reordered_fraction =
       received ? static_cast<double>(reordered) / static_cast<double>(received)
                : 0.0;
+  if (hook.counting()) {
+    // Engine-side aggregates, computed from the tracker's own accounting
+    // (independent of trace-event emission) so tools/trace_stats can
+    // cross-check a JSONL trace against them.
+    hook.count("mpath.trials");
+    hook.count("mpath.packets_sent", sent);
+    hook.count("mpath.packets_received", received);
+    hook.count("mpath.reordered", reordered);
+    hook.count("mpath.sources", source_count);
+    hook.count("mpath.sources_delivered", result.stream.delay.delivered);
+    hook.count("mpath.residual_lost", result.stream.residual.lost);
+    hook.count("mpath.residual_runs", result.stream.residual.runs);
+    hook.gauge_max("mpath.residual_max_run",
+                   result.stream.residual.max_run_length);
+  }
   return result;
 }
 
@@ -90,6 +124,7 @@ MpathTrialResult finish(const DelayTracker& tracker, const PathSet& paths,
 MpathTrialResult run_paced_mpath(const MpathTrialConfig& cfg, PathSet& paths,
                                  PathScheduler& scheduler, std::uint64_t seed,
                                  MpathTrialWorkspace& ws) {
+  const obs::Hook hook;
   const std::uint32_t S = cfg.stream.source_count;
   const std::uint32_t W = cfg.stream.window;
   const std::uint32_t interval = cfg.stream.repair_interval();
@@ -100,10 +135,12 @@ MpathTrialResult run_paced_mpath(const MpathTrialConfig& cfg, PathSet& paths,
   sw.repair_interval = interval;
   sw.coefficients = cfg.stream.coefficients;
   sw.seed = derive_seed(seed, {2});
-  if (ws.stream.decoder)
-    ws.stream.decoder->reset(sw);
-  else
-    ws.stream.decoder.emplace(sw);
+  hook.timed(obs::Phase::kEncode, [&] {
+    if (ws.stream.decoder)
+      ws.stream.decoder->reset(sw);
+    else
+      ws.stream.decoder.emplace(sw);
+  });
   SlidingWindowDecoder& decoder = *ws.stream.decoder;
 
   // Emission sequence: identical to the single-path paced trial — sources
@@ -140,7 +177,7 @@ MpathTrialResult run_paced_mpath(const MpathTrialConfig& cfg, PathSet& paths,
   for (std::uint32_t s = 0; s < S; ++s)
     tracker.on_sent(s, static_cast<double>(source_slot[s]));
 
-  transmit_all(emissions, paths, scheduler, ws.transport);
+  transmit_all(emissions, paths, scheduler, ws.transport, hook, S);
   const Transport& transport = ws.transport;
 
   // Deadline of source s: one step past the latest (would-be) arrival of
@@ -195,12 +232,17 @@ MpathTrialResult run_paced_mpath(const MpathTrialConfig& cfg, PathSet& paths,
 
   std::uint64_t received = 0, reordered = 0, max_arrived = 0;
   bool any_arrived = false;
-  for (const RxEvent& ev : queue.drain()) {
+  const std::vector<RxEvent>& rx = hook.timed(
+      obs::Phase::kResequence,
+      [&]() -> const std::vector<RxEvent>& { return queue.drain(); });
+  for (const RxEvent& ev : rx) {
     const double t = ev.time;
     if (ev.kind == kDeadline) {
       const auto s = static_cast<std::uint64_t>(ev.value);
       if (sliding) {
-        for (std::uint64_t lost : decoder.give_up_before(s + 1))
+        for (std::uint64_t lost : hook.timed(obs::Phase::kDecode, [&] {
+               return decoder.give_up_before(s + 1);
+             }))
           tracker.on_lost(lost, t);
       } else {
         for (; repl_horizon < s + 1; ++repl_horizon)
@@ -226,20 +268,24 @@ MpathTrialResult run_paced_mpath(const MpathTrialConfig& cfg, PathSet& paths,
         repair.repair_seq = em.seq;
         repair.first = em.first;
         repair.last = em.last;
-        for (std::uint64_t s : decoder.on_repair(repair))
+        for (std::uint64_t s : hook.timed(obs::Phase::kDecode, [&] {
+               return decoder.on_repair(repair);
+             }))
           tracker.on_available(s, t);
       } else {
         deliver(em.dup_target);
       }
     } else if (sliding) {
-      for (std::uint64_t s : decoder.on_source(em.seq))
+      for (std::uint64_t s : hook.timed(obs::Phase::kDecode, [&] {
+             return decoder.on_source(em.seq);
+           }))
         tracker.on_available(s, t);
     } else {
       deliver(em.seq);
     }
   }
   return finish(tracker, paths, transport, emissions.size(), received,
-                reordered, S);
+                reordered, S, hook);
 }
 
 // ----------------------------------------------------------- block codes
@@ -247,6 +293,7 @@ MpathTrialResult run_paced_mpath(const MpathTrialConfig& cfg, PathSet& paths,
 MpathTrialResult run_block_mpath(const MpathTrialConfig& cfg, PathSet& paths,
                                  PathScheduler& scheduler, std::uint64_t seed,
                                  MpathTrialWorkspace& ws) {
+  const obs::Hook hook;
   const std::uint32_t S = cfg.stream.source_count;
   const double ratio = 1.0 + cfg.stream.overhead;
   const bool rse = cfg.stream.scheme == StreamScheme::kBlockRse;
@@ -254,39 +301,43 @@ MpathTrialResult run_block_mpath(const MpathTrialConfig& cfg, PathSet& paths,
   std::shared_ptr<const RsePlan> rse_plan;
   std::shared_ptr<const LdgmCode> ldgm;
   const PacketPlan* plan = nullptr;
-  if (rse) {
-    const auto cap = static_cast<std::uint32_t>(std::min(
-        255.0, std::floor(static_cast<double>(cfg.stream.block_k) * ratio)));
-    rse_plan = std::make_shared<RsePlan>(S, ratio, cap);
-    plan = rse_plan.get();
-  } else {
-    LdgmParams params;
-    params.k = S;
-    params.n = std::max(
-        S + 1, static_cast<std::uint32_t>(
-                   std::llround(static_cast<double>(S) * ratio)));
-    params.variant = cfg.stream.ldgm_variant;
-    params.left_degree = cfg.stream.left_degree;
-    params.triangle_extra_per_row = cfg.stream.triangle_extra_per_row;
-    params.seed = derive_seed(seed, {3});
-    ldgm = std::make_shared<LdgmCode>(params);
-    plan = ldgm.get();
-  }
+  hook.timed(obs::Phase::kEncode, [&] {
+    if (rse) {
+      const auto cap = static_cast<std::uint32_t>(std::min(
+          255.0, std::floor(static_cast<double>(cfg.stream.block_k) * ratio)));
+      rse_plan = std::make_shared<RsePlan>(S, ratio, cap);
+      plan = rse_plan.get();
+    } else {
+      LdgmParams params;
+      params.k = S;
+      params.n = std::max(
+          S + 1, static_cast<std::uint32_t>(
+                     std::llround(static_cast<double>(S) * ratio)));
+      params.variant = cfg.stream.ldgm_variant;
+      params.left_degree = cfg.stream.left_degree;
+      params.triangle_extra_per_row = cfg.stream.triangle_extra_per_row;
+      params.seed = derive_seed(seed, {3});
+      ldgm = std::make_shared<LdgmCode>(params);
+      plan = ldgm.get();
+    }
+  });
 
   Rng rng(derive_seed(seed, {1}));
   std::vector<PacketId>& schedule = ws.stream.schedule;
-  switch (cfg.stream.scheduling) {
-    case StreamScheduling::kInterleaved:
-      make_schedule(*plan, TxModel::kTx5Interleaved, rng, schedule);
-      break;
-    case StreamScheduling::kSequential:
-    case StreamScheduling::kCarousel:  // rejected by validate()
-      if (rse)
-        per_block_sequential(*rse_plan, schedule);
-      else
-        make_schedule(*plan, TxModel::kTx1SeqSourceSeqParity, rng, schedule);
-      break;
-  }
+  hook.timed(obs::Phase::kSchedule, [&] {
+    switch (cfg.stream.scheduling) {
+      case StreamScheduling::kInterleaved:
+        make_schedule(*plan, TxModel::kTx5Interleaved, rng, schedule);
+        break;
+      case StreamScheduling::kSequential:
+      case StreamScheduling::kCarousel:  // rejected by validate()
+        if (rse)
+          per_block_sequential(*rse_plan, schedule);
+        else
+          make_schedule(*plan, TxModel::kTx1SeqSourceSeqParity, rng, schedule);
+        break;
+    }
+  });
 
   std::vector<std::uint64_t>& tx_slot = ws.stream.tx_slot;
   tx_slot.assign(S, 0);
@@ -303,7 +354,8 @@ MpathTrialResult run_block_mpath(const MpathTrialConfig& cfg, PathSet& paths,
     emissions[e].is_repair = schedule[e] >= S;
     emissions[e].seq = schedule[e];
   }
-  transmit_all(emissions, paths, scheduler, ws.transport);
+  transmit_all(emissions, paths, scheduler, ws.transport, hook,
+               /*repair_id_base=*/0);
   const Transport& transport = ws.transport;
 
   // Block tie-break: arrivals (phase 0) before block/stream deadlines
@@ -351,7 +403,10 @@ MpathTrialResult run_block_mpath(const MpathTrialConfig& cfg, PathSet& paths,
 
   std::uint64_t received = 0, reordered = 0, max_arrived = 0;
   bool any_arrived = false;
-  for (const RxEvent& ev : queue.drain()) {
+  const std::vector<RxEvent>& rx = hook.timed(
+      obs::Phase::kResequence,
+      [&]() -> const std::vector<RxEvent>& { return queue.drain(); });
+  for (const RxEvent& ev : rx) {
     const double t = ev.time;
     if (ev.kind == kDeadline) {
       if (rse) {
@@ -383,6 +438,7 @@ MpathTrialResult run_block_mpath(const MpathTrialConfig& cfg, PathSet& paths,
     if (seen[id]) continue;
     seen[id] = 1;
     if (rse) {
+      const obs::PhaseScope decode_scope(hook.observer(), obs::Phase::kDecode);
       const BlockPosition pos = rse_plan->position(id);
       if (id < S) tracker.on_available(id, t);
       if (!block_decoded[pos.block]) {
@@ -399,7 +455,8 @@ MpathTrialResult run_block_mpath(const MpathTrialConfig& cfg, PathSet& paths,
           }
         }
       }
-    } else if (peeler->add_packet(id) > 0) {
+    } else if (hook.timed(obs::Phase::kDecode,
+                          [&] { return peeler->add_packet(id); }) > 0) {
       std::erase_if(unknown_sources, [&](std::uint32_t s) {
         if (!peeler->is_known(s)) return false;
         tracker.on_available(s, t);
@@ -408,7 +465,7 @@ MpathTrialResult run_block_mpath(const MpathTrialConfig& cfg, PathSet& paths,
     }
   }
   return finish(tracker, paths, transport, schedule.size(), received,
-                reordered, S);
+                reordered, S, hook);
 }
 
 }  // namespace

@@ -1,0 +1,42 @@
+#include "obs/manifest.h"
+
+namespace fecsched::obs {
+
+namespace {
+
+void append_fields(api::Json& j, const RunManifest& m) {
+  j.set("spec", api::Json(m.fingerprint));
+  j.set("api", api::Json(m.version));
+  j.set("gf", api::Json(m.gf_backend));
+  j.set("engine", api::Json(m.engine));
+  j.set("threads", api::Json::integer(m.threads));
+  j.set("hardware_threads", api::Json::integer(m.hardware_threads));
+  j.set("wall_seconds", api::Json(m.wall_seconds));
+}
+
+}  // namespace
+
+std::string spec_fingerprint(std::string_view canonical_json) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  const std::uint64_t h = fnv1a64(canonical_json);
+  std::string out = "fnv1a:";
+  for (int shift = 60; shift >= 0; shift -= 4)
+    out += kHex[(h >> shift) & 0xF];
+  return out;
+}
+
+api::Json manifest_to_json(const RunManifest& m) {
+  api::Json j = api::Json::object();
+  append_fields(j, m);
+  return j;
+}
+
+api::Json manifest_to_trace_line(const RunManifest& m, std::uint32_t trace_sample) {
+  api::Json j = api::Json::object();
+  j.set("ev", api::Json("manifest"));
+  append_fields(j, m);
+  j.set("trace_sample", api::Json::integer(trace_sample));
+  return j;
+}
+
+}  // namespace fecsched::obs

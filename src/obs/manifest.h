@@ -1,0 +1,51 @@
+// Run manifest: provenance carried by every scenario result.
+//
+// The manifest closes the replayability loop the Scenario API opened with
+// --dump-spec: a result (or a trace file) records WHICH spec produced it
+// (FNV-1a fingerprint of the canonical spec JSON), under WHICH code
+// (api::kVersion), on WHICH GF(256) backend, with how many threads, and
+// how long it took.  Everything except wall_seconds is deterministic for
+// a given spec + host; wall_seconds is explicitly excluded from the
+// deterministic signature used by the thread-independence tests.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "api/json.h"
+
+namespace fecsched::obs {
+
+struct RunManifest {
+  std::string fingerprint;       ///< "fnv1a:<16 hex>" of the canonical spec JSON
+  std::string version;           ///< api::kVersion at run time
+  std::string gf_backend;        ///< gf::to_string(gf::current_backend())
+  std::string engine;            ///< "grid" | "stream" | "mpath" | "adaptive"
+  unsigned threads = 0;          ///< requested worker count (0 = hardware)
+  unsigned hardware_threads = 0; ///< std::thread::hardware_concurrency()
+  double wall_seconds = 0.0;     ///< run_scenario wall-clock duration
+};
+
+/// FNV-1a 64-bit hash (public-domain parameters); stable across platforms.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// "fnv1a:<16 lowercase hex digits>" of a canonical spec JSON document.
+[[nodiscard]] std::string spec_fingerprint(std::string_view canonical_json);
+
+/// Manifest as a JSON object.  With `as_trace_line` the object leads with
+/// `"ev":"manifest"` and appends the trace_sample knob, matching the
+/// trace-file header schema in obs/trace.h.
+[[nodiscard]] api::Json manifest_to_json(const RunManifest& m);
+[[nodiscard]] api::Json manifest_to_trace_line(const RunManifest& m,
+                                               std::uint32_t trace_sample);
+
+}  // namespace fecsched::obs

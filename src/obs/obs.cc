@@ -1,0 +1,148 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+
+namespace fecsched::obs {
+
+namespace detail {
+
+std::atomic<Session*> g_session{nullptr};
+
+namespace {
+// Generation stamps invalidate thread-local observer pointers left behind
+// by earlier sessions (util/parallel.h spawns fresh std::threads per call,
+// but the calling thread — and any reused thread — survives sessions).
+std::atomic<std::uint64_t> g_generation{0};
+thread_local std::uint64_t t_generation = 0;
+thread_local Observer* t_observer = nullptr;
+}  // namespace
+
+Observer* attach(Session* s) noexcept {
+  const std::uint64_t gen = s->generation();
+  if (t_generation == gen) return t_observer;
+  t_observer = &s->thread_observer();
+  t_generation = gen;
+  return t_observer;
+}
+
+std::uint64_t next_generation() noexcept {
+  return g_generation.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace detail
+
+Session::Session(const Config& cfg) : cfg_(cfg) {
+  if (!cfg_.enabled()) return;
+  generation_ = detail::next_generation();
+  Session* expected = nullptr;
+  if (detail::g_session.compare_exchange_strong(expected, this,
+                                                std::memory_order_acq_rel))
+    active_ = true;
+}
+
+Session::~Session() {
+  if (active_) detail::g_session.store(nullptr, std::memory_order_release);
+}
+
+Observer& Session::thread_observer() {
+  std::lock_guard<std::mutex> lock(mu_);
+  observers_.push_back(std::make_unique<Observer>(cfg_));
+  return *observers_.back();
+}
+
+Report Session::finish() {
+  if (active_) {
+    detail::g_session.store(nullptr, std::memory_order_release);
+    active_ = false;
+  }
+  Report report;
+  report.config = cfg_;
+  MetricsRegistry merged;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Observer>& o : observers_) {
+    merged.merge_from(o->metrics_);
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      report.phases[p].calls += o->phases_[p].calls;
+      report.phases[p].ns += o->phases_[p].ns;
+    }
+    report.events.insert(report.events.end(), o->events_.begin(), o->events_.end());
+  }
+  report.metrics = merged.snapshot();
+  // Each trial's events live on one observer in emission order; a stable
+  // sort by trial ordinal therefore restores the serial-run order.
+  std::stable_sort(report.events.begin(), report.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.trial < b.trial;
+                   });
+  return report;
+}
+
+std::string Report::deterministic_signature() const {
+  std::string sig;
+  sig.reserve(256 + events.size() * 16);
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    sig += to_string(static_cast<Phase>(p));
+    sig += '=';
+    sig += std::to_string(phases[p].calls);
+    sig += ';';
+  }
+  for (const auto& [name, v] : metrics.counters)
+    sig += "c:" + name + '=' + std::to_string(v) + ';';
+  for (const auto& [name, v] : metrics.gauges)
+    sig += "g:" + name + '=' + std::to_string(v) + ';';
+  for (const MetricsSnapshot::Hist& h : metrics.histograms) {
+    sig += "h:" + h.name + '=';
+    for (std::uint64_t c : h.counts) sig += std::to_string(c) + ',';
+    sig += ';';
+  }
+  sig += "events:";
+  for (const TraceEvent& ev : events) sig += event_to_json(ev).dump(0) + '\n';
+  return sig;
+}
+
+api::Json observability_json(const RunManifest& manifest, const Report& report) {
+  api::Json j = api::Json::object();
+  j.set("manifest", manifest_to_json(manifest));
+  if (report.config.profile) {
+    api::Json profile = api::Json::array();
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      api::Json row = api::Json::object();
+      row.set("phase", api::Json(std::string(to_string(static_cast<Phase>(p)))));
+      row.set("calls", api::Json::integer(report.phases[p].calls));
+      row.set("ns", api::Json::integer(report.phases[p].ns));
+      profile.push_back(std::move(row));
+    }
+    j.set("profile", std::move(profile));
+  }
+  api::Json metrics = api::Json::object();
+  api::Json counters = api::Json::object();
+  for (const auto& [name, v] : report.metrics.counters)
+    counters.set(name, api::Json::integer(v));
+  api::Json gauges = api::Json::object();
+  for (const auto& [name, v] : report.metrics.gauges)
+    gauges.set(name, api::Json::integer(v));
+  api::Json histograms = api::Json::object();
+  for (const MetricsSnapshot::Hist& h : report.metrics.histograms) {
+    api::Json hist = api::Json::object();
+    api::Json bounds = api::Json::array();
+    for (std::uint64_t b : h.bounds) bounds.push_back(api::Json::integer(b));
+    api::Json counts = api::Json::array();
+    for (std::uint64_t c : h.counts) counts.push_back(api::Json::integer(c));
+    hist.set("bounds", std::move(bounds));
+    hist.set("counts", std::move(counts));
+    histograms.set(h.name, std::move(hist));
+  }
+  metrics.set("counters", std::move(counters));
+  metrics.set("gauges", std::move(gauges));
+  metrics.set("histograms", std::move(histograms));
+  j.set("metrics", std::move(metrics));
+  if (report.config.trace) {
+    api::Json trace = api::Json::object();
+    trace.set("events", api::Json::integer(report.events.size()));
+    trace.set("sample", api::Json::integer(report.config.trace_sample));
+    j.set("trace", std::move(trace));
+  }
+  return j;
+}
+
+}  // namespace fecsched::obs

@@ -1,0 +1,334 @@
+// Engine-wide observability: per-thread observers behind one global
+// session, with zero overhead when no session is armed.
+//
+// Design contract (load-bearing for the repo's bit-identity guarantees):
+//
+//  * Observation NEVER draws randomness, never reorders engine work, and
+//    never changes a result.  Hooks only read trial state the engines
+//    already computed.
+//  * Disabled cost is one relaxed atomic load + branch per hook site
+//    (obs::current() returns nullptr), and the engines' innermost loops
+//    hoist even that into a per-trial obs::Hook whose cached booleans
+//    reduce a dormant hook to a register test.
+//  * Thread-count independence: each engine assigns whole trials to
+//    worker threads and brackets them with obs::TrialScope, so every
+//    observation is attributable to a trial ordinal that does not depend
+//    on the thread that ran it.  Session::finish() merges per-thread
+//    sinks by exact u64 arithmetic (metrics), sums phase call counts, and
+//    stable-sorts trace events by trial ordinal — everything in the
+//    merged Report except nanosecond timings is bit-identical for any
+//    --threads value (Report::deterministic_signature()).
+//
+// Threads are attached lazily: the first hook a worker thread hits
+// registers a thread-local Observer with the armed session.  A global
+// generation counter invalidates thread-local pointers from previous
+// sessions, so the fresh std::threads util/parallel.h spawns per call —
+// and reused caller threads across sessions — both resolve correctly.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fecsched::obs {
+
+/// Engine phases timed by the profiler.
+enum class Phase : std::uint8_t {
+  kEncode = 0,    ///< code construction: RSE plans, LDGM graphs
+  kChannelDraw,   ///< loss-model draws (GilbertModel::lost and paths)
+  kSchedule,      ///< transmission-order construction / scheduler picks
+  kDecode,        ///< tracker/decoder symbol processing
+  kMatrixInvert,  ///< GF(256) dense solves inside decode
+  kResequence,    ///< multipath arrival reordering (Resequencer::drain)
+};
+inline constexpr std::size_t kPhaseCount = 6;
+
+[[nodiscard]] constexpr std::string_view to_string(Phase p) noexcept {
+  switch (p) {
+    case Phase::kEncode: return "encode";
+    case Phase::kChannelDraw: return "channel_draw";
+    case Phase::kSchedule: return "schedule";
+    case Phase::kDecode: return "decode";
+    case Phase::kMatrixInvert: return "matrix_invert";
+    case Phase::kResequence: return "resequence";
+  }
+  return "?";
+}
+
+struct PhaseStats {
+  std::uint64_t calls = 0;  ///< deterministic: merged by addition
+  std::uint64_t ns = 0;     ///< wall time; excluded from the signature
+};
+
+/// What to collect.  Metrics ride along with profiling and tracing (the
+/// trace summary line and the profile report both need them), so
+/// `counting` is true whenever anything is enabled.
+struct Config {
+  bool metrics = false;
+  bool profile = false;
+  bool trace = false;
+  std::uint32_t trace_sample = 1;  ///< trace every Nth trial ordinal
+
+  [[nodiscard]] bool enabled() const noexcept { return metrics || profile || trace; }
+};
+
+/// Per-thread sink.  Never shared between threads; merged once by
+/// Session::finish().
+class Observer {
+ public:
+  explicit Observer(const Config& cfg) noexcept : cfg_(cfg) {}
+
+  void begin_trial(std::uint64_t ordinal) noexcept {
+    trial_ = ordinal;
+    trace_this_trial_ =
+        cfg_.trace && (cfg_.trace_sample <= 1 || ordinal % cfg_.trace_sample == 0);
+  }
+  void end_trial() noexcept { trace_this_trial_ = false; }
+
+  [[nodiscard]] bool counting() const noexcept { return cfg_.enabled(); }
+  [[nodiscard]] bool profiling() const noexcept { return cfg_.profile; }
+  [[nodiscard]] bool tracing() const noexcept { return trace_this_trial_; }
+  [[nodiscard]] std::uint64_t trial() const noexcept { return trial_; }
+
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  void phase_add(Phase p, std::uint64_t ns) noexcept {
+    PhaseStats& s = phases_[static_cast<std::size_t>(p)];
+    ++s.calls;
+    s.ns += ns;
+  }
+
+  void emit(TraceEvent ev) {
+    ev.trial = trial_;
+    events_.push_back(ev);
+  }
+
+ private:
+  friend class Session;
+  Config cfg_;
+  MetricsRegistry metrics_;
+  std::array<PhaseStats, kPhaseCount> phases_{};
+  std::vector<TraceEvent> events_;
+  std::uint64_t trial_ = 0;
+  bool trace_this_trial_ = false;
+};
+
+/// Merged observations for one armed session.
+struct Report {
+  Config config;
+  std::array<PhaseStats, kPhaseCount> phases{};
+  MetricsSnapshot metrics;
+  std::vector<TraceEvent> events;  ///< sorted by (trial, emission order)
+
+  /// Text digest of everything deterministic (metric values, phase call
+  /// counts, events) — equal across --threads values for the same spec.
+  /// Nanosecond timings are deliberately excluded.
+  [[nodiscard]] std::string deterministic_signature() const;
+};
+
+/// Arms observation globally for its lifetime (RAII).  At most one
+/// session is armed at a time; a nested Session with an enabled config
+/// stays dormant rather than stealing the outer session's observers.
+class Session {
+ public:
+  explicit Session(const Config& cfg);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  /// Register (or reuse) this thread's observer.  Called via obs::current().
+  Observer& thread_observer();
+
+  /// Disarm and merge all per-thread sinks.  Call after the observed work
+  /// has joined its worker threads.
+  [[nodiscard]] Report finish();
+
+ private:
+  Config cfg_;
+  bool active_ = false;
+  std::uint64_t generation_ = 0;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Observer>> observers_;
+};
+
+namespace detail {
+extern std::atomic<Session*> g_session;
+/// Slow path of obs::current(): bind the calling thread to `s`.
+[[nodiscard]] Observer* attach(Session* s) noexcept;
+}  // namespace detail
+
+/// The calling thread's observer, or nullptr when no session is armed.
+/// The fast path (no session) is one relaxed load + branch.
+[[nodiscard]] inline Observer* current() noexcept {
+  Session* s = detail::g_session.load(std::memory_order_acquire);
+  if (s == nullptr) return nullptr;
+  return detail::attach(s);
+}
+
+/// Brackets one trial so observations carry its scenario-global ordinal.
+class TrialScope {
+ public:
+  explicit TrialScope(std::uint64_t ordinal) noexcept : o_(current()) {
+    if (o_ != nullptr) o_->begin_trial(ordinal);
+  }
+  ~TrialScope() {
+    if (o_ != nullptr) o_->end_trial();
+  }
+  TrialScope(const TrialScope&) = delete;
+  TrialScope& operator=(const TrialScope&) = delete;
+
+ private:
+  Observer* o_;
+};
+
+using ObsClock = std::chrono::steady_clock;
+
+/// Times one phase over a lexical scope (for call sites that cannot wrap
+/// a lambda, e.g. inside a decoder member function).
+class PhaseScope {
+ public:
+  PhaseScope(Observer* o, Phase p) noexcept
+      : o_(o != nullptr && o->profiling() ? o : nullptr), phase_(p) {
+    if (o_ != nullptr) t0_ = ObsClock::now();
+  }
+  ~PhaseScope() {
+    if (o_ != nullptr)
+      o_->phase_add(phase_, static_cast<std::uint64_t>(
+                                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                    ObsClock::now() - t0_)
+                                    .count()));
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Observer* o_;
+  Phase phase_;
+  ObsClock::time_point t0_{};
+};
+
+/// Per-trial hook: resolves obs::current() once and caches the enabled
+/// flags, so a dormant hook in a packet loop costs one register test.
+/// Construct AFTER the trial's TrialScope (tracing is per-trial).
+class Hook {
+ public:
+  Hook() noexcept : o_(current()) {
+    if (o_ != nullptr) {
+      counting_ = o_->counting();
+      profiling_ = o_->profiling();
+      tracing_ = o_->tracing();
+    }
+  }
+
+  [[nodiscard]] bool engaged() const noexcept {
+    return counting_ || profiling_ || tracing_;
+  }
+  [[nodiscard]] bool counting() const noexcept { return counting_; }
+  [[nodiscard]] bool profiling() const noexcept { return profiling_; }
+  [[nodiscard]] bool tracing() const noexcept { return tracing_; }
+  [[nodiscard]] Observer* observer() const noexcept { return o_; }
+
+  void count(std::string_view name, std::uint64_t n = 1) const {
+    if (counting_) o_->metrics().counter(name).add(n);
+  }
+  void gauge_max(std::string_view name, std::uint64_t v) const {
+    if (counting_) o_->metrics().gauge(name).update_max(v);
+  }
+  void observe(std::string_view name, std::span<const std::uint64_t> bounds,
+               std::uint64_t v) const {
+    if (counting_) o_->metrics().histogram(name, bounds).observe(v);
+  }
+
+  /// Run f() and attribute its wall time to `phase` when profiling.
+  /// Transparent to f's return value (including references).
+  template <typename F>
+  decltype(auto) timed(Phase phase, F&& f) const {
+    using R = decltype(std::forward<F>(f)());
+    if (!profiling_) return std::forward<F>(f)();
+    const ObsClock::time_point t0 = ObsClock::now();
+    if constexpr (std::is_void_v<R>) {
+      std::forward<F>(f)();
+      o_->phase_add(phase, elapsed_ns(t0));
+    } else if constexpr (std::is_reference_v<R>) {
+      R r = std::forward<F>(f)();
+      o_->phase_add(phase, elapsed_ns(t0));
+      return static_cast<R>(r);
+    } else {
+      R r = std::forward<F>(f)();
+      o_->phase_add(phase, elapsed_ns(t0));
+      return r;
+    }
+  }
+
+  // Trace emitters: no-ops unless this trial is sampled.
+  void sent(double slot, std::uint64_t id, bool repair, std::int32_t path = -1,
+            std::int64_t obj = -1) const {
+    emit(EventKind::kSent, slot, id, repair, path, obj, false, 0.0);
+  }
+  void lost(double slot, std::uint64_t id, bool repair, std::int32_t path = -1,
+            std::int64_t obj = -1) const {
+    emit(EventKind::kLost, slot, id, repair, path, obj, false, 0.0);
+  }
+  void received(double slot, std::uint64_t id, bool repair, std::int32_t path = -1,
+                std::int64_t obj = -1) const {
+    emit(EventKind::kReceived, slot, id, repair, path, obj, false, 0.0);
+  }
+  void decoded(double slot, std::uint64_t id) const {
+    emit(EventKind::kDecoded, slot, id, false, -1, -1, false, 0.0);
+  }
+  void released(double slot, std::uint64_t id, bool ok, double delay) const {
+    emit(EventKind::kReleased, slot, id, false, -1, -1, ok, delay);
+  }
+
+ private:
+  static std::uint64_t elapsed_ns(ObsClock::time_point t0) noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(ObsClock::now() - t0)
+            .count());
+  }
+
+  void emit(EventKind kind, double slot, std::uint64_t id, bool repair,
+            std::int32_t path, std::int64_t obj, bool ok, double delay) const {
+    if (!tracing_) return;
+    TraceEvent ev;
+    ev.kind = kind;
+    ev.slot = slot;
+    ev.id = id;
+    ev.repair = repair;
+    ev.path = path;
+    ev.obj = obj;
+    ev.ok = ok;
+    ev.delay = delay;
+    o_->emit(ev);
+  }
+
+  Observer* o_;
+  bool counting_ = false;
+  bool profiling_ = false;
+  bool tracing_ = false;
+};
+
+/// Full observability document embedded in --json output and printed by
+/// the CLI text reports: {"manifest":..., "profile":[...],
+/// "metrics":{...}, "trace":{"events":N}}.
+[[nodiscard]] api::Json observability_json(const RunManifest& manifest,
+                                           const Report& report);
+
+}  // namespace fecsched::obs

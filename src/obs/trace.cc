@@ -1,0 +1,219 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace fecsched::obs {
+
+namespace {
+
+using api::Json;
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("trace: " + what);
+}
+
+EventKind kind_from_string(const std::string& s) {
+  if (s == "sent") return EventKind::kSent;
+  if (s == "lost") return EventKind::kLost;
+  if (s == "received") return EventKind::kReceived;
+  if (s == "decoded") return EventKind::kDecoded;
+  if (s == "released") return EventKind::kReleased;
+  bad("unknown event kind \"" + s + "\"");
+}
+
+const Json& require(const Json& j, std::string_view key) {
+  const Json* v = j.find(key);
+  if (v == nullptr) bad("missing key \"" + std::string(key) + "\"");
+  return *v;
+}
+
+/// Reject keys outside `allowed` (nullptr-terminated list).
+void check_keys(const Json& j, std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, value] : j.as_object("trace line")) {
+    bool known = false;
+    for (std::string_view a : allowed)
+      if (key == a) {
+        known = true;
+        break;
+      }
+    if (!known) bad("unknown key \"" + key + "\"");
+  }
+}
+
+}  // namespace
+
+Json event_to_json(const TraceEvent& ev) {
+  Json j = Json::object();
+  j.set("ev", Json(std::string(to_string(ev.kind))));
+  j.set("trial", Json::integer(ev.trial));
+  j.set("slot", Json(ev.slot));
+  j.set("id", Json::integer(ev.id));
+  switch (ev.kind) {
+    case EventKind::kSent:
+    case EventKind::kLost:
+    case EventKind::kReceived:
+      j.set("repair", Json(ev.repair));
+      if (ev.path >= 0) j.set("path", Json::integer(static_cast<std::uint64_t>(ev.path)));
+      if (ev.obj >= 0) j.set("obj", Json::integer(static_cast<std::uint64_t>(ev.obj)));
+      break;
+    case EventKind::kDecoded:
+      break;
+    case EventKind::kReleased:
+      j.set("ok", Json(ev.ok));
+      j.set("delay", Json(ev.delay));
+      break;
+  }
+  return j;
+}
+
+TraceEvent event_from_json(const Json& j) {
+  TraceEvent ev;
+  ev.kind = kind_from_string(require(j, "ev").as_string("ev"));
+  ev.trial = require(j, "trial").as_uint64("trial");
+  ev.slot = require(j, "slot").as_double("slot");
+  ev.id = require(j, "id").as_uint64("id");
+  switch (ev.kind) {
+    case EventKind::kSent:
+    case EventKind::kLost:
+    case EventKind::kReceived: {
+      check_keys(j, {"ev", "trial", "slot", "id", "repair", "path", "obj"});
+      ev.repair = require(j, "repair").as_bool("repair");
+      if (const Json* p = j.find("path"))
+        ev.path = static_cast<std::int32_t>(p->as_uint64("path"));
+      if (const Json* o = j.find("obj"))
+        ev.obj = static_cast<std::int64_t>(o->as_uint64("obj"));
+      break;
+    }
+    case EventKind::kDecoded:
+      check_keys(j, {"ev", "trial", "slot", "id"});
+      break;
+    case EventKind::kReleased:
+      check_keys(j, {"ev", "trial", "slot", "id", "ok", "delay"});
+      ev.ok = require(j, "ok").as_bool("ok");
+      ev.delay = require(j, "delay").as_double("delay");
+      break;
+  }
+  return ev;
+}
+
+void validate_trace_line(const Json& j) {
+  const std::string& ev = require(j, "ev").as_string("ev");
+  if (ev == "manifest") {
+    check_keys(j, {"ev", "spec", "api", "gf", "engine", "threads",
+                   "hardware_threads", "wall_seconds", "trace_sample"});
+    (void)require(j, "spec").as_string("spec");
+    (void)require(j, "api").as_string("api");
+    (void)require(j, "gf").as_string("gf");
+    (void)require(j, "engine").as_string("engine");
+    (void)require(j, "trace_sample").as_uint64("trace_sample");
+    return;
+  }
+  if (ev == "summary") {
+    check_keys(j, {"ev", "counters", "gauges"});
+    for (const auto& [key, value] : require(j, "counters").as_object("counters"))
+      (void)value.as_uint64("counters." + key);
+    for (const auto& [key, value] : require(j, "gauges").as_object("gauges"))
+      (void)value.as_uint64("gauges." + key);
+    return;
+  }
+  (void)event_from_json(j);
+}
+
+void write_trace_file(const std::string& path, const Json& manifest,
+                      std::span<const TraceEvent> events,
+                      const MetricsSnapshot& metrics) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("trace: cannot open \"" + path + "\" for writing");
+  out << manifest.dump(0) << '\n';
+  for (const TraceEvent& ev : events) out << event_to_json(ev).dump(0) << '\n';
+  Json summary = Json::object();
+  summary.set("ev", Json("summary"));
+  Json counters = Json::object();
+  for (const auto& [name, v] : metrics.counters) counters.set(name, Json::integer(v));
+  Json gauges = Json::object();
+  for (const auto& [name, v] : metrics.gauges) gauges.set(name, Json::integer(v));
+  summary.set("counters", std::move(counters));
+  summary.set("gauges", std::move(gauges));
+  out << summary.dump(0) << '\n';
+  if (!out) throw std::runtime_error("trace: write to \"" + path + "\" failed");
+}
+
+TraceFile read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("trace: cannot open \"" + path + "\"");
+  TraceFile file;
+  std::string line;
+  std::size_t line_no = 0;
+  bool have_summary = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Json j;
+    try {
+      j = Json::parse(line);
+      validate_trace_line(j);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(path + ":" + std::to_string(line_no) + ": " + e.what());
+    }
+    const std::string& ev = j.find("ev")->as_string("ev");
+    if (line_no == 1) {
+      if (ev != "manifest")
+        throw std::invalid_argument(path + ":1: first line must be the manifest");
+      file.manifest = std::move(j);
+    } else if (ev == "manifest") {
+      throw std::invalid_argument(path + ":" + std::to_string(line_no) +
+                                  ": duplicate manifest line");
+    } else if (ev == "summary") {
+      if (have_summary)
+        throw std::invalid_argument(path + ":" + std::to_string(line_no) +
+                                    ": duplicate summary line");
+      file.summary = std::move(j);
+      have_summary = true;
+    } else {
+      if (have_summary)
+        throw std::invalid_argument(path + ":" + std::to_string(line_no) +
+                                    ": event after summary line");
+      file.events.push_back(event_from_json(j));
+    }
+  }
+  if (line_no == 0) throw std::invalid_argument(path + ": empty trace file");
+  if (!have_summary)
+    throw std::invalid_argument(path + ": missing summary line (truncated trace?)");
+  return file;
+}
+
+TraceResidual residual_from_trace(std::span<const TraceEvent> events) {
+  TraceResidual r;
+  bool in_trial = false;
+  std::uint64_t trial = 0;
+  std::uint64_t run = 0;
+  const auto close_run = [&] {
+    if (run > 0) {
+      ++r.runs;
+      if (run > r.max_run) r.max_run = run;
+      run = 0;
+    }
+  };
+  for (const TraceEvent& ev : events) {
+    if (ev.kind != EventKind::kReleased) continue;
+    if (!in_trial || ev.trial != trial) {
+      close_run();
+      in_trial = true;
+      trial = ev.trial;
+      ++r.trials;
+    }
+    ++r.released;
+    if (!ev.ok) {
+      ++r.lost;
+      ++run;
+    } else {
+      close_run();
+    }
+  }
+  close_run();
+  return r;
+}
+
+}  // namespace fecsched::obs

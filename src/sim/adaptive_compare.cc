@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "channel/gilbert.h"
+#include "obs/obs.h"
 #include "sim/experiment.h"
 #include "util/rng.h"
 
@@ -56,22 +57,35 @@ RecordedTrial run_recorded_trial(const Experiment& experiment,
                                  std::vector<PacketId> schedule,
                                  GilbertModel& channel,
                                  std::uint64_t tracker_seed) {
+  // Metrics and phase timings only: the adaptive engine sweeps points in
+  // parallel without scenario-global trial ordinals, so it emits no
+  // symbol-lifecycle trace events (src/obs/ merges those by ordinal).
+  const obs::Hook hook;
   RecordedTrial out;
-  const auto tracker = experiment.new_tracker(tracker_seed);
+  const auto tracker = hook.timed(obs::Phase::kEncode, [&] {
+    return experiment.new_tracker(tracker_seed);
+  });
   out.events.reserve(schedule.size());
   std::uint32_t received = 0;
   for (const PacketId id : schedule) {
-    const bool lost = channel.lost();
+    const bool lost =
+        hook.timed(obs::Phase::kChannelDraw, [&] { return channel.lost(); });
     out.events.push_back(lost);
     if (lost) continue;
     ++received;
     if (!tracker->complete()) {
-      tracker->on_packet(id);
+      hook.timed(obs::Phase::kDecode, [&] { tracker->on_packet(id); });
       if (tracker->complete()) out.n_needed = received;
     }
   }
   out.decoded = tracker->complete();
   out.n_sent = static_cast<std::uint32_t>(schedule.size());
+  if (hook.counting()) {
+    hook.count("adaptive.trials");
+    hook.count("adaptive.packets_sent", schedule.size());
+    hook.count("adaptive.packets_received", received);
+    if (out.decoded) hook.count("adaptive.trials_decoded");
+  }
   return out;
 }
 
@@ -113,6 +127,7 @@ AdaptiveComparePoint run_point(double p, double q,
 
   std::vector<CandidateTuple> candidates =
       config.candidates.empty() ? default_candidates() : config.candidates;
+  const obs::Hook hook;
 
   // ------------------------------------------------- static baselines
   //
@@ -124,14 +139,18 @@ AdaptiveComparePoint run_point(double p, double q,
   for (std::size_t b = 0; b < candidates.size(); ++b) {
     StaticBaselineResult baseline;
     baseline.tuple = candidates[b];
-    const Experiment& experiment = cache.get(candidates[b]);
+    const Experiment& experiment =
+        hook.timed(obs::Phase::kEncode,
+                   [&]() -> const Experiment& { return cache.get(candidates[b]); });
     for (std::uint32_t t = point.warmup_objects; t < config.objects; ++t) {
       const std::uint64_t trial_seed = derive_seed(config.seed, {2, t});
       GilbertModel channel(p, q);
       channel.reset(derive_seed(config.seed, {3, t}));
       const RecordedTrial r = run_recorded_trial(
-          experiment, experiment.new_schedule(trial_seed), channel,
-          trial_seed);
+          experiment,
+          hook.timed(obs::Phase::kSchedule,
+                     [&] { return experiment.new_schedule(trial_seed); }),
+          channel, trial_seed);
       if (r.decoded)
         baseline.inefficiency.add(static_cast<double>(r.n_needed) /
                                   static_cast<double>(config.k));
@@ -156,10 +175,13 @@ AdaptiveComparePoint run_point(double p, double q,
 
   for (std::uint32_t t = 0; t < config.objects; ++t) {
     const Decision decision = controller.decide(estimator.estimate(), config.k);
-    const Experiment& experiment = cache.get(decision.tuple);
+    const Experiment& experiment =
+        hook.timed(obs::Phase::kEncode,
+                   [&]() -> const Experiment& { return cache.get(decision.tuple); });
 
     const std::uint64_t trial_seed = derive_seed(config.seed, {2, t});
-    std::vector<PacketId> schedule = experiment.new_schedule(trial_seed);
+    std::vector<PacketId> schedule = hook.timed(
+        obs::Phase::kSchedule, [&] { return experiment.new_schedule(trial_seed); });
     if (config.use_nsent && decision.n_sent > 0 &&
         decision.n_sent < schedule.size())
       schedule.resize(decision.n_sent);

@@ -123,11 +123,18 @@ TrialResult Experiment::run_once(double p, double q, std::uint64_t seed) const {
   };
   thread_local RunWorkspace ws;
 
+  // Per-trial observability hook (src/obs/): dormant unless a session is
+  // armed, in which case the schedule/encode work is phase-timed and the
+  // replay runs through the instrumented run_trial_observed.
+  const obs::Hook hook;
+
   const std::uint64_t graph_pick = derive_seed(seed, {kTagGraphPick});
   const PacketPlan& plan = state_->plan_for(graph_pick);
   Rng sched_rng(derive_seed(seed, {kTagSchedule}));
-  make_schedule(plan, config_.tx, sched_rng, ws.schedule,
-                {config_.tx6_source_fraction});
+  hook.timed(obs::Phase::kSchedule, [&] {
+    make_schedule(plan, config_.tx, sched_rng, ws.schedule,
+                  {config_.tx6_source_fraction});
+  });
   if (config_.n_sent != 0 && config_.n_sent < ws.schedule.size())
     ws.schedule.resize(config_.n_sent);
 
@@ -142,12 +149,14 @@ TrialResult Experiment::run_once(double p, double q, std::uint64_t seed) const {
   if (ws.trackers.size() <= graph_index) ws.trackers.resize(graph_index + 1);
   std::unique_ptr<ErasureTracker>& tracker = ws.trackers[graph_index];
   if (tracker == nullptr)
-    tracker = new_tracker(seed);
+    tracker = hook.timed(obs::Phase::kEncode, [&] { return new_tracker(seed); });
   else
-    tracker->reset();
+    hook.timed(obs::Phase::kEncode, [&] { tracker->reset(); });
 
   GilbertModel channel(p, q);
   channel.reset(derive_seed(seed, {kTagChannel}));
+  if (hook.engaged())
+    return run_trial_observed(*tracker, ws.schedule, channel, config_.k, hook);
   return run_trial(*tracker, ws.schedule, channel);
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -31,6 +32,10 @@ void sweep_points(std::span<const ChannelPoint> points,
                   const GridRunOptions& options, const PointVisitor& visit) {
   parallel_for_index(points.size(), options.threads, [&](std::size_t c) {
     for (std::uint32_t t = 0; t < options.trials_per_cell; ++t) {
+      // Scenario-global trial ordinal: cells run whole on one worker, so
+      // observations merge thread-count-independently (src/obs/).
+      const obs::TrialScope trial_scope(
+          static_cast<std::uint64_t>(c) * options.trials_per_cell + t);
       const std::uint64_t seed = derive_seed(options.master_seed, {c, t});
       visit(c, points[c].p, points[c].q, t, seed);
     }

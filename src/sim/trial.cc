@@ -1,6 +1,7 @@
 #include "sim/trial.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace fecsched {
 
@@ -21,6 +22,78 @@ TrialResult run_trial(ErasureTracker& tracker,
       r.n_needed = r.n_received;
     }
   }
+  return r;
+}
+
+TrialResult run_trial_observed(ErasureTracker& tracker,
+                               std::span<const PacketId> schedule,
+                               LossModel& channel, std::uint32_t k,
+                               const obs::Hook& hook) {
+  // Mirrors run_trial exactly: same channel draws, same tracker calls, in
+  // the same order.  Keep the two in sync.
+  TrialResult r;
+  r.n_sent = static_cast<std::uint32_t>(schedule.size());
+  r.peak_memory_symbols = tracker.working_memory_symbols();
+  // Per-source delivery fates: received directly, or recovered because
+  // the whole object decoded.  Partial (undecoded) LDGM recovery is not
+  // credited — the grid engine's completion rule is all-or-nothing.
+  std::vector<char> got(k, 0);
+  double slot = 0.0;
+  for (const PacketId id : schedule) {
+    const bool repair = id >= k;
+    hook.sent(slot, id, repair);
+    const bool lost = hook.timed(obs::Phase::kChannelDraw,
+                                 [&] { return channel.lost(); });
+    if (lost) {
+      hook.lost(slot, id, repair);
+      slot += 1.0;
+      continue;
+    }
+    hook.received(slot, id, repair);
+    ++r.n_received;
+    if (!repair) got[id] = 1;
+    if (r.decoded) {
+      slot += 1.0;
+      continue;
+    }
+    hook.timed(obs::Phase::kDecode, [&] { tracker.on_packet(id); });
+    r.peak_memory_symbols =
+        std::max(r.peak_memory_symbols, tracker.working_memory_symbols());
+    if (tracker.complete()) {
+      r.decoded = true;
+      r.n_needed = r.n_received;
+      hook.decoded(slot, id);
+    }
+    slot += 1.0;
+  }
+
+  const double end_slot = static_cast<double>(schedule.size());
+  std::uint64_t residual_lost = 0;
+  std::uint64_t residual_runs = 0;
+  std::uint64_t max_run = 0;
+  std::uint64_t run = 0;
+  for (std::uint32_t s = 0; s < k; ++s) {
+    const bool ok = r.decoded || got[s] != 0;
+    hook.released(end_slot, s, ok, 0.0);
+    if (!ok) {
+      ++residual_lost;
+      ++run;
+      if (run > max_run) max_run = run;
+    } else if (run > 0) {
+      ++residual_runs;
+      run = 0;
+    }
+  }
+  if (run > 0) ++residual_runs;
+
+  hook.count("grid.trials");
+  hook.count("grid.packets_sent", r.n_sent);
+  hook.count("grid.packets_received", r.n_received);
+  if (r.decoded) hook.count("grid.trials_decoded");
+  hook.count("grid.released", k);
+  hook.count("grid.residual_lost", residual_lost);
+  hook.count("grid.residual_runs", residual_runs);
+  hook.gauge_max("grid.residual_max_run", max_run);
   return r;
 }
 

@@ -7,6 +7,7 @@
 #include <span>
 
 #include "channel/loss_model.h"
+#include "obs/obs.h"
 #include "sim/tracker.h"
 
 namespace fecsched {
@@ -43,5 +44,15 @@ struct TrialResult {
 [[nodiscard]] TrialResult run_trial(ErasureTracker& tracker,
                                     std::span<const PacketId> schedule,
                                     LossModel& channel);
+
+/// run_trial with observability: identical channel draws and tracker
+/// calls (bit-identical TrialResult), plus phase timing, grid.* metrics
+/// and symbol-lifecycle trace events through `hook`.  `k` is the source
+/// count (ids below k are sources).  Engines call this only when the
+/// hook is engaged, so the plain run_trial hot loop stays untouched.
+[[nodiscard]] TrialResult run_trial_observed(ErasureTracker& tracker,
+                                             std::span<const PacketId> schedule,
+                                             LossModel& channel, std::uint32_t k,
+                                             const obs::Hook& hook);
 
 }  // namespace fecsched

@@ -1,8 +1,10 @@
 #include "stream/delay_tracker.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "util/stats.h"
 
 namespace fecsched {
@@ -35,6 +37,8 @@ void DelayTracker::on_available(std::uint64_t seq, double t) {
   rec.has_fate = true;
   rec.lost = false;
   rec.available = std::max(t, rec.sent);  // cannot exist before it was sent
+  // Trace: the source became recoverable (received directly or repaired).
+  obs::Hook().decoded(rec.available, seq);
   advance(t);
 }
 
@@ -50,6 +54,9 @@ void DelayTracker::on_lost(std::uint64_t seq, double t) {
 }
 
 void DelayTracker::advance(double t) {
+  // One hook per frontier advance (not per release): dormant cost stays a
+  // single branch even while draining a long head-of-line backlog.
+  const obs::Hook hook;
   while (frontier_ < records_.size() && records_[frontier_].has_fate) {
     const Record& rec = records_[frontier_];
     if (rec.lost) {
@@ -57,6 +64,7 @@ void DelayTracker::advance(double t) {
       ++open_run_;
       residual_.max_run_length = std::max(residual_.max_run_length, open_run_);
       if (open_run_ == 1) ++residual_.runs;
+      hook.released(rec.available, frontier_, false, 0.0);
     } else {
       open_run_ = 0;
       // Released now: the event at time t unblocked the frontier.  A source
@@ -68,6 +76,10 @@ void DelayTracker::advance(double t) {
       delays_.push_back(release - rec.sent);
       transport_sum_ += rec.available - rec.sent;
       hol_sum_ += release - rec.available;
+      hook.released(release, frontier_, true, release - rec.sent);
+      hook.observe("delay.release_slots", obs::delay_buckets(),
+                   static_cast<std::uint64_t>(
+                       std::llround(std::max(0.0, release - rec.sent))));
     }
     ++frontier_;
   }

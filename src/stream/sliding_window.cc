@@ -6,6 +6,7 @@
 
 #include "gf/gf256.h"
 #include "gf/gf256_kernels.h"
+#include "obs/obs.h"
 #include "util/rng.h"
 
 namespace fecsched {
@@ -189,6 +190,9 @@ std::vector<std::uint64_t> SlidingWindowDecoder::on_repair(
 }
 
 void SlidingWindowDecoder::solve(std::vector<std::uint64_t>& newly) {
+  // Profiler: the dense solve is the matrix-inversion phase of the
+  // sliding-window decode (src/obs/); dormant cost is one atomic load.
+  const obs::PhaseScope phase_scope(obs::current(), obs::Phase::kMatrixInvert);
   // Gauss-Jordan over the active window: the unknowns are the union of the
   // equations' terms (at most a few windows wide), the rows are the
   // pending repair equations.  The system is tiny, so a dense pass per

@@ -8,6 +8,7 @@
 
 #include "fec/block_partition.h"
 #include "fec/peeling_decoder.h"
+#include "obs/obs.h"
 #include "sched/carousel.h"
 #include "sched/tx_models.h"
 #include "util/rng.h"
@@ -51,8 +52,12 @@ std::uint32_t StreamTrialConfig::repair_interval() const {
 namespace {
 
 /// Shared aggregation tail: pull the tracker's numbers into the result.
+/// The stream.* counters here are the engine-side aggregates the trace
+/// summary line carries — computed from the tracker's accounting, NOT
+/// from the emitted events, so tools/trace_stats can cross-check the two.
 StreamTrialResult finish(const DelayTracker& tracker, std::uint64_t sent,
-                         std::uint64_t received, std::uint32_t source_count) {
+                         std::uint64_t received, std::uint32_t source_count,
+                         const obs::Hook& hook) {
   StreamTrialResult result;
   result.delay = tracker.summary();
   result.residual = tracker.residual_loss();
@@ -63,6 +68,16 @@ StreamTrialResult finish(const DelayTracker& tracker, std::uint64_t sent,
       static_cast<double>(sent - source_count) /
       static_cast<double>(source_count);
   result.all_delivered = tracker.drained() && result.residual.lost == 0;
+  if (hook.counting()) {
+    hook.count("stream.trials");
+    hook.count("stream.packets_sent", sent);
+    hook.count("stream.packets_received", received);
+    hook.count("stream.sources", source_count);
+    hook.count("stream.sources_delivered", result.delay.delivered);
+    hook.count("stream.residual_lost", result.residual.lost);
+    hook.count("stream.residual_runs", result.residual.runs);
+    hook.gauge_max("stream.residual_max_run", result.residual.max_run_length);
+  }
   return result;
 }
 
@@ -71,6 +86,7 @@ StreamTrialResult finish(const DelayTracker& tracker, std::uint64_t sent,
 StreamTrialResult run_paced_trial(const StreamTrialConfig& cfg,
                                   LossModel& channel, std::uint64_t seed,
                                   StreamTrialWorkspace& ws) {
+  const obs::Hook hook;
   const std::uint32_t S = cfg.source_count;
   const std::uint32_t W = cfg.window;
   const std::uint32_t interval = cfg.repair_interval();
@@ -81,10 +97,12 @@ StreamTrialResult run_paced_trial(const StreamTrialConfig& cfg,
   sw.repair_interval = interval;
   sw.coefficients = cfg.coefficients;
   sw.seed = derive_seed(seed, {2});
-  if (ws.decoder)
-    ws.decoder->reset(sw);
-  else
-    ws.decoder.emplace(sw);
+  hook.timed(obs::Phase::kEncode, [&] {
+    if (ws.decoder)
+      ws.decoder->reset(sw);
+    else
+      ws.decoder.emplace(sw);
+  });
   SlidingWindowDecoder& decoder = *ws.decoder;
 
   DelayTracker& tracker = ws.tracker;
@@ -111,7 +129,8 @@ StreamTrialResult run_paced_trial(const StreamTrialConfig& cfg,
   };
   const auto give_up_before = [&](std::uint64_t h) {
     if (sliding) {
-      for (std::uint64_t s : decoder.give_up_before(h))
+      for (std::uint64_t s : hook.timed(obs::Phase::kDecode,
+                                        [&] { return decoder.give_up_before(h); }))
         tracker.on_lost(s, static_cast<double>(slot));
     } else {
       for (; repl_horizon < h; ++repl_horizon)
@@ -121,14 +140,25 @@ StreamTrialResult run_paced_trial(const StreamTrialConfig& cfg,
   };
   const auto send_repair = [&](std::uint64_t produced) {
     ++sent;
-    const bool delivered = !channel.lost();
-    if (delivered) ++received;
+    // Repair ids continue past the source ids, mirroring the PacketId
+    // convention (sources [0, S), repairs from S up).
+    hook.sent(static_cast<double>(slot), S + repairs, true);
+    const bool delivered = hook.timed(obs::Phase::kChannelDraw,
+                                      [&] { return !channel.lost(); });
+    if (delivered) {
+      ++received;
+      hook.received(static_cast<double>(slot), S + repairs, true);
+    } else {
+      hook.lost(static_cast<double>(slot), S + repairs, true);
+    }
     if (sliding) {
       RepairPacket repair;
       repair.repair_seq = repairs;
       repair.last = produced;
       repair.first = produced >= W ? produced - W : 0;
-      if (delivered) sliding_deliver(decoder.on_repair(repair));
+      if (delivered)
+        hook.timed(obs::Phase::kDecode,
+                   [&] { sliding_deliver(decoder.on_repair(repair)); });
     } else if (delivered) {
       // Round-robin duplicate of one of the last min(W, produced) sources.
       const std::uint64_t span = std::min<std::uint64_t>(W, produced);
@@ -141,12 +171,19 @@ StreamTrialResult run_paced_trial(const StreamTrialConfig& cfg,
   channel.reset(derive_seed(seed, {0}));
   for (std::uint32_t s = 0; s < S; ++s) {
     ++sent;
-    if (!channel.lost()) {
+    hook.sent(static_cast<double>(slot), s, false);
+    const bool delivered = hook.timed(obs::Phase::kChannelDraw,
+                                      [&] { return !channel.lost(); });
+    if (delivered) {
       ++received;
+      hook.received(static_cast<double>(slot), s, false);
       if (sliding)
-        sliding_deliver(decoder.on_source(s));
+        hook.timed(obs::Phase::kDecode,
+                   [&] { sliding_deliver(decoder.on_source(s)); });
       else
         deliver(s);
+    } else {
+      hook.lost(static_cast<double>(slot), s, false);
     }
     ++slot;
     const std::uint64_t produced = s + 1;
@@ -160,7 +197,7 @@ StreamTrialResult run_paced_trial(const StreamTrialConfig& cfg,
   const std::uint64_t tail = (W + interval - 1) / interval;
   for (std::uint64_t i = 0; i < tail; ++i) send_repair(S);
   give_up_before(S);
-  return finish(tracker, sent, received, S);
+  return finish(tracker, sent, received, S, hook);
 }
 
 // ----------------------------------------------------------- block codes
@@ -168,6 +205,7 @@ StreamTrialResult run_paced_trial(const StreamTrialConfig& cfg,
 StreamTrialResult run_block_trial(const StreamTrialConfig& cfg,
                                   LossModel& channel, std::uint64_t seed,
                                   StreamTrialWorkspace& ws) {
+  const obs::Hook hook;
   const std::uint32_t S = cfg.source_count;
   const double ratio = 1.0 + cfg.overhead;
   const bool rse = cfg.scheme == StreamScheme::kBlockRse;
@@ -175,39 +213,43 @@ StreamTrialResult run_block_trial(const StreamTrialConfig& cfg,
   std::shared_ptr<const RsePlan> rse_plan;
   std::shared_ptr<const LdgmCode> ldgm;
   const PacketPlan* plan = nullptr;
-  if (rse) {
-    const auto cap = static_cast<std::uint32_t>(
-        std::min(255.0, std::floor(static_cast<double>(cfg.block_k) * ratio)));
-    rse_plan = std::make_shared<RsePlan>(S, ratio, cap);
-    plan = rse_plan.get();
-  } else {
-    LdgmParams params;
-    params.k = S;
-    params.n = std::max(
-        S + 1, static_cast<std::uint32_t>(
-                   std::llround(static_cast<double>(S) * ratio)));
-    params.variant = cfg.ldgm_variant;
-    params.left_degree = cfg.left_degree;
-    params.triangle_extra_per_row = cfg.triangle_extra_per_row;
-    params.seed = derive_seed(seed, {3});
-    ldgm = std::make_shared<LdgmCode>(params);
-    plan = ldgm.get();
-  }
+  hook.timed(obs::Phase::kEncode, [&] {
+    if (rse) {
+      const auto cap = static_cast<std::uint32_t>(
+          std::min(255.0, std::floor(static_cast<double>(cfg.block_k) * ratio)));
+      rse_plan = std::make_shared<RsePlan>(S, ratio, cap);
+      plan = rse_plan.get();
+    } else {
+      LdgmParams params;
+      params.k = S;
+      params.n = std::max(
+          S + 1, static_cast<std::uint32_t>(
+                     std::llround(static_cast<double>(S) * ratio)));
+      params.variant = cfg.ldgm_variant;
+      params.left_degree = cfg.left_degree;
+      params.triangle_extra_per_row = cfg.triangle_extra_per_row;
+      params.seed = derive_seed(seed, {3});
+      ldgm = std::make_shared<LdgmCode>(params);
+      plan = ldgm.get();
+    }
+  });
 
   Rng rng(derive_seed(seed, {1}));
   std::vector<PacketId>& schedule = ws.schedule;
-  switch (cfg.scheduling) {
-    case StreamScheduling::kInterleaved:
-      make_schedule(*plan, TxModel::kTx5Interleaved, rng, schedule);
-      break;
-    case StreamScheduling::kSequential:
-    case StreamScheduling::kCarousel:
-      if (rse)
-        per_block_sequential(*rse_plan, schedule);
-      else
-        make_schedule(*plan, TxModel::kTx1SeqSourceSeqParity, rng, schedule);
-      break;
-  }
+  hook.timed(obs::Phase::kSchedule, [&] {
+    switch (cfg.scheduling) {
+      case StreamScheduling::kInterleaved:
+        make_schedule(*plan, TxModel::kTx5Interleaved, rng, schedule);
+        break;
+      case StreamScheduling::kSequential:
+      case StreamScheduling::kCarousel:
+        if (rse)
+          per_block_sequential(*rse_plan, schedule);
+        else
+          make_schedule(*plan, TxModel::kTx1SeqSourceSeqParity, rng, schedule);
+        break;
+    }
+  });
   const std::uint64_t cycles =
       cfg.scheduling == StreamScheduling::kCarousel ? cfg.max_cycles : 1;
 
@@ -270,9 +312,12 @@ StreamTrialResult run_block_trial(const StreamTrialConfig& cfg,
   while (slot < budget && (cycles == 1 || !complete())) {
     const PacketId id = carousel.next();
     ++sent;
-    const bool delivered = !channel.lost();
+    hook.sent(static_cast<double>(slot), id, id >= S);
+    const bool delivered = hook.timed(obs::Phase::kChannelDraw,
+                                      [&] { return !channel.lost(); });
     if (delivered) {
       ++received;
+      hook.received(static_cast<double>(slot), id, id >= S);
       if (!seen[id]) {
         seen[id] = 1;
         if (rse) {
@@ -298,7 +343,8 @@ StreamTrialResult run_block_trial(const StreamTrialConfig& cfg,
               }
             }
           }
-        } else if (peeler->add_packet(id) > 0) {
+        } else if (hook.timed(obs::Phase::kDecode,
+                              [&] { return peeler->add_packet(id); }) > 0) {
           // Sweep the unknown list only when the peeler made progress.
           std::erase_if(unknown_sources, [&](std::uint32_t s) {
             if (!peeler->is_known(s)) return false;
@@ -308,6 +354,8 @@ StreamTrialResult run_block_trial(const StreamTrialConfig& cfg,
           });
         }
       }
+    } else {
+      hook.lost(static_cast<double>(slot), id, id >= S);
     }
     if (use_block_ends) {
       for (std::uint32_t b : ends_at_slot[slot % schedule.size()]) {
@@ -343,7 +391,7 @@ StreamTrialResult run_block_trial(const StreamTrialConfig& cfg,
   } else {
     for (std::uint32_t s : unknown_sources) flush_lost(s);
   }
-  return finish(tracker, sent, received, S);
+  return finish(tracker, sent, received, S, hook);
 }
 
 }  // namespace

@@ -97,3 +97,36 @@ done
 ./fecsched_cli run --spec=../tools/pinned/stream_spec.json --dump-spec \
   | cmp - ../tools/pinned/stream_spec.json
 echo "scenario API gate: specs round-trip, engines bit-identical"
+
+# Observability gate (src/obs/, -Werror via CMake).  Obs OFF is already
+# covered above: every pinned-output cmp runs with observation disabled,
+# so any disabled-path output drift fails the earlier gates.
+# 1. the obs test suite — deterministic metrics merging, thread-count-
+#    independent reports, observation-never-changes-results, trace JSONL
+#    round trips, and the trace-vs-engine residual cross-check;
+ctest --output-on-failure --no-tests=error -R 'Obs'
+# 2. a traced stream smoke: read_trace_file validates every JSONL line
+#    against the event schema, then trace_stats recomputes residual-loss
+#    run lengths from the released events alone and must match both the
+#    engine summary in the trace footer and the CLI --json document;
+./fecsched_cli stream --scheme=sliding --p=0.05 --q=0.25 --sources=400 \
+  --trials=3 --trace=BENCH_obs_stream.jsonl --json > BENCH_obs_stream.json
+./trace_stats BENCH_obs_stream.jsonl --summary=BENCH_obs_stream.json
+# 3. the same cross-check on a grid point, driven by a spec document with
+#    an obs section (exercising the ObsSpec JSON path end to end);
+cat > BENCH_obs_grid_spec.json <<'EOF'
+{
+  "engine": "grid",
+  "code": {"name": "rse", "ratio": 1.5, "k": 400},
+  "tx": {"model": "tx2"},
+  "run": {"trials": 3, "seed": 1234},
+  "sweep": {"p": [0.05], "q": [0.25]},
+  "obs": {"trace": "BENCH_obs_grid.jsonl"}
+}
+EOF
+./fecsched_cli run --spec=BENCH_obs_grid_spec.json > /dev/null
+./trace_stats BENCH_obs_grid.jsonl
+# 4. the disabled-path overhead budget: the product per-trial path with
+#    no session armed must stay within 2% of the pre-obs hot loop.
+./bench_obs_overhead --k=1000 --trials=10 --check
+echo "observability gate: traces validate, residuals cross-check, disabled path free"

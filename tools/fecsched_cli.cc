@@ -77,6 +77,19 @@
 // Every experiment subcommand also accepts --dump-spec (print the
 // equivalent scenario JSON instead of running).  Unknown flags fail with
 // exit status 2 naming the flag.
+//
+// Observability (src/obs/): every engine subcommand (sweep, adapt,
+// stream, mpath, run) accepts
+//   --metrics              collect engine counters/gauges/histograms
+//   --profile              time engine phases (encode, channel draw,
+//                          schedule, decode, matrix inversion,
+//                          resequencing)
+//   --trace=<file.jsonl>   write sampled symbol-lifecycle events
+//   --trace-sample=N       trace every Nth trial only (default 1)
+// Results appear as an "-- observability --" text section, an "obs"
+// object under --json, and the JSONL trace file (see tools/trace_stats).
+// With none of these flags the engines run their uninstrumented hot
+// paths and all output is byte-identical to an obs-free build.
 
 #include <cstdio>
 #include <cstring>
@@ -91,8 +104,10 @@
 #include <map>
 #include <set>
 
+#include "api/json.h"
 #include "api/scenario.h"
 #include "channel/gilbert.h"
+#include "obs/obs.h"
 #include "channel/trace.h"
 #include "core/nsent.h"
 #include "core/planner.h"
@@ -188,6 +203,17 @@ void build_channel(const Args& args, api::ChannelSpec& channel,
   }
 }
 
+/// Observability flags shared by every engine subcommand (and `run`,
+/// where they override the stored spec's obs section): --metrics,
+/// --profile, --trace=<file.jsonl>, --trace-sample=N.
+void apply_obs_flags(const Args& args, api::ObsSpec& obs) {
+  if (args.get("metrics")) obs.metrics = true;
+  if (args.get("profile")) obs.profile = true;
+  if (const auto t = args.get("trace")) obs.trace = *t;
+  if (const auto n = args.get("trace-sample"))
+    obs.trace_sample = static_cast<std::uint32_t>(std::stoull(*n));
+}
+
 api::ScenarioSpec build_sweep_spec(const Args& args) {
   api::ScenarioSpec spec;
   spec.engine = "grid";
@@ -200,6 +226,7 @@ api::ScenarioSpec build_sweep_spec(const Args& args) {
   spec.run.trials = static_cast<std::uint32_t>(args.integer("trials", 30));
   spec.run.seed = args.integer("seed", 0x5eedf00dULL);
   spec.sweep.grid = "paper";
+  apply_obs_flags(args, spec.obs);
   return spec;
 }
 
@@ -215,6 +242,7 @@ api::ScenarioSpec build_stream_spec(const Args& args) {
   spec.run.seed = args.integer("seed", 0x57e4a9edULL);
   if (const auto s = args.get("sched")) spec.tx.stream = *s;
   if (const auto s = args.get("scheme")) spec.code.name = *s;
+  apply_obs_flags(args, spec.obs);
   return spec;
 }
 
@@ -247,6 +275,7 @@ api::ScenarioSpec build_mpath_spec(const Args& args) {
             : (capacities.empty() ? 1.0 : capacities.back());
     spec.paths.list.push_back({delays[i], capacity});
   }
+  apply_obs_flags(args, spec.obs);
   return spec;
 }
 
@@ -269,7 +298,61 @@ api::ScenarioSpec build_adapt_spec(const Args& args) {
     if (spec.sweep.p_globals.empty()) spec.sweep.p_globals = {0.05, 0.1, 0.2};
     if (spec.sweep.bursts.empty()) spec.sweep.bursts = {1.0, 4.0, 10.0};
   }
+  apply_obs_flags(args, spec.obs);
   return spec;
+}
+
+// --------------------------------------------- observability printing
+
+/// Append `,"obs":{...}` to a hand-written JSON document.  Emitted only
+/// when observation ran, so pinned outputs stay byte-identical with obs
+/// disabled.
+void write_obs_json(std::ostream& os, const api::ScenarioResult& result) {
+  if (!result.obs) return;
+  os << ",\"obs\":"
+     << obs::observability_json(result.manifest, *result.obs).dump(0);
+}
+
+/// Text-mode counterpart of write_obs_json for the engine subcommands.
+void print_observability(const api::ScenarioResult& result) {
+  if (!result.obs) return;
+  const obs::Report& report = *result.obs;
+  const obs::RunManifest& m = result.manifest;
+  std::printf("\n-- observability --\n");
+  std::printf("manifest: spec %s, api %s, gf %s, engine %s, threads %u/%u, "
+              "wall %.3fs\n",
+              m.fingerprint.c_str(), m.version.c_str(), m.gf_backend.c_str(),
+              m.engine.c_str(), m.threads, m.hardware_threads, m.wall_seconds);
+  if (report.config.profile) {
+    std::printf("%-14s %12s %12s %10s\n", "phase", "calls", "total_ms",
+                "ns/call");
+    for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+      const obs::PhaseStats& s = report.phases[i];
+      if (s.calls == 0) continue;
+      std::printf("%-14s %12llu %12.3f %10.0f\n",
+                  std::string(obs::to_string(static_cast<obs::Phase>(i)))
+                      .c_str(),
+                  static_cast<unsigned long long>(s.calls),
+                  static_cast<double>(s.ns) / 1e6,
+                  static_cast<double>(s.ns) / static_cast<double>(s.calls));
+    }
+  }
+  for (const auto& [name, v] : report.metrics.counters)
+    std::printf("counter %-28s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(v));
+  for (const auto& [name, v] : report.metrics.gauges)
+    std::printf("gauge   %-28s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(v));
+  for (const auto& h : report.metrics.histograms) {
+    std::uint64_t total = 0;
+    for (std::uint64_t c : h.counts) total += c;
+    std::printf("hist    %-28s %llu observations, %zu buckets\n",
+                h.name.c_str(), static_cast<unsigned long long>(total),
+                h.counts.size());
+  }
+  if (report.config.trace)
+    std::printf("trace: %zu events (1-in-%u trial sampling)\n",
+                report.events.size(), report.config.trace_sample);
 }
 
 // ------------------------------------------------------ grid printing
@@ -287,6 +370,7 @@ int print_grid_result(const Args& args, const api::ScenarioResult& result) {
     std::cout << "\n# gnuplot surface (p q inefficiency)\n";
     write_gnuplot_surface(std::cout, *result.grid);
   }
+  print_observability(result);
   return 0;
 }
 
@@ -507,7 +591,9 @@ void write_adapt_json(std::ostream& os, const api::ScenarioResult& result) {
     }
     os << "]}";
   }
-  os << "\n]}\n";
+  os << "\n]";
+  write_obs_json(os, result);
+  os << "}\n";
 }
 
 int print_adapt_result(const Args& args, const api::ScenarioResult& result) {
@@ -539,6 +625,7 @@ int print_adapt_result(const Args& args, const api::ScenarioResult& result) {
                 to_string(last.tuple).c_str(), to_string(last.regime),
                 last.estimated_p_global, last.estimated_mean_burst);
   }
+  print_observability(result);
   return 0;
 }
 
@@ -603,7 +690,9 @@ void write_stream_json(std::ostream& os, const api::ScenarioResult& result) {
     // The full merged delay distribution, binned to integer slots.
     write_histogram(os, o.delays);
   }
-  os << "\n]}\n";
+  os << "\n]";
+  write_obs_json(os, result);
+  os << "}\n";
 }
 
 int print_stream_result(const Args& args, const api::ScenarioResult& result) {
@@ -635,6 +724,7 @@ int print_stream_result(const Args& args, const api::ScenarioResult& result) {
   }
   std::printf("\n(delays in channel packet slots; in-order release; "
               "resid-run = mean post-FEC loss burst)\n");
+  print_observability(result);
   return 0;
 }
 
@@ -712,7 +802,9 @@ void write_mpath_json(std::ostream& os, const api::ScenarioResult& result) {
     os << "]";
     write_histogram(os, o.delays);
   }
-  os << "\n]}\n";
+  os << "\n]";
+  write_obs_json(os, result);
+  os << "}\n";
 }
 
 int print_mpath_result(const Args& args, const api::ScenarioResult& result) {
@@ -778,6 +870,7 @@ int print_mpath_result(const Args& args, const api::ScenarioResult& result) {
   }
   std::printf("\n(delays in sender slots; in-order release; reorder%% = "
               "received packets overtaken by a later emission)\n");
+  print_observability(result);
   return 0;
 }
 
@@ -806,7 +899,18 @@ int cmd_run(const Args& args) {
     if (!in) throw std::invalid_argument("cannot open " + *path);
     const std::string text((std::istreambuf_iterator<char>(in)),
                            std::istreambuf_iterator<char>());
-    const api::ScenarioSpec spec = api::ScenarioSpec::from_json(text);
+    api::ScenarioSpec spec = [&] {
+      try {
+        return api::ScenarioSpec::from_json(text);
+      } catch (const api::JsonParseError& e) {
+        // The parser reports a byte offset; name the spot in the file the
+        // way a compiler would.
+        const auto [line, col] = api::json_line_col(text, e.offset());
+        throw std::invalid_argument(*path + ":" + std::to_string(line) + ":" +
+                                    std::to_string(col) + ": " + e.what());
+      }
+    }();
+    apply_obs_flags(args, spec.obs);
     engine = spec.engine;
     if (maybe_dump_spec(args, spec)) return 0;
     if (args.get("json") && engine == "grid")
@@ -901,6 +1005,8 @@ void usage(std::FILE* out) {
                "  --version  print the library version\n"
                "  every experiment subcommand accepts --dump-spec (print "
                "the scenario JSON and exit)\n"
+               "  engine subcommands accept --metrics --profile "
+               "--trace=<file.jsonl> --trace-sample=N (src/obs/)\n"
                "\n"
                "run 'fecsched_cli --help' or see the header of "
                "tools/fecsched_cli.cc for per-command flags\n");
@@ -912,9 +1018,14 @@ struct Command {
   std::set<std::string> allowed;
 };
 
+// Observability flags shared by the engine subcommands (`fit` keeps its
+// historical --trace=<loss file> INPUT flag and takes no obs flags).
+#define FECSCHED_OBS_FLAGS "metrics", "profile", "trace", "trace-sample"
+
 const Command kCommands[] = {
     {"sweep", cmd_sweep,
-     {"code", "tx", "ratio", "k", "trials", "seed", "gnuplot", "dump-spec"}},
+     {"code", "tx", "ratio", "k", "trials", "seed", "gnuplot", "dump-spec",
+      FECSCHED_OBS_FLAGS}},
     {"plan", cmd_plan, {"p", "q", "k", "trials", "bytes", "payload",
                         "tolerance"}},
     {"universal", cmd_universal, {"k", "trials"}},
@@ -922,17 +1033,21 @@ const Command kCommands[] = {
     {"fit", cmd_fit, {"trace"}},
     {"adapt", cmd_adapt,
      {"p", "q", "pglobal", "burst", "k", "objects", "warmup", "seed", "json",
-      "dump-spec"}},
+      "dump-spec", FECSCHED_OBS_FLAGS}},
     {"stream", cmd_stream,
      {"p", "q", "pglobal", "burst", "scheme", "sched", "overhead", "window",
-      "blockk", "sources", "trials", "seed", "json", "dump-spec"}},
+      "blockk", "sources", "trials", "seed", "json", "dump-spec",
+      FECSCHED_OBS_FLAGS}},
     {"mpath", cmd_mpath,
      {"p", "q", "pglobal", "burst", "delay", "capacity", "scheduler",
       "scheme", "sched", "adapt", "warmup", "overhead", "window", "blockk",
-      "sources", "trials", "seed", "json", "dump-spec"}},
-    {"run", cmd_run, {"spec", "json", "gnuplot", "dump-spec"}},
+      "sources", "trials", "seed", "json", "dump-spec", FECSCHED_OBS_FLAGS}},
+    {"run", cmd_run,
+     {"spec", "json", "gnuplot", "dump-spec", FECSCHED_OBS_FLAGS}},
     {"list", cmd_list, {"describe"}},
 };
+
+#undef FECSCHED_OBS_FLAGS
 
 }  // namespace
 

@@ -1,0 +1,277 @@
+// trace_stats: recompute residual-loss run lengths from a symbol trace
+// and cross-check them against the engine's own summary.
+//
+//   trace_stats <trace.jsonl> [--json] [--summary=<cli --json output>]
+//
+// With --json, stdout is exactly one JSON document (cross-check
+// statuses embedded under "checks"; human-readable check lines move to
+// stderr so the document stays machine-parseable).
+//
+// The trace file is the JSONL document `fecsched_cli ... --trace=<file>`
+// writes (src/obs/trace.h): a manifest line, sampled symbol-lifecycle
+// events, and a summary footer carrying the ENGINE-side aggregate
+// counters.  This tool replays the `released` events alone — a fully
+// independent code path from the engines' residual accounting — and
+// verifies both agree on every residual-loss statistic:
+//
+//   lost     sources released unrecovered
+//   runs     maximal streaks of consecutive lost sources within a trial
+//   max_run  longest such streak over all trials
+//
+// The footer cross-check requires trace_sample == 1 (a sampled trace
+// only sees a subset of the trials the engine counted); with sampling
+// the tool still prints the trace-side statistics but skips the check.
+//
+// --summary=<file> additionally cross-checks against the "residual"
+// object of a `fecsched_cli stream|mpath --json` document (the run must
+// have a single variant so the residual integers are attributable).
+//
+// Exit status: 0 = statistics computed and every requested cross-check
+// passed; 1 = mismatch or unreadable input; 2 = usage error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "api/json.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace fecsched;
+
+struct EngineResidual {
+  std::uint64_t lost = 0;
+  std::uint64_t runs = 0;
+  std::uint64_t max_run = 0;
+  std::uint64_t released = 0;
+};
+
+std::uint64_t lookup(const api::Json& table, const std::string& name) {
+  const api::Json* v = table.find(name);
+  if (v == nullptr)
+    throw std::invalid_argument("summary is missing '" + name + "'");
+  return v->as_uint64(name);
+}
+
+/// Pull the engine-side residual aggregates out of the trace footer.
+/// Counter names are per-engine ("stream.residual_lost", ...); the
+/// released total is the engine's per-source release count.
+EngineResidual footer_residual(const std::string& engine,
+                               const api::Json& summary) {
+  const api::Json* counters = summary.find("counters");
+  const api::Json* gauges = summary.find("gauges");
+  if (counters == nullptr || gauges == nullptr)
+    throw std::invalid_argument("trace summary has no counters/gauges");
+  EngineResidual r;
+  r.lost = lookup(*counters, engine + ".residual_lost");
+  r.runs = lookup(*counters, engine + ".residual_runs");
+  r.max_run = lookup(*gauges, engine + ".residual_max_run");
+  r.released = lookup(
+      *counters, engine == "grid" ? "grid.released" : engine + ".sources");
+  return r;
+}
+
+/// Pull the residual object from `fecsched_cli stream|mpath --json`
+/// output.  Requires exactly one variant/scheduler so the integers are
+/// attributable to the traced run.
+EngineResidual cli_residual(const api::Json& doc) {
+  const api::Json* list = doc.find("variants");
+  if (list == nullptr) list = doc.find("schedulers");
+  if (list == nullptr)
+    throw std::invalid_argument(
+        "--summary document has no 'variants' or 'schedulers' array "
+        "(expected fecsched_cli stream|mpath --json output)");
+  const auto& items = list->as_array("variants");
+  if (items.size() != 1)
+    throw std::invalid_argument(
+        "--summary document has " + std::to_string(items.size()) +
+        " variants; run the CLI with a single --scheme/--scheduler so the "
+        "residual integers are attributable");
+  const api::Json* residual = items[0].find("residual");
+  const api::Json* delay = items[0].find("delay");
+  if (residual == nullptr || delay == nullptr)
+    throw std::invalid_argument("--summary variant has no residual/delay");
+  EngineResidual r;
+  r.lost = lookup(*residual, "lost");
+  r.runs = lookup(*residual, "runs");
+  r.max_run = lookup(*residual, "max_run_length");
+  r.released = lookup(*delay, "delivered") + r.lost;
+  return r;
+}
+
+/// Compare and report one cross-check.  Text goes to stdout in text mode
+/// and stderr in --json mode (stdout must stay one parseable document);
+/// the returned status string also lands in the JSON "checks" object.
+const char* check(const char* what, const obs::TraceResidual& trace,
+                  const EngineResidual& engine, bool json) {
+  std::FILE* out = json ? stderr : stdout;
+  const bool ok = trace.lost == engine.lost && trace.runs == engine.runs &&
+                  trace.max_run == engine.max_run &&
+                  trace.released == engine.released;
+  if (ok) {
+    std::fprintf(out,
+                 "cross-check vs %s: OK (lost=%llu runs=%llu max_run=%llu "
+                 "released=%llu)\n",
+                 what, static_cast<unsigned long long>(engine.lost),
+                 static_cast<unsigned long long>(engine.runs),
+                 static_cast<unsigned long long>(engine.max_run),
+                 static_cast<unsigned long long>(engine.released));
+  } else {
+    std::fprintf(out, "cross-check vs %s: MISMATCH\n", what);
+    std::fprintf(out, "  %-10s %12s %12s\n", "stat", "trace", "engine");
+    const auto row = [out](const char* name, std::uint64_t a, std::uint64_t b) {
+      std::fprintf(out, "  %-10s %12llu %12llu%s\n", name,
+                   static_cast<unsigned long long>(a),
+                   static_cast<unsigned long long>(b), a == b ? "" : "  <--");
+    };
+    row("lost", trace.lost, engine.lost);
+    row("runs", trace.runs, engine.runs);
+    row("max_run", trace.max_run, engine.max_run);
+    row("released", trace.released, engine.released);
+  }
+  return ok ? "ok" : "mismatch";
+}
+
+int run(int argc, char** argv) {
+  std::string path;
+  std::optional<std::string> summary_path;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--summary=", 0) == 0) {
+      summary_path = arg.substr(std::strlen("--summary="));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "trace_stats: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "trace_stats: more than one trace file\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: trace_stats <trace.jsonl> [--json] "
+                 "[--summary=<cli --json output>]\n");
+    return 2;
+  }
+
+  const obs::TraceFile file = obs::read_trace_file(path);
+  const obs::TraceResidual residual = obs::residual_from_trace(file.events);
+  const std::string engine =
+      file.manifest.find("engine")->as_string("manifest.engine");
+  const std::uint64_t trace_sample =
+      file.manifest.find("trace_sample")->as_uint64("manifest.trace_sample");
+
+  std::uint64_t counts[5] = {0, 0, 0, 0, 0};
+  for (const obs::TraceEvent& ev : file.events)
+    ++counts[static_cast<std::size_t>(ev.kind)];
+
+  if (!json) {
+    std::printf("trace: %s\n", path.c_str());
+    std::printf("manifest: engine=%s spec=%s gf=%s trace_sample=%llu\n",
+                engine.c_str(),
+                file.manifest.find("spec")->as_string("manifest.spec").c_str(),
+                file.manifest.find("gf")->as_string("manifest.gf").c_str(),
+                static_cast<unsigned long long>(trace_sample));
+    std::printf("events: %zu (sent=%llu lost=%llu received=%llu decoded=%llu "
+                "released=%llu)\n",
+                file.events.size(),
+                static_cast<unsigned long long>(counts[0]),
+                static_cast<unsigned long long>(counts[1]),
+                static_cast<unsigned long long>(counts[2]),
+                static_cast<unsigned long long>(counts[3]),
+                static_cast<unsigned long long>(counts[4]));
+    std::printf("residual from released events: lost=%llu runs=%llu "
+                "max_run=%llu mean_run=%.2f released=%llu trials=%llu\n",
+                static_cast<unsigned long long>(residual.lost),
+                static_cast<unsigned long long>(residual.runs),
+                static_cast<unsigned long long>(residual.max_run),
+                residual.mean_run(),
+                static_cast<unsigned long long>(residual.released),
+                static_cast<unsigned long long>(residual.trials));
+  }
+
+  std::FILE* note = json ? stderr : stdout;
+  const char* footer_status;
+  if (trace_sample > 1) {
+    std::fprintf(note,
+                 "cross-check vs trace summary: SKIPPED (trace_sample=%llu "
+                 "only samples 1 in %llu trials; engine counters cover all)\n",
+                 static_cast<unsigned long long>(trace_sample),
+                 static_cast<unsigned long long>(trace_sample));
+    footer_status = "skipped";
+  } else if (engine == "adaptive") {
+    std::fprintf(note,
+                 "cross-check vs trace summary: SKIPPED (the adaptive engine "
+                 "emits no released events)\n");
+    footer_status = "skipped";
+  } else {
+    footer_status = check("trace summary", residual,
+                          footer_residual(engine, file.summary), json);
+  }
+
+  const char* summary_status = nullptr;
+  if (summary_path) {
+    if (trace_sample > 1) {
+      std::fprintf(note, "cross-check vs %s: SKIPPED (trace_sample > 1)\n",
+                   summary_path->c_str());
+      summary_status = "skipped";
+    } else {
+      std::ifstream in(*summary_path);
+      if (!in)
+        throw std::runtime_error("cannot open " + *summary_path);
+      const std::string text((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+      summary_status = check(summary_path->c_str(), residual,
+                             cli_residual(api::Json::parse(text)), json);
+    }
+  }
+
+  if (json) {
+    api::Json doc = api::Json::object();
+    doc.set("trace", api::Json(path));
+    doc.set("manifest", file.manifest);
+    api::Json ev = api::Json::object();
+    for (std::size_t k = 0; k < 5; ++k)
+      ev.set(std::string(obs::to_string(static_cast<obs::EventKind>(k))),
+             api::Json::integer(counts[k]));
+    doc.set("events", std::move(ev));
+    api::Json res = api::Json::object();
+    res.set("lost", api::Json::integer(residual.lost));
+    res.set("runs", api::Json::integer(residual.runs));
+    res.set("max_run", api::Json::integer(residual.max_run));
+    res.set("mean_run", api::Json(residual.mean_run()));
+    res.set("released", api::Json::integer(residual.released));
+    res.set("trials", api::Json::integer(residual.trials));
+    doc.set("residual", std::move(res));
+    api::Json checks = api::Json::object();
+    checks.set("trace_summary", api::Json(std::string(footer_status)));
+    if (summary_status != nullptr)
+      checks.set("cli_summary", api::Json(std::string(summary_status)));
+    doc.set("checks", std::move(checks));
+    std::printf("%s\n", doc.dump(2).c_str());
+  }
+
+  const bool ok = std::strcmp(footer_status, "mismatch") != 0 &&
+                  (summary_status == nullptr ||
+                   std::strcmp(summary_status, "mismatch") != 0);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_stats: %s\n", e.what());
+    return 1;
+  }
+}
