@@ -186,7 +186,9 @@ struct OpResult {
   double bytes_per_second = 0.0;
 };
 
-int run_json_mode(const std::string& json_path, bool check, double min_time) {
+int run_json_mode(const std::string& json_path, bool check, double min_time,
+                  const bench::Scale& scale) {
+  const auto t0 = std::chrono::steady_clock::now();
   const gf::Backend original = gf::current_backend();
   const auto backends = gf::supported_backends();
 
@@ -259,6 +261,7 @@ int run_json_mode(const std::string& json_path, bool check, double min_time) {
   json.key("bench").value("codec_speed");
   json.key("symbol_size").value(std::uint64_t{kSymbolSize});
   json.key("default_backend").value(std::string(gf::to_string(original)));
+  bench::write_manifest_block(json, /*threads=*/1);  // single-threaded bench
   json.key("backends").begin_array();
   for (const gf::Backend b : backends) json.value(std::string(gf::to_string(b)));
   json.end_array();
@@ -282,6 +285,20 @@ int run_json_mode(const std::string& json_path, bool check, double min_time) {
               << r.bytes_per_second / 1e6 << " MB/s\n";
   for (const auto& [op, s] : speedup)
     std::cout << "speedup " << op << " (best SIMD / scalar): " << s << "x\n";
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  api::Json extra = api::Json::object();
+  extra.set("symbol_size", api::Json::integer(kSymbolSize));
+  extra.set("default_backend",
+            api::Json(std::string(gf::to_string(original))));
+  api::Json speedups = api::Json::object();
+  for (const auto& [op, s] : speedup)
+    speedups.set(op, api::Json::number_token(std::to_string(s)));
+  extra.set("speedup_best_simd_over_scalar", std::move(speedups));
+  bench::append_bench_record(scale, "codec_speed", /*threads=*/1, wall,
+                             std::move(extra));
 
   if (check) {
     if (speedup.empty()) {
@@ -308,6 +325,7 @@ int run_json_mode(const std::string& json_path, bool check, double min_time) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::Scale scale = bench::parse_scale(argc, argv);
   std::string json_path;
   bool check = false;
   double min_time = 0.15;
@@ -322,13 +340,15 @@ int main(int argc, char** argv) {
       check = true;
     } else if (arg.rfind("--min-time=", 0) == 0) {
       min_time = std::stod(arg.substr(11));
+    } else if (arg.rfind("--ledger=", 0) == 0) {
+      // consumed by parse_scale; keep it away from google-benchmark
     } else {
       passthrough.push_back(argv[i]);
     }
   }
   if (!json_path.empty() || check) {
     if (json_path.empty()) json_path = "BENCH_codec_speed.json";
-    return run_json_mode(json_path, check, min_time);
+    return run_json_mode(json_path, check, min_time, scale);
   }
   int pass_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pass_argc, passthrough.data());

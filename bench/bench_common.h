@@ -8,6 +8,9 @@
 //   --threads=<N>     override the sweep worker-thread count
 //                     (0 = one per hardware thread; results are
 //                     thread-count independent either way)
+//   --ledger=<file>   append a kind="bench" provenance record to the
+//                     JSONL run ledger (obs/ledger.h) on completion;
+//                     FECSCHED_LEDGER is the flagless equivalent
 // or the environment variable FECSCHED_PAPER=1 for paper scale.
 // The default scale (k = 4000, 30 trials) keeps every bench in the
 // seconds range while preserving every qualitative shape; the top-level
@@ -15,16 +18,22 @@
 
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "api/registry.h"
 #include "api/scenario.h"
 #include "flute/fdt.h"
+#include "gf/gf256_kernels.h"
+#include "obs/ledger.h"
+#include "obs/manifest.h"
 #include "sim/experiment.h"
 #include "sim/grid.h"
 #include "sim/table_io.h"
@@ -39,6 +48,7 @@ struct Scale {
   std::uint64_t seed = 0x5eedf00dULL;
   unsigned threads = 0;  ///< sweep workers; 0 = one per hardware thread
   bool paper = false;
+  std::string ledger;  ///< JSONL run-ledger path; "" = no provenance record
 };
 
 inline Scale parse_scale(int argc, char** argv) {
@@ -52,6 +62,11 @@ inline Scale parse_scale(int argc, char** argv) {
     else if (arg.rfind("--trials=", 0) == 0) s.trials = static_cast<std::uint32_t>(std::stoul(arg.substr(9)));
     else if (arg.rfind("--seed=", 0) == 0) s.seed = std::stoull(arg.substr(7));
     else if (arg.rfind("--threads=", 0) == 0) s.threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
+    else if (arg.rfind("--ledger=", 0) == 0) s.ledger = arg.substr(9);
+  }
+  if (s.ledger.empty()) {
+    const char* ledger_env = std::getenv(std::string(obs::kLedgerEnv).c_str());
+    if (ledger_env != nullptr && *ledger_env != '\0') s.ledger = ledger_env;
   }
   if (s.paper) {
     s.k = 20000;
@@ -167,6 +182,65 @@ class JsonWriter {
   std::vector<bool> need_comma_;
   bool pending_value_ = false;
 };
+
+/// Emit the shared `"manifest"` block of a bench --json document: which
+/// code (api version), which GF(256) backend, and how many threads the
+/// numbers were produced with.  Mirrors the run-manifest fields that are
+/// attribution rather than measurement, so bench JSON carries the same
+/// provenance vocabulary as `fecsched_cli ... --json`.
+inline void write_manifest_block(JsonWriter& json, unsigned threads) {
+  json.key("manifest").begin_object();
+  json.key("api").value(std::string(api::kVersion));
+  json.key("gf").value(std::string(gf::to_string(gf::current_backend())));
+  json.key("threads").value(std::uint64_t{threads});
+  json.key("hardware_threads")
+      .value(std::uint64_t{std::thread::hardware_concurrency()});
+  json.end_object();
+}
+
+/// A kind="bench" ledger record.  The fingerprint hashes the bench's
+/// identity knobs (name + scale), not a scenario spec, so re-runs of the
+/// same bench at the same scale land under one ledger key and
+/// `fecsched_cli compare` watches their wall time; metrics stay empty, so
+/// the bit-identity drift check never fires on bench noise.
+inline obs::LedgerRecord make_bench_record(const std::string& name,
+                                           const Scale& s, unsigned threads,
+                                           double wall_seconds,
+                                           api::Json extra = api::Json()) {
+  api::Json identity = api::Json::object();
+  identity.set("bench", api::Json(name));
+  identity.set("k", api::Json::integer(std::uint64_t{s.k}));
+  identity.set("trials", api::Json::integer(std::uint64_t{s.trials}));
+  identity.set("seed", api::Json::integer(s.seed));
+
+  obs::LedgerRecord record;
+  record.kind = "bench";
+  record.label = name;
+  record.manifest.fingerprint = obs::spec_fingerprint(identity.dump(0));
+  record.manifest.version = std::string(api::kVersion);
+  record.manifest.gf_backend =
+      std::string(gf::to_string(gf::current_backend()));
+  record.manifest.engine = "bench";
+  record.manifest.threads = threads;
+  record.manifest.hardware_threads = std::thread::hardware_concurrency();
+  record.manifest.wall_seconds = wall_seconds;
+  record.manifest.started_at =
+      obs::iso8601_utc(std::chrono::system_clock::now());
+  record.manifest.hostname = obs::local_hostname();
+  record.extra = std::move(extra);
+  return record;
+}
+
+/// Append a bench provenance record when the scale carries a ledger path
+/// (--ledger= / FECSCHED_LEDGER); with no ledger configured this is free.
+inline void append_bench_record(const Scale& s, const std::string& name,
+                                unsigned threads, double wall_seconds,
+                                api::Json extra = api::Json()) {
+  if (s.ledger.empty()) return;
+  obs::append_record(
+      s.ledger, make_bench_record(name, s, threads, wall_seconds,
+                                  std::move(extra)));
+}
 
 inline void print_banner(const std::string& title, const Scale& s) {
   std::cout << "==================================================================\n"

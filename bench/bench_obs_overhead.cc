@@ -108,6 +108,7 @@ bool same_results(const std::vector<TrialResult>& a,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto bench_t0 = Clock::now();
   const bench::Scale scale = bench::parse_scale(argc, argv);
   bool check = false;
   for (int i = 1; i < argc; ++i)
@@ -171,6 +172,17 @@ int main(int argc, char** argv) {
             << off_overhead * 100.0 << "% vs baseline)\n";
   std::cout << "  obs enabled (--metrics):   " << on << " ns/trial  ("
             << on_overhead * 100.0 << "% vs baseline)\n";
+
+  api::Json extra = api::Json::object();
+  extra.set("baseline_ns_per_trial", api::Json::number_token(std::to_string(base)));
+  extra.set("disabled_ns_per_trial", api::Json::number_token(std::to_string(off)));
+  extra.set("enabled_ns_per_trial", api::Json::number_token(std::to_string(on)));
+  extra.set("disabled_overhead", api::Json::number_token(std::to_string(off_overhead)));
+  extra.set("enabled_overhead", api::Json::number_token(std::to_string(on_overhead)));
+  bench::append_bench_record(
+      scale, "obs_overhead", /*threads=*/1,
+      std::chrono::duration<double>(Clock::now() - bench_t0).count(),
+      std::move(extra));
 
   if (check) {
     if (off_overhead >= 0.02) {

@@ -29,15 +29,23 @@ namespace {
 
 // -------------------------------------------------------- observability
 
-obs::RunManifest make_manifest(const ScenarioSpec& spec, double wall_seconds) {
+obs::RunManifest make_manifest(const ScenarioSpec& spec, double wall_seconds,
+                               const std::string& started_at) {
   obs::RunManifest m;
-  m.fingerprint = obs::spec_fingerprint(spec.to_json());
+  // The fingerprint is the scenario's identity: hash the spec with the obs
+  // section reset to defaults so --metrics/--trace/--ledger never change
+  // which baseline a run compares against in the cross-run ledger.
+  ScenarioSpec identity = spec;
+  identity.obs = ObsSpec{};
+  m.fingerprint = obs::spec_fingerprint(identity.to_json());
   m.version = std::string(kVersion);
   m.gf_backend = std::string(gf::to_string(gf::current_backend()));
   m.engine = spec.engine;
   m.threads = spec.run.threads;
   m.hardware_threads = std::thread::hardware_concurrency();
   m.wall_seconds = wall_seconds;
+  m.started_at = started_at;
+  m.hostname = obs::local_hostname();
   return m;
 }
 
@@ -45,12 +53,13 @@ obs::RunManifest make_manifest(const ScenarioSpec& spec, double wall_seconds) {
 /// write the trace file.  Called after the engine joined its workers.
 void finish_observability(const ScenarioSpec& spec, obs::Session& session,
                           std::chrono::steady_clock::time_point t0,
+                          const std::string& started_at,
                           obs::RunManifest& manifest,
                           std::optional<obs::Report>& out) {
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  manifest = make_manifest(spec, wall);
+  manifest = make_manifest(spec, wall, started_at);
   if (!session.active()) return;
   obs::Report report = session.finish();
   if (!spec.obs.trace.empty())
@@ -169,6 +178,12 @@ ScenarioResult run_stream_engine(const ScenarioSpec& spec) {
     cfg.validate();
   }
 
+  // Serial loop, but still visible to a --progress meter: one tick per
+  // (variant, trial), announced up front so the ETA has a denominator.
+  ParallelObserver* const progress = parallel_observer();
+  if (progress != nullptr)
+    progress->on_batch(variants.size() * spec.run.trials);
+
   for (std::size_t v = 0; v < variants.size(); ++v) {
     StreamOutcome outcome;
     outcome.variant = variants[v];
@@ -197,6 +212,7 @@ ScenarioResult run_stream_engine(const ScenarioSpec& spec) {
       outcome.packets_sent += r.packets_sent;
       outcome.packets_received += r.packets_received;
       ++outcome.trials;
+      if (progress != nullptr) progress->on_item_done();
     }
     std::sort(outcome.delays.begin(), outcome.delays.end());
     result.stream.push_back(std::move(outcome));
@@ -245,6 +261,13 @@ ScenarioResult run_mpath_engine(const ScenarioSpec& spec) {
     cfg.validate();
   }
 
+  // One progress tick per trial, warm-up probes included, announced up
+  // front so the ETA has a denominator.
+  ParallelObserver* const progress = parallel_observer();
+  if (progress != nullptr)
+    progress->on_batch(variants.size() * spec.run.trials +
+                       (spec.adapt.enabled ? spec.adapt.warmup : 0));
+
   if (spec.adapt.enabled) {
     // Warm up a PathAdapter on round-robin probe trials (every path sees
     // traffic), then let src/adapt/ pick repair weights and the window.
@@ -258,6 +281,7 @@ ScenarioResult run_mpath_engine(const ScenarioSpec& spec) {
           static_cast<std::uint64_t>(variants.size()) * spec.run.trials + t);
       adapter.observe(
           run_mpath_trial(probe, derive_seed(spec.run.seed, {99, t})));
+      if (progress != nullptr) progress->on_item_done();
     }
     AdaptiveController controller;
     adapter.apply(base, controller);
@@ -300,6 +324,7 @@ ScenarioResult run_mpath_engine(const ScenarioSpec& spec) {
         }
       }
       ++outcome.trials;
+      if (progress != nullptr) progress->on_item_done();
     }
     // The per-path means were summed per trial; normalise.
     for (PathStats& path : outcome.paths) {
@@ -376,6 +401,8 @@ ScenarioSweepResult run_scenario_sweep_engines(const ScenarioSpec& spec);
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
   spec.validate();
   const auto t0 = std::chrono::steady_clock::now();
+  const std::string started_at =
+      obs::iso8601_utc(std::chrono::system_clock::now());
   obs::Session session(spec.obs.config());
   ScenarioResult result = [&] {
     if (spec.engine == "grid") return run_grid_engine(spec);
@@ -384,16 +411,20 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     if (spec.engine == "adaptive") return run_adaptive_engine(spec);
     throw std::invalid_argument("spec: unknown engine '" + spec.engine + "'");
   }();
-  finish_observability(spec, session, t0, result.manifest, result.obs);
+  finish_observability(spec, session, t0, started_at, result.manifest,
+                       result.obs);
   return result;
 }
 
 ScenarioSweepResult run_scenario_sweep(const ScenarioSpec& spec) {
   spec.validate();
   const auto t0 = std::chrono::steady_clock::now();
+  const std::string started_at =
+      obs::iso8601_utc(std::chrono::system_clock::now());
   obs::Session session(spec.obs.config());
   ScenarioSweepResult result = run_scenario_sweep_engines(spec);
-  finish_observability(spec, session, t0, result.manifest, result.obs);
+  finish_observability(spec, session, t0, started_at, result.manifest,
+                       result.obs);
   return result;
 }
 

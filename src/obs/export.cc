@@ -1,0 +1,151 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace fecsched::obs {
+
+namespace {
+
+/// Prometheus metric-name charset is [a-zA-Z0-9_:]; the repo's metric
+/// names use dots as separators ("stream.packets_sent"), which map to
+/// underscores.  Anything else illegal maps to '_' too.
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+/// Label values live inside double quotes; escape per the exposition
+/// format (backslash, quote, newline).
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string folded_profile(const RunManifest& manifest, const Report& report) {
+  std::string out;
+  const std::string engine =
+      manifest.engine.empty() ? "unknown" : manifest.engine;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const PhaseStats& s = report.phases[p];
+    if (s.calls == 0) continue;
+    out += "fecsched;";
+    out += engine;
+    out += ';';
+    out += to_string(static_cast<Phase>(p));
+    out += ' ';
+    append_u64(out, s.ns / 1000);  // microseconds
+    out += '\n';
+  }
+  return out;
+}
+
+std::string prometheus_metrics(const RunManifest& manifest,
+                               const Report& report) {
+  std::string out;
+
+  // Run provenance as an info-style gauge, the Prometheus idiom for
+  // attaching labels to a scrape without inventing per-metric labels.
+  out += "# HELP fecsched_run_info Run provenance (constant 1).\n";
+  out += "# TYPE fecsched_run_info gauge\n";
+  out += "fecsched_run_info{spec=\"" + escape_label_value(manifest.fingerprint) +
+         "\",api=\"" + escape_label_value(manifest.version) + "\",gf=\"" +
+         escape_label_value(manifest.gf_backend) + "\",engine=\"" +
+         escape_label_value(manifest.engine) + "\",host=\"" +
+         escape_label_value(manifest.hostname) + "\"} 1\n";
+
+  for (const auto& [name, v] : report.metrics.counters) {
+    const std::string prom = "fecsched_" + sanitize_metric_name(name);
+    out += "# TYPE " + prom + "_total counter\n";
+    out += prom + "_total ";
+    append_u64(out, v);
+    out += '\n';
+  }
+  for (const auto& [name, v] : report.metrics.gauges) {
+    const std::string prom = "fecsched_" + sanitize_metric_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + ' ';
+    append_u64(out, v);
+    out += '\n';
+  }
+  for (const MetricsSnapshot::Hist& h : report.metrics.histograms) {
+    const std::string prom = "fecsched_" + sanitize_metric_name(h.name);
+    out += "# TYPE " + prom + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      out += prom + "_bucket{le=\"";
+      if (b < h.bounds.size())
+        append_u64(out, h.bounds[b]);
+      else
+        out += "+Inf";
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += '\n';
+    }
+    out += prom + "_count ";
+    append_u64(out, cumulative);
+    out += '\n';
+  }
+
+  if (report.config.profile) {
+    out += "# TYPE fecsched_phase_calls_total counter\n";
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      if (report.phases[p].calls == 0) continue;
+      out += "fecsched_phase_calls_total{phase=\"";
+      out += to_string(static_cast<Phase>(p));
+      out += "\"} ";
+      append_u64(out, report.phases[p].calls);
+      out += '\n';
+    }
+    out += "# TYPE fecsched_phase_ns_total counter\n";
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      if (report.phases[p].calls == 0) continue;
+      out += "fecsched_phase_ns_total{phase=\"";
+      out += to_string(static_cast<Phase>(p));
+      out += "\"} ";
+      append_u64(out, report.phases[p].ns);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out)
+    throw std::runtime_error("export: cannot open \"" + path +
+                             "\" for writing");
+  out << content;
+  if (!out) throw std::runtime_error("export: write to \"" + path + "\" failed");
+}
+
+}  // namespace fecsched::obs

@@ -1,0 +1,46 @@
+// Profile and metrics export in external tool formats.
+//
+// Two write-only views of an obs::Report, for the two ecosystems people
+// already have on their machines:
+//
+//  * folded_profile() — phase timings in collapsed-stack ("folded")
+//    format, one `frame;frame;frame value` line per phase, directly
+//    consumable by flamegraph.pl or speedscope.  Values are microseconds
+//    (flamegraph.pl treats the value as sample counts, so microseconds
+//    give useful relative widths).
+//
+//  * prometheus_metrics() — the metrics registry in Prometheus text
+//    exposition format (version 0.0.4): counters as `_total`, max-gauges
+//    as gauges, fixed-bucket histograms as cumulative `_bucket{le=...}`
+//    series plus `_count` (no `_sum`: the registry deliberately keeps
+//    bucket counts only, so a sum does not exist to export).  A
+//    `fecsched_run_info` gauge carries the manifest labels, the idiom
+//    Prometheus uses for build/run provenance.
+//
+// Both formats are plain text; both functions are pure (the CLI decides
+// where the bytes go via write_text_file).
+
+#pragma once
+
+#include <string>
+
+#include "obs/manifest.h"
+#include "obs/obs.h"
+
+namespace fecsched::obs {
+
+/// Collapsed-stack phase profile: `fecsched;<engine>;<phase> <usec>`,
+/// phases with zero calls omitted, phase enum order (stable).
+[[nodiscard]] std::string folded_profile(const RunManifest& manifest,
+                                         const Report& report);
+
+/// Prometheus text exposition of the run's metrics (+ phase series when
+/// profiling was enabled).  Metric names are sanitized to the Prometheus
+/// charset: dots and other illegal characters become underscores.
+[[nodiscard]] std::string prometheus_metrics(const RunManifest& manifest,
+                                             const Report& report);
+
+/// Overwrite `path` with `content`; throws std::runtime_error on failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace fecsched::obs

@@ -1,0 +1,253 @@
+#include "obs/ledger.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <stdexcept>
+#include <tuple>
+
+namespace fecsched::obs {
+
+namespace {
+
+using api::Json;
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("ledger: " + what);
+}
+
+const Json& require(const Json& j, std::string_view key) {
+  const Json* v = j.find(key);
+  if (v == nullptr) bad("missing key \"" + std::string(key) + "\"");
+  return *v;
+}
+
+void check_keys(const Json& j, std::string_view where,
+                std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, value] : j.as_object(where)) {
+    bool known = false;
+    for (std::string_view a : allowed)
+      if (key == a) {
+        known = true;
+        break;
+      }
+    if (!known)
+      bad("unknown key \"" + key + "\" in " + std::string(where));
+  }
+}
+
+Json manifest_section(const RunManifest& m) { return manifest_to_json(m); }
+
+RunManifest manifest_from_json(const Json& j) {
+  check_keys(j, "manifest",
+             {"spec", "api", "gf", "engine", "threads", "hardware_threads",
+              "wall_seconds", "started_at", "hostname"});
+  RunManifest m;
+  m.fingerprint = require(j, "spec").as_string("manifest.spec");
+  m.version = require(j, "api").as_string("manifest.api");
+  m.gf_backend = require(j, "gf").as_string("manifest.gf");
+  m.engine = require(j, "engine").as_string("manifest.engine");
+  m.threads = static_cast<unsigned>(
+      require(j, "threads").as_uint64("manifest.threads"));
+  m.hardware_threads = static_cast<unsigned>(
+      require(j, "hardware_threads").as_uint64("manifest.hardware_threads"));
+  m.wall_seconds = require(j, "wall_seconds").as_double("manifest.wall_seconds");
+  if (const Json* s = j.find("started_at"))
+    m.started_at = s->as_string("manifest.started_at");
+  if (const Json* h = j.find("hostname"))
+    m.hostname = h->as_string("manifest.hostname");
+  return m;
+}
+
+Phase phase_from_string(const std::string& name) {
+  for (std::size_t p = 0; p < kPhaseCount; ++p)
+    if (name == to_string(static_cast<Phase>(p))) return static_cast<Phase>(p);
+  bad("unknown phase \"" + name + "\"");
+}
+
+}  // namespace
+
+Json record_to_json(const LedgerRecord& record) {
+  Json j = Json::object();
+  j.set("kind", Json(record.kind));
+  if (!record.label.empty()) j.set("label", Json(record.label));
+  j.set("manifest", manifest_section(record.manifest));
+  if (record.has_profile()) {
+    Json phases = Json::object();
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      const PhaseStats& s = record.phases[p];
+      if (s.calls == 0) continue;
+      Json row = Json::object();
+      row.set("calls", Json::integer(s.calls));
+      row.set("ns", Json::integer(s.ns));
+      phases.set(std::string(to_string(static_cast<Phase>(p))),
+                 std::move(row));
+    }
+    j.set("phases", std::move(phases));
+  }
+  if (!record.metrics.counters.empty()) {
+    Json counters = Json::object();
+    for (const auto& [name, v] : record.metrics.counters)
+      counters.set(name, Json::integer(v));
+    j.set("counters", std::move(counters));
+  }
+  if (!record.metrics.gauges.empty()) {
+    Json gauges = Json::object();
+    for (const auto& [name, v] : record.metrics.gauges)
+      gauges.set(name, Json::integer(v));
+    j.set("gauges", std::move(gauges));
+  }
+  if (!record.metrics.histograms.empty()) {
+    Json histograms = Json::object();
+    for (const MetricsSnapshot::Hist& h : record.metrics.histograms) {
+      Json hist = Json::object();
+      Json bounds = Json::array();
+      for (std::uint64_t b : h.bounds) bounds.push_back(Json::integer(b));
+      Json counts = Json::array();
+      for (std::uint64_t c : h.counts) counts.push_back(Json::integer(c));
+      hist.set("bounds", std::move(bounds));
+      hist.set("counts", std::move(counts));
+      histograms.set(h.name, std::move(hist));
+    }
+    j.set("histograms", std::move(histograms));
+  }
+  if (!record.extra.is_null()) j.set("extra", record.extra);
+  return j;
+}
+
+LedgerRecord record_from_json(const Json& j) {
+  check_keys(j, "record",
+             {"kind", "label", "manifest", "phases", "counters", "gauges",
+              "histograms", "extra"});
+  LedgerRecord record;
+  record.kind = require(j, "kind").as_string("kind");
+  if (record.kind != "run" && record.kind != "bench")
+    bad("kind must be \"run\" or \"bench\", got \"" + record.kind + "\"");
+  if (const Json* l = j.find("label")) record.label = l->as_string("label");
+  record.manifest = manifest_from_json(require(j, "manifest"));
+  if (const Json* phases = j.find("phases")) {
+    for (const auto& [name, row] : phases->as_object("phases")) {
+      const Phase p = phase_from_string(name);
+      PhaseStats& s = record.phases[static_cast<std::size_t>(p)];
+      check_keys(row, "phases." + name, {"calls", "ns"});
+      s.calls = require(row, "calls").as_uint64("phases." + name + ".calls");
+      s.ns = require(row, "ns").as_uint64("phases." + name + ".ns");
+    }
+  }
+  if (const Json* counters = j.find("counters"))
+    for (const auto& [name, v] : counters->as_object("counters"))
+      record.metrics.counters.emplace_back(name,
+                                           v.as_uint64("counters." + name));
+  if (const Json* gauges = j.find("gauges"))
+    for (const auto& [name, v] : gauges->as_object("gauges"))
+      record.metrics.gauges.emplace_back(name, v.as_uint64("gauges." + name));
+  if (const Json* histograms = j.find("histograms")) {
+    for (const auto& [name, h] : histograms->as_object("histograms")) {
+      check_keys(h, "histograms." + name, {"bounds", "counts"});
+      MetricsSnapshot::Hist hist;
+      hist.name = name;
+      for (const Json& b : require(h, "bounds").as_array("bounds"))
+        hist.bounds.push_back(b.as_uint64("histograms." + name + ".bounds"));
+      for (const Json& c : require(h, "counts").as_array("counts"))
+        hist.counts.push_back(c.as_uint64("histograms." + name + ".counts"));
+      if (hist.counts.size() != hist.bounds.size() + 1)
+        bad("histograms." + name + ": counts must have bounds+1 entries");
+      record.metrics.histograms.push_back(std::move(hist));
+    }
+  }
+  if (const Json* extra = j.find("extra")) record.extra = *extra;
+
+  // Canonical member order regardless of source order, so a loaded
+  // record re-serializes to the same bytes compact_records() would write.
+  std::sort(record.metrics.counters.begin(), record.metrics.counters.end());
+  std::sort(record.metrics.gauges.begin(), record.metrics.gauges.end());
+  std::sort(record.metrics.histograms.begin(), record.metrics.histograms.end(),
+            [](const MetricsSnapshot::Hist& a, const MetricsSnapshot::Hist& b) {
+              return a.name < b.name;
+            });
+  return record;
+}
+
+std::string ledger_line(const LedgerRecord& record) {
+  return record_to_json(record).dump(0);
+}
+
+LedgerRecord make_run_record(const RunManifest& manifest,
+                             const Report& report) {
+  LedgerRecord record;
+  record.kind = "run";
+  record.manifest = manifest;
+  record.phases = report.phases;
+  record.metrics = report.metrics;
+  return record;
+}
+
+void append_record(const std::string& path, const LedgerRecord& record) {
+  std::ofstream out(path, std::ios::app);
+  if (!out)
+    throw std::runtime_error("ledger: cannot open \"" + path +
+                             "\" for appending");
+  out << ledger_line(record) << '\n';
+  if (!out)
+    throw std::runtime_error("ledger: write to \"" + path + "\" failed");
+}
+
+std::vector<LedgerRecord> load_ledger_stream(std::istream& in,
+                                             const std::string& name) {
+  std::vector<LedgerRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    try {
+      records.push_back(record_from_json(Json::parse(line)));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(name + ":" + std::to_string(line_no) + ": " +
+                                  e.what());
+    }
+  }
+  return records;
+}
+
+std::vector<LedgerRecord> load_ledger(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ledger: cannot open \"" + path + "\"");
+  return load_ledger_stream(in, path);
+}
+
+std::vector<LedgerRecord> compact_records(std::vector<LedgerRecord> records) {
+  std::vector<std::pair<std::string, LedgerRecord>> keyed;
+  keyed.reserve(records.size());
+  for (LedgerRecord& r : records)
+    keyed.emplace_back(ledger_line(r), std::move(r));
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) {
+              const RunManifest& ma = a.second.manifest;
+              const RunManifest& mb = b.second.manifest;
+              return std::tie(ma.fingerprint, ma.engine, ma.gf_backend,
+                              ma.started_at, ma.hostname, a.first) <
+                     std::tie(mb.fingerprint, mb.engine, mb.gf_backend,
+                              mb.started_at, mb.hostname, b.first);
+            });
+  std::vector<LedgerRecord> out;
+  out.reserve(keyed.size());
+  for (std::size_t i = 0; i < keyed.size(); ++i) {
+    if (i > 0 && keyed[i].first == keyed[i - 1].first) continue;
+    out.push_back(std::move(keyed[i].second));
+  }
+  return out;
+}
+
+void write_ledger(const std::string& path,
+                  const std::vector<LedgerRecord>& records) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out)
+    throw std::runtime_error("ledger: cannot open \"" + path +
+                             "\" for writing");
+  for (const LedgerRecord& r : records) out << ledger_line(r) << '\n';
+  if (!out)
+    throw std::runtime_error("ledger: write to \"" + path + "\" failed");
+}
+
+}  // namespace fecsched::obs

@@ -1,5 +1,10 @@
 #include "obs/manifest.h"
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <ctime>
+
 namespace fecsched::obs {
 
 namespace {
@@ -12,9 +17,31 @@ void append_fields(api::Json& j, const RunManifest& m) {
   j.set("threads", api::Json::integer(m.threads));
   j.set("hardware_threads", api::Json::integer(m.hardware_threads));
   j.set("wall_seconds", api::Json(m.wall_seconds));
+  // Attribution fields are optional so pre-PR-7 manifests (and manifests
+  // built by tests with defaulted fields) serialize unchanged.
+  if (!m.started_at.empty()) j.set("started_at", api::Json(m.started_at));
+  if (!m.hostname.empty()) j.set("hostname", api::Json(m.hostname));
 }
 
 }  // namespace
+
+std::string iso8601_utc(std::chrono::system_clock::time_point when) {
+  const std::time_t t = std::chrono::system_clock::to_time_t(when);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec);
+  return buf;
+}
+
+std::string local_hostname() {
+  char buf[256];
+  if (gethostname(buf, sizeof buf) != 0) return {};
+  buf[sizeof buf - 1] = '\0';
+  return buf;
+}
 
 std::string spec_fingerprint(std::string_view canonical_json) {
   static constexpr char kHex[] = "0123456789abcdef";

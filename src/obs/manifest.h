@@ -1,15 +1,18 @@
 // Run manifest: provenance carried by every scenario result.
 //
 // The manifest closes the replayability loop the Scenario API opened with
-// --dump-spec: a result (or a trace file) records WHICH spec produced it
-// (FNV-1a fingerprint of the canonical spec JSON), under WHICH code
-// (api::kVersion), on WHICH GF(256) backend, with how many threads, and
-// how long it took.  Everything except wall_seconds is deterministic for
-// a given spec + host; wall_seconds is explicitly excluded from the
-// deterministic signature used by the thread-independence tests.
+// --dump-spec: a result (or a trace file, or a ledger record) records
+// WHICH spec produced it (FNV-1a fingerprint of the canonical spec JSON
+// with the obs section reset to defaults, so observation knobs never
+// change a scenario's identity), under WHICH code (api::kVersion), on
+// WHICH GF(256) backend, with how many threads, where and when.
+// wall_seconds, started_at and hostname are attribution, not identity:
+// they are excluded from both the spec fingerprint and the deterministic
+// signatures the thread-independence and cross-run comparison checks use.
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -26,6 +29,8 @@ struct RunManifest {
   unsigned threads = 0;          ///< requested worker count (0 = hardware)
   unsigned hardware_threads = 0; ///< std::thread::hardware_concurrency()
   double wall_seconds = 0.0;     ///< run_scenario wall-clock duration
+  std::string started_at;        ///< ISO-8601 UTC run start; "" = unknown
+  std::string hostname;          ///< machine that produced the run; "" = unknown
 };
 
 /// FNV-1a 64-bit hash (public-domain parameters); stable across platforms.
@@ -40,6 +45,12 @@ struct RunManifest {
 
 /// "fnv1a:<16 lowercase hex digits>" of a canonical spec JSON document.
 [[nodiscard]] std::string spec_fingerprint(std::string_view canonical_json);
+
+/// "YYYY-MM-DDTHH:MM:SSZ" (ISO-8601, UTC, second resolution).
+[[nodiscard]] std::string iso8601_utc(std::chrono::system_clock::time_point when);
+
+/// gethostname(), or "" when the host refuses to identify itself.
+[[nodiscard]] std::string local_hostname();
 
 /// Manifest as a JSON object.  With `as_trace_line` the object leads with
 /// `"ev":"manifest"` and appends the trace_sample knob, matching the

@@ -1,0 +1,113 @@
+#include "obs/progress.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+namespace fecsched::obs {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ProgressMeter::ProgressMeter(Options options)
+    : options_(std::move(options)),
+      sink_(options_.sink != nullptr ? options_.sink : &std::cerr),
+      tty_(options_.force_tty < 0 ? isatty(2) != 0 : options_.force_tty != 0),
+      min_gap_seconds_(tty_ ? options_.interval_seconds
+                            : options_.plain_interval_seconds),
+      start_ns_(now_ns()),
+      previous_(set_parallel_observer(this)) {}
+
+ProgressMeter::~ProgressMeter() {
+  finish();
+  set_parallel_observer(previous_);
+}
+
+void ProgressMeter::on_batch(std::size_t count) {
+  total_.fetch_add(count, std::memory_order_relaxed);
+  maybe_render();
+}
+
+void ProgressMeter::on_item_done() {
+  done_.fetch_add(1, std::memory_order_relaxed);
+  maybe_render();
+}
+
+void ProgressMeter::maybe_render() {
+  if (finished_.load(std::memory_order_relaxed)) return;
+  const std::int64_t now = now_ns();
+  std::int64_t due = next_render_ns_.load(std::memory_order_relaxed);
+  if (now < due) return;
+  const auto gap = static_cast<std::int64_t>(min_gap_seconds_ * 1e9);
+  if (!next_render_ns_.compare_exchange_strong(due, now + gap,
+                                               std::memory_order_relaxed))
+    return;  // another worker claimed this render slot
+  std::unique_lock<std::mutex> lock(render_mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return;  // never block a worker on I/O
+  render_line(false);
+}
+
+void ProgressMeter::finish() {
+  if (finished_.exchange(true, std::memory_order_relaxed)) return;
+  const std::lock_guard<std::mutex> lock(render_mutex_);
+  render_line(true);
+}
+
+void ProgressMeter::render_line(bool final_line) {
+  const std::uint64_t done = done_.load(std::memory_order_relaxed);
+  const std::uint64_t total = total_.load(std::memory_order_relaxed);
+  const double elapsed =
+      static_cast<double>(now_ns() - start_ns_) / 1e9;
+  const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+
+  char buf[256];
+  int n;
+  if (total > 0) {
+    const double pct =
+        100.0 * static_cast<double>(done) / static_cast<double>(total);
+    if (!final_line && rate > 0.0 && done < total) {
+      const double eta = static_cast<double>(total - done) / rate;
+      n = std::snprintf(buf, sizeof buf,
+                        "%s: %llu/%llu %s (%.0f%%) %.1f/s eta %.1fs",
+                        options_.label.c_str(),
+                        static_cast<unsigned long long>(done),
+                        static_cast<unsigned long long>(total),
+                        options_.unit.c_str(), pct, rate, eta);
+    } else {
+      n = std::snprintf(buf, sizeof buf,
+                        "%s: %llu/%llu %s (%.0f%%) %.1f/s in %.1fs",
+                        options_.label.c_str(),
+                        static_cast<unsigned long long>(done),
+                        static_cast<unsigned long long>(total),
+                        options_.unit.c_str(), pct, rate, elapsed);
+    }
+  } else {
+    n = std::snprintf(buf, sizeof buf, "%s: %llu %s in %.1fs",
+                      options_.label.c_str(),
+                      static_cast<unsigned long long>(done),
+                      options_.unit.c_str(), elapsed);
+  }
+  if (n < 0) return;
+
+  if (tty_) {
+    // Single-line rewrite: carriage return, status, pad to clear the
+    // previous render's tail, newline only on the final line.
+    *sink_ << '\r' << buf;
+    for (int pad = n; pad < 60; ++pad) *sink_ << ' ';
+    if (final_line) *sink_ << '\n';
+  } else {
+    *sink_ << buf << '\n';
+  }
+  sink_->flush();
+}
+
+}  // namespace fecsched::obs

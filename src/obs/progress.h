@@ -1,0 +1,84 @@
+// Live progress heartbeat for the sweep engines.
+//
+// A ProgressMeter is a scoped util/parallel ParallelObserver: constructing
+// one installs it process-wide (saving any previous observer), destroying
+// it restores the previous observer.  Engines announce work through the
+// existing parallel_for_index hook — grid sweeps tick per cell for free —
+// and the serial single-point loops in run_scenario tick through the same
+// interface, so one meter covers all four engines.
+//
+// Output discipline mirrors the rest of src/obs/: the heartbeat goes to
+// stderr only (stdout stays byte-identical to a non-progress run), renders
+// are throttled and never block workers (throttle check is one relaxed
+// atomic load; the render itself runs under a try_lock), and with no meter
+// installed the hook in parallel_for_index costs a single relaxed load per
+// batch.
+//
+// TTY-aware: on a terminal the meter rewrites a single status line with
+// `\r`; piped to a file it emits whole lines at a coarser interval so logs
+// stay readable.  finish() always emits one final line — CI's smoke test
+// greps for it.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "util/parallel.h"
+
+namespace fecsched::obs {
+
+struct ProgressOptions {
+  std::string label = "run";     ///< prefix of every status line
+  std::string unit = "items";    ///< what one tick is ("cells", "trials", …)
+  double interval_seconds = 0.2;       ///< min gap between TTY rewrites
+  double plain_interval_seconds = 2.0; ///< min gap between non-TTY lines
+  int force_tty = -1;     ///< -1 = auto-detect stderr, 0 = plain, 1 = TTY
+  std::ostream* sink = nullptr;  ///< nullptr = std::cerr
+};
+
+class ProgressMeter final : public ParallelObserver {
+ public:
+  using Options = ProgressOptions;
+
+  explicit ProgressMeter(Options options = Options());
+  ~ProgressMeter() override;
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  void on_batch(std::size_t count) override;
+  void on_item_done() override;
+
+  /// Emit the final status line (idempotent).  Call before printing
+  /// results so the heartbeat line is complete when stdout follows.
+  void finish();
+
+  [[nodiscard]] std::uint64_t done() const noexcept {
+    return done_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void maybe_render();
+  void render_line(bool final_line);
+
+  Options options_;
+  std::ostream* sink_;
+  bool tty_;
+  double min_gap_seconds_;
+  std::int64_t start_ns_;
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::int64_t> next_render_ns_{0};
+  std::atomic<bool> finished_{false};
+  std::mutex render_mutex_;
+  ParallelObserver* previous_;
+};
+
+}  // namespace fecsched::obs

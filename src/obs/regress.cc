@@ -1,0 +1,198 @@
+#include "obs/regress.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <tuple>
+
+namespace fecsched::obs {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// "2026-08-07T10:00:00Z host gf=avx2 threads=4" — enough to name a
+/// record in a diagnostic without dumping the whole line.
+std::string describe(const LedgerRecord& r) {
+  const RunManifest& m = r.manifest;
+  std::string out = m.started_at.empty() ? "<no-start-time>" : m.started_at;
+  out += ' ';
+  out += m.hostname.empty() ? "<no-host>" : m.hostname;
+  out += " gf=" + m.gf_backend;
+  out += " threads=" + std::to_string(m.threads);
+  if (!r.label.empty()) out += " label=" + r.label;
+  return out;
+}
+
+/// First differing metric between two snapshots with unequal signatures.
+std::string first_difference(const MetricsSnapshot& a,
+                             const MetricsSnapshot& b) {
+  const std::size_t nc = std::max(a.counters.size(), b.counters.size());
+  for (std::size_t i = 0; i < nc; ++i) {
+    if (i >= a.counters.size())
+      return "counter " + b.counters[i].first + " only in second";
+    if (i >= b.counters.size())
+      return "counter " + a.counters[i].first + " only in first";
+    if (a.counters[i] != b.counters[i])
+      return "counter " + a.counters[i].first + ": " +
+             std::to_string(a.counters[i].second) + " vs " +
+             std::to_string(b.counters[i].second);
+  }
+  const std::size_t ng = std::max(a.gauges.size(), b.gauges.size());
+  for (std::size_t i = 0; i < ng; ++i) {
+    if (i >= a.gauges.size())
+      return "gauge " + b.gauges[i].first + " only in second";
+    if (i >= b.gauges.size())
+      return "gauge " + a.gauges[i].first + " only in first";
+    if (a.gauges[i] != b.gauges[i])
+      return "gauge " + a.gauges[i].first + ": " +
+             std::to_string(a.gauges[i].second) + " vs " +
+             std::to_string(b.gauges[i].second);
+  }
+  return "histogram buckets differ";
+}
+
+std::string format_ratio(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2fx", ratio);
+  return buf;
+}
+
+}  // namespace
+
+bool LedgerFilter::matches(const LedgerRecord& r) const {
+  if (!fingerprint.empty() && !starts_with(r.manifest.fingerprint, fingerprint))
+    return false;
+  if (!engine.empty() && r.manifest.engine != engine) return false;
+  if (!gf.empty() && r.manifest.gf_backend != gf) return false;
+  if (!kind.empty() && r.kind != kind) return false;
+  return true;
+}
+
+std::vector<LedgerRecord> filter_records(std::vector<LedgerRecord> records,
+                                         const LedgerFilter& filter) {
+  std::vector<LedgerRecord> out;
+  out.reserve(records.size());
+  for (LedgerRecord& r : records)
+    if (filter.matches(r)) out.push_back(std::move(r));
+  return out;
+}
+
+std::string metrics_signature(const LedgerRecord& record) {
+  std::string sig;
+  for (const auto& [name, v] : record.metrics.counters)
+    sig += "c:" + name + '=' + std::to_string(v) + ';';
+  for (const auto& [name, v] : record.metrics.gauges)
+    sig += "g:" + name + '=' + std::to_string(v) + ';';
+  for (const MetricsSnapshot::Hist& h : record.metrics.histograms) {
+    sig += "h:" + h.name + '=';
+    for (std::uint64_t c : h.counts) sig += std::to_string(c) + ',';
+    sig += ';';
+  }
+  return sig;
+}
+
+std::string phase_calls_signature(const LedgerRecord& record) {
+  std::string sig;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    sig += std::to_string(record.phases[p].calls);
+    sig += ';';
+  }
+  return sig;
+}
+
+CompareReport compare_records(std::vector<LedgerRecord> records,
+                              const CompareOptions& options) {
+  records = compact_records(std::move(records));
+  CompareReport report;
+  report.records = records.size();
+
+  // Canonical order sorts by fingerprint first, so groups are contiguous.
+  std::size_t begin = 0;
+  while (begin < records.size()) {
+    std::size_t end = begin;
+    while (end < records.size() &&
+           records[end].manifest.fingerprint ==
+               records[begin].manifest.fingerprint)
+      ++end;
+    ++report.groups;
+    const std::string& fp = records[begin].manifest.fingerprint;
+
+    // --- deterministic values: bit-identical or regression.  Benches
+    // and runs never compare against each other (different collection
+    // paths), and a record without metrics (obs off) asserts nothing.
+    using Subkey = std::pair<std::string, std::string>;  // (kind, label)
+    std::map<Subkey, const LedgerRecord*> metric_baseline;
+    std::map<Subkey, const LedgerRecord*> calls_baseline;
+    for (std::size_t i = begin; i < end; ++i) {
+      const LedgerRecord& r = records[i];
+      const Subkey key{r.kind, r.label};
+      if (!r.metrics.empty()) {
+        const auto [it, inserted] = metric_baseline.emplace(key, &r);
+        if (!inserted &&
+            metrics_signature(*it->second) != metrics_signature(r)) {
+          report.drifts.push_back(
+              "metric drift: " + fp + " engine=" + r.manifest.engine +
+              ": " + first_difference(it->second->metrics, r.metrics) +
+              " (" + describe(*it->second) + " vs " + describe(r) + ")");
+        }
+      }
+      if (r.has_profile()) {
+        const auto [it, inserted] = calls_baseline.emplace(key, &r);
+        if (!inserted &&
+            phase_calls_signature(*it->second) != phase_calls_signature(r)) {
+          report.drifts.push_back(
+              "phase-call drift: " + fp + " engine=" + r.manifest.engine +
+              " (" + describe(*it->second) + " vs " + describe(r) + ")");
+        }
+      }
+    }
+
+    // --- timings: same machine, same backend, same thread count only;
+    // earliest record (canonical order) is the baseline; only slowdowns
+    // beyond the threshold count, and only above the noise floors.
+    using TimeKey = std::tuple<std::string, std::string, std::string,
+                               unsigned, std::string>;
+    std::map<TimeKey, const LedgerRecord*> time_baseline;
+    for (std::size_t i = begin; i < end; ++i) {
+      const LedgerRecord& r = records[i];
+      const TimeKey key{r.kind, r.label, r.manifest.gf_backend,
+                        r.manifest.threads, r.manifest.hostname};
+      const auto [it, inserted] = time_baseline.emplace(key, &r);
+      if (inserted) continue;
+      const LedgerRecord& base = *it->second;
+      if (base.manifest.wall_seconds >= options.min_wall_seconds) {
+        const double ratio = r.manifest.wall_seconds /
+                             base.manifest.wall_seconds;
+        if (ratio > options.threshold)
+          report.slowdowns.push_back(
+              "wall slowdown: " + fp + " engine=" + r.manifest.engine + " " +
+              format_ratio(ratio) + " (" + describe(base) + " vs " +
+              describe(r) + ")");
+      }
+      for (std::size_t p = 0; p < kPhaseCount; ++p) {
+        const PhaseStats& bs = base.phases[p];
+        const PhaseStats& rs = r.phases[p];
+        if (bs.ns == 0 ||
+            static_cast<double>(bs.ns) / 1e6 < options.min_phase_ms)
+          continue;
+        const double ratio =
+            static_cast<double>(rs.ns) / static_cast<double>(bs.ns);
+        if (ratio > options.threshold)
+          report.slowdowns.push_back(
+              "phase slowdown: " + fp + " " +
+              std::string(to_string(static_cast<Phase>(p))) + " " +
+              format_ratio(ratio) + " (" + describe(base) + " vs " +
+              describe(r) + ")");
+      }
+    }
+
+    begin = end;
+  }
+  return report;
+}
+
+}  // namespace fecsched::obs

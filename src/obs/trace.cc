@@ -102,12 +102,15 @@ void validate_trace_line(const Json& j) {
   const std::string& ev = require(j, "ev").as_string("ev");
   if (ev == "manifest") {
     check_keys(j, {"ev", "spec", "api", "gf", "engine", "threads",
-                   "hardware_threads", "wall_seconds", "trace_sample"});
+                   "hardware_threads", "wall_seconds", "trace_sample",
+                   "started_at", "hostname"});
     (void)require(j, "spec").as_string("spec");
     (void)require(j, "api").as_string("api");
     (void)require(j, "gf").as_string("gf");
     (void)require(j, "engine").as_string("engine");
     (void)require(j, "trace_sample").as_uint64("trace_sample");
+    if (const Json* s = j.find("started_at")) (void)s->as_string("started_at");
+    if (const Json* h = j.find("hostname")) (void)h->as_string("hostname");
     return;
   }
   if (ev == "summary") {

@@ -7,6 +7,7 @@
 #include "channel/gilbert.h"
 #include "obs/obs.h"
 #include "sim/experiment.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace fecsched {
@@ -233,11 +234,18 @@ std::vector<AdaptiveComparePoint> run_adaptive_compare(
     const std::vector<std::pair<double, double>>& points,
     const AdaptiveCompareConfig& config) {
   // One Experiment cache for the whole sweep: the per-tuple plans/graphs
-  // depend only on (tuple, k), not on the channel point.
+  // depend only on (tuple, k), not on the channel point.  The loop stays
+  // serial (the shared cache is fill-order-sensitive) but still reports
+  // per-point progress through the parallel-observer hook.
+  ParallelObserver* const progress = parallel_observer();
+  if (progress != nullptr) progress->on_batch(points.size());
   ExperimentCache cache(config.k);
   std::vector<AdaptiveComparePoint> out;
   out.reserve(points.size());
-  for (const auto& [p, q] : points) out.push_back(run_point(p, q, config, cache));
+  for (const auto& [p, q] : points) {
+    out.push_back(run_point(p, q, config, cache));
+    if (progress != nullptr) progress->on_item_done();
+  }
   return out;
 }
 

@@ -1,0 +1,14 @@
+#include "util/parallel.h"
+
+namespace fecsched {
+
+namespace detail {
+std::atomic<ParallelObserver*> g_parallel_observer{nullptr};
+}  // namespace detail
+
+ParallelObserver* set_parallel_observer(ParallelObserver* observer) noexcept {
+  return detail::g_parallel_observer.exchange(observer,
+                                              std::memory_order_relaxed);
+}
+
+}  // namespace fecsched

@@ -18,6 +18,33 @@
 
 namespace fecsched {
 
+/// Progress observer for index-parallel work.  A meter (obs/progress.h)
+/// installs itself process-wide; every parallel_for_index announces its
+/// batch size once and ticks per completed item.  Implementations must be
+/// thread-safe: on_item_done runs concurrently from every worker.  The
+/// dormant path is one relaxed atomic load per batch — the same
+/// discipline as the obs::Hook enabled flags.
+class ParallelObserver {
+ public:
+  virtual ~ParallelObserver() = default;
+  virtual void on_batch(std::size_t count) = 0;
+  virtual void on_item_done() = 0;
+};
+
+namespace detail {
+extern std::atomic<ParallelObserver*> g_parallel_observer;
+}  // namespace detail
+
+/// The installed observer, or nullptr when none (the common case).
+[[nodiscard]] inline ParallelObserver* parallel_observer() noexcept {
+  return detail::g_parallel_observer.load(std::memory_order_relaxed);
+}
+
+/// Install `observer` (nullptr to clear); returns the previous observer so
+/// scoped installers can restore it.  Not thread-safe against concurrent
+/// installs — meters install from the driving thread before work starts.
+ParallelObserver* set_parallel_observer(ParallelObserver* observer) noexcept;
+
 /// `threads` resolved to an actual worker count for `count` items:
 /// 0 = one per hardware thread, never more than one per item, at least 1.
 [[nodiscard]] inline unsigned resolve_worker_count(unsigned threads,
@@ -37,15 +64,23 @@ namespace fecsched {
 template <typename Body>
 void parallel_for_index(std::size_t count, unsigned threads,
                         const Body& body) {
+  ParallelObserver* const progress = parallel_observer();
+  if (progress != nullptr) progress->on_batch(count);
   const unsigned workers = resolve_worker_count(threads, count);
   if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      body(i);
+      if (progress != nullptr) progress->on_item_done();
+    }
     return;
   }
   std::atomic<std::size_t> next{0};
   const auto worker = [&] {
-    for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1))
+    for (std::size_t i = next.fetch_add(1); i < count;
+         i = next.fetch_add(1)) {
       body(i);
+      if (progress != nullptr) progress->on_item_done();
+    }
   };
   std::vector<std::thread> pool;
   pool.reserve(workers);

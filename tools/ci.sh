@@ -69,7 +69,7 @@ ctest --output-on-failure --no-tests=error \
 ./fecsched_cli list > /dev/null
 ./fecsched_cli list --describe=sliding-window > /dev/null
 ./fecsched_cli --version > /dev/null
-for sub in sweep plan universal limits fit adapt stream mpath run list; do
+for sub in sweep plan universal limits fit adapt stream mpath run history compare list; do
   if ./fecsched_cli "$sub" --definitely-not-a-flag=1 > /dev/null 2>&1; then
     echo "BUG: $sub accepted an unknown flag"; exit 1
   fi
@@ -130,3 +130,44 @@ EOF
 #    no session armed must stay within 2% of the pre-obs hot loop.
 ./bench_obs_overhead --k=1000 --trials=10 --check
 echo "observability gate: traces validate, residuals cross-check, disabled path free"
+
+# Cross-run observability gate (obs/ledger.h, obs/regress.h,
+# obs/progress.h, obs/export.h):
+# 1. the ledger/compare/progress/export test suite;
+ctest --output-on-failure --no-tests=error -R 'Ledger'
+# 2. the regression sentinel round trip: two identical runs of the pinned
+#    stream point append to a fresh ledger (stdout still byte-identical —
+#    the output flags never leak into results) and must compare clean;
+#    a third run on the forced-scalar GF backend must stay clean too,
+#    because metric values are bit-identical across backends and timings
+#    only compare within one backend's subgroup.
+rm -f BENCH_ledger.jsonl
+./fecsched_cli stream --p=0.02 --q=0.4 --sources=800 --trials=3 \
+  --ledger=BENCH_ledger.jsonl | cmp - ../tools/pinned/stream_point.txt
+./fecsched_cli stream --p=0.02 --q=0.4 --sources=800 --trials=3 \
+  --ledger=BENCH_ledger.jsonl | cmp - ../tools/pinned/stream_point.txt
+./fecsched_cli compare --ledger=BENCH_ledger.jsonl
+FECSCHED_GF_BACKEND=scalar ./fecsched_cli stream --p=0.02 --q=0.4 \
+  --sources=800 --trials=3 --ledger=BENCH_ledger.jsonl > /dev/null
+./fecsched_cli compare --ledger=BENCH_ledger.jsonl
+./fecsched_cli history --ledger=BENCH_ledger.jsonl | grep -q '^3 records'
+# 3. --progress writes its heartbeat to stderr only: stdout must stay
+#    byte-identical to the pinned output, stderr must carry the final
+#    status line the meter always emits;
+./fecsched_cli stream --p=0.02 --q=0.4 --sources=800 --trials=3 \
+  --progress > BENCH_progress_out.txt 2> BENCH_progress_err.txt
+cmp BENCH_progress_out.txt ../tools/pinned/stream_point.txt
+grep -q 'stream: .*trials' BENCH_progress_err.txt
+# 4. --spec=- reads the spec document from stdin, byte-identical to
+#    --spec=<file> of the same bytes;
+./fecsched_cli run --spec=- --json < ../tools/pinned/stream_spec.json \
+  | cmp - ../tools/pinned/stream_point.json
+# 5. profile/metrics export: a profiled sweep leaves stdout pinned while
+#    emitting collapsed stacks (flamegraph.pl format) and the Prometheus
+#    text exposition.
+./fecsched_cli sweep --code=rse --tx=1 --ratio=1.5 --k=400 --trials=3 \
+  --profile-out=BENCH_profile.folded --metrics-out=BENCH_metrics.prom \
+  | cmp - ../tools/pinned/grid_point.txt
+grep -q '^fecsched;grid;' BENCH_profile.folded
+grep -q '^fecsched_grid_trials_total' BENCH_metrics.prom
+echo "cross-run gate: ledger compares clean across backends, stdout untouched"

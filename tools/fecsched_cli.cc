@@ -64,8 +64,27 @@
 //       the window come from src/adapt/.  --json emits per-scheduler
 //       delay histograms, per-path stats and reordering.
 //
-//   fecsched_cli run       --spec=<file.json> [--json] [--dump-spec]
+//   fecsched_cli run       --spec=<file.json | -> [--json] [--dump-spec]
 //       Execute a stored scenario spec (the document --dump-spec emits).
+//       --spec=- reads the document from stdin; parse errors then report
+//       "<stdin>:line:col".
+//
+//   fecsched_cli history   --ledger=<file.jsonl> [--ledger=... ...]
+//                          [--spec=<fingerprint-prefix>] [--engine=E]
+//                          [--gf=B] [--kind=run|bench] [--compact]
+//       List run-ledger records (obs/ledger.h) merged from every shard
+//       given, in canonical compacted order.  --compact prints the
+//       canonical JSONL instead of the table — shard merging is
+//       `history --ledger=a --ledger=b --compact > merged.jsonl`.
+//
+//   fecsched_cli compare   --ledger=<file.jsonl> [filters as history]
+//                          [--threshold=2.0] [--min-phase-ms=50]
+//                          [--min-wall=0.2]
+//       Cross-run regression sentinel (obs/regress.h): deterministic
+//       metric values for a fingerprint must be bit-identical (ANY drift
+//       is a regression); wall/phase timings compare within (gf, threads,
+//       host) subgroups against the configurable slowdown threshold.
+//       Exit 0 clean, 1 regression, 2 usage/IO error.
 //
 //   fecsched_cli list      [--describe=<name>]
 //       Print every registered code / channel / tx-model / path-scheduler
@@ -90,8 +109,22 @@
 // object under --json, and the JSONL trace file (see tools/trace_stats).
 // With none of these flags the engines run their uninstrumented hot
 // paths and all output is byte-identical to an obs-free build.
+//
+// Cross-run outputs (PR 7), same subcommands:
+//   --ledger=<file.jsonl>  append this run (manifest + metrics + phase
+//                          timings) to the run ledger; FECSCHED_LEDGER
+//                          is the flagless default.  Implies --metrics
+//                          --profile so the record carries data.
+//   --progress             live heartbeat on stderr (TTY single-line
+//                          rewrite; whole lines when piped).  stdout is
+//                          byte-identical to a non-progress run.
+//   --profile-out=<file>   collapsed-stack phase profile (flamegraph.pl/
+//                          speedscope); implies --profile.
+//   --metrics-out=<file>   Prometheus text exposition of the metrics
+//                          registry; implies --metrics.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -107,7 +140,11 @@
 #include "api/json.h"
 #include "api/scenario.h"
 #include "channel/gilbert.h"
+#include "obs/export.h"
+#include "obs/ledger.h"
 #include "obs/obs.h"
+#include "obs/progress.h"
+#include "obs/regress.h"
 #include "channel/trace.h"
 #include "core/nsent.h"
 #include "core/planner.h"
@@ -212,6 +249,91 @@ void apply_obs_flags(const Args& args, api::ObsSpec& obs) {
   if (const auto t = args.get("trace")) obs.trace = *t;
   if (const auto n = args.get("trace-sample"))
     obs.trace_sample = static_cast<std::uint32_t>(std::stoull(*n));
+}
+
+// ------------------------------------------ cross-run output plumbing
+
+/// Where a run's observations go after the engines finish: the run
+/// ledger (--ledger= / FECSCHED_LEDGER), a collapsed-stack profile
+/// (--profile-out=), a Prometheus metrics file (--metrics-out=), and the
+/// live --progress heartbeat on stderr.  None of these change stdout:
+/// the ledger/export flags force the collection they need, but the
+/// "-- observability --" / "obs" result section still appears only when
+/// the user asked for it directly (--metrics / --profile / --trace).
+struct ObsOutputs {
+  std::string ledger;
+  std::string profile_out;
+  std::string metrics_out;
+  bool progress = false;
+};
+
+ObsOutputs parse_obs_outputs(const Args& args) {
+  ObsOutputs outputs;
+  if (const auto l = args.get("ledger")) {
+    outputs.ledger = *l;
+  } else if (const char* env = std::getenv(std::string(obs::kLedgerEnv).c_str())) {
+    outputs.ledger = env;
+  }
+  if (const auto p = args.get("profile-out")) outputs.profile_out = *p;
+  if (const auto m = args.get("metrics-out")) outputs.metrics_out = *m;
+  outputs.progress = args.get("progress").has_value();
+  return outputs;
+}
+
+/// A ledger record without metrics+timings would be an empty baseline, a
+/// profile export without the profiler an empty file — the output flags
+/// imply the collection they consume.
+void force_obs_collection(const ObsOutputs& outputs, api::ObsSpec& obs) {
+  if (!outputs.ledger.empty()) {
+    obs.metrics = true;
+    obs.profile = true;
+  }
+  if (!outputs.profile_out.empty()) obs.profile = true;
+  if (!outputs.metrics_out.empty()) obs.metrics = true;
+}
+
+std::string progress_unit(const std::string& engine) {
+  if (engine == "grid") return "cells";
+  if (engine == "adaptive") return "points";
+  return "trials";
+}
+
+void write_obs_outputs(const ObsOutputs& outputs,
+                       const obs::RunManifest& manifest,
+                       const std::optional<obs::Report>& report) {
+  if (!report) return;
+  if (!outputs.ledger.empty())
+    obs::append_record(outputs.ledger,
+                       obs::make_run_record(manifest, *report));
+  if (!outputs.profile_out.empty())
+    obs::write_text_file(outputs.profile_out,
+                         obs::folded_profile(manifest, *report));
+  if (!outputs.metrics_out.empty())
+    obs::write_text_file(outputs.metrics_out,
+                         obs::prometheus_metrics(manifest, *report));
+}
+
+/// run_scenario with the heartbeat armed for the duration of the engines
+/// and every cross-run output written before the caller prints results.
+/// `user_obs` is whether the spec requested observation BEFORE the output
+/// flags forced any collection: when false, the report was collected only
+/// to feed the files above, and it is dropped from the result afterwards
+/// so stdout/JSON stay byte-identical to a run without the new flags.
+api::ScenarioResult run_scenario_with_outputs(const api::ScenarioSpec& spec,
+                                              const ObsOutputs& outputs,
+                                              bool user_obs) {
+  std::optional<obs::ProgressMeter> meter;
+  if (outputs.progress) {
+    obs::ProgressOptions popt;
+    popt.label = spec.engine;
+    popt.unit = progress_unit(spec.engine);
+    meter.emplace(std::move(popt));
+  }
+  api::ScenarioResult result = api::run_scenario(spec);
+  if (meter) meter->finish();
+  write_obs_outputs(outputs, result.manifest, result.obs);
+  if (!user_obs) result.obs.reset();
+  return result;
 }
 
 api::ScenarioSpec build_sweep_spec(const Args& args) {
@@ -377,9 +499,12 @@ int print_grid_result(const Args& args, const api::ScenarioResult& result) {
 int cmd_sweep(const Args& args) {
   api::ScenarioResult result;
   try {
-    const api::ScenarioSpec spec = build_sweep_spec(args);
+    api::ScenarioSpec spec = build_sweep_spec(args);
     if (maybe_dump_spec(args, spec)) return 0;
-    result = api::run_scenario(spec);
+    const ObsOutputs outputs = parse_obs_outputs(args);
+    const bool user_obs = spec.obs.enabled();
+    force_obs_collection(outputs, spec.obs);
+    result = run_scenario_with_outputs(spec, outputs, user_obs);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sweep: %s\n", e.what());
     return 2;
@@ -632,9 +757,12 @@ int print_adapt_result(const Args& args, const api::ScenarioResult& result) {
 int cmd_adapt(const Args& args) {
   api::ScenarioResult result;
   try {
-    const api::ScenarioSpec spec = build_adapt_spec(args);
+    api::ScenarioSpec spec = build_adapt_spec(args);
     if (maybe_dump_spec(args, spec)) return 0;
-    result = api::run_scenario(spec);
+    const ObsOutputs outputs = parse_obs_outputs(args);
+    const bool user_obs = spec.obs.enabled();
+    force_obs_collection(outputs, spec.obs);
+    result = run_scenario_with_outputs(spec, outputs, user_obs);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "adapt: %s\n", e.what());
     return 2;
@@ -731,9 +859,12 @@ int print_stream_result(const Args& args, const api::ScenarioResult& result) {
 int cmd_stream(const Args& args) {
   api::ScenarioResult result;
   try {
-    const api::ScenarioSpec spec = build_stream_spec(args);
+    api::ScenarioSpec spec = build_stream_spec(args);
     if (maybe_dump_spec(args, spec)) return 0;
-    result = api::run_scenario(spec);
+    const ObsOutputs outputs = parse_obs_outputs(args);
+    const bool user_obs = spec.obs.enabled();
+    force_obs_collection(outputs, spec.obs);
+    result = run_scenario_with_outputs(spec, outputs, user_obs);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "stream: %s\n", e.what());
     return 2;
@@ -877,9 +1008,12 @@ int print_mpath_result(const Args& args, const api::ScenarioResult& result) {
 int cmd_mpath(const Args& args) {
   api::ScenarioResult result;
   try {
-    const api::ScenarioSpec spec = build_mpath_spec(args);
+    api::ScenarioSpec spec = build_mpath_spec(args);
     if (maybe_dump_spec(args, spec)) return 0;
-    result = api::run_scenario(spec);
+    const ObsOutputs outputs = parse_obs_outputs(args);
+    const bool user_obs = spec.obs.enabled();
+    force_obs_collection(outputs, spec.obs);
+    result = run_scenario_with_outputs(spec, outputs, user_obs);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mpath: %s\n", e.what());
     return 2;
@@ -894,11 +1028,21 @@ int cmd_run(const Args& args) {
   std::string engine;
   try {
     const auto path = args.get("spec");
-    if (!path) throw std::invalid_argument("run requires --spec=<file.json>");
-    std::ifstream in(*path);
-    if (!in) throw std::invalid_argument("cannot open " + *path);
-    const std::string text((std::istreambuf_iterator<char>(in)),
+    if (!path)
+      throw std::invalid_argument("run requires --spec=<file.json> ('-' = stdin)");
+    // --spec=- reads the document from stdin, so generators pipe straight
+    // into runs; parse errors then point at "<stdin>:line:col".
+    const bool from_stdin = *path == "-";
+    const std::string source = from_stdin ? "<stdin>" : *path;
+    const std::string text = [&] {
+      if (from_stdin)
+        return std::string(std::istreambuf_iterator<char>(std::cin),
                            std::istreambuf_iterator<char>());
+      std::ifstream in(*path);
+      if (!in) throw std::invalid_argument("cannot open " + *path);
+      return std::string(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+    }();
     api::ScenarioSpec spec = [&] {
       try {
         return api::ScenarioSpec::from_json(text);
@@ -906,7 +1050,7 @@ int cmd_run(const Args& args) {
         // The parser reports a byte offset; name the spot in the file the
         // way a compiler would.
         const auto [line, col] = api::json_line_col(text, e.offset());
-        throw std::invalid_argument(*path + ":" + std::to_string(line) + ":" +
+        throw std::invalid_argument(source + ":" + std::to_string(line) + ":" +
                                     std::to_string(col) + ": " + e.what());
       }
     }();
@@ -917,7 +1061,10 @@ int cmd_run(const Args& args) {
       throw std::invalid_argument(
           "--json is not supported for the grid engine (the paper table is "
           "the output)");
-    result = api::run_scenario(spec);
+    const ObsOutputs outputs = parse_obs_outputs(args);
+    const bool user_obs = spec.obs.enabled();
+    force_obs_collection(outputs, spec.obs);
+    result = run_scenario_with_outputs(spec, outputs, user_obs);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "run: %s\n", e.what());
     return 2;
@@ -926,6 +1073,103 @@ int cmd_run(const Args& args) {
   if (engine == "stream") return print_stream_result(args, result);
   if (engine == "mpath") return print_mpath_result(args, result);
   return print_adapt_result(args, result);
+}
+
+// --------------------------------------------- history / compare
+
+/// Every --ledger= shard, or the FECSCHED_LEDGER fallback; errors out
+/// (exit 2 via the caller's catch) when neither names a file.
+std::vector<obs::LedgerRecord> load_ledgers(const Args& args) {
+  std::vector<std::string> paths = args.get_all("ledger");
+  if (paths.empty()) {
+    if (const char* env =
+            std::getenv(std::string(obs::kLedgerEnv).c_str()))
+      paths.emplace_back(env);
+  }
+  if (paths.empty())
+    throw std::invalid_argument(
+        "no ledger: pass --ledger=<file.jsonl> (repeatable) or set "
+        "FECSCHED_LEDGER");
+  std::vector<obs::LedgerRecord> records;
+  for (const std::string& path : paths) {
+    std::vector<obs::LedgerRecord> shard = obs::load_ledger(path);
+    records.insert(records.end(),
+                   std::make_move_iterator(shard.begin()),
+                   std::make_move_iterator(shard.end()));
+  }
+  return records;
+}
+
+obs::LedgerFilter parse_ledger_filter(const Args& args) {
+  obs::LedgerFilter filter;
+  filter.fingerprint = args.get("spec").value_or("");
+  filter.engine = args.get("engine").value_or("");
+  filter.gf = args.get("gf").value_or("");
+  filter.kind = args.get("kind").value_or("");
+  return filter;
+}
+
+int cmd_history(const Args& args) {
+  try {
+    const std::vector<obs::LedgerRecord> records = obs::filter_records(
+        obs::compact_records(load_ledgers(args)), parse_ledger_filter(args));
+    if (args.get("compact")) {
+      // Canonical compacted JSONL on stdout: `history --compact > merged`
+      // is the shard-merge operation.
+      for (const obs::LedgerRecord& r : records)
+        std::cout << obs::ledger_line(r) << '\n';
+      return 0;
+    }
+    std::printf("%-22s %-8s %-9s %7s %9s %-20s %s\n", "spec", "engine", "gf",
+                "threads", "wall_s", "started_at", "kind");
+    for (const obs::LedgerRecord& r : records) {
+      const obs::RunManifest& m = r.manifest;
+      std::string kind = r.kind;
+      if (!r.label.empty()) kind += "/" + r.label;
+      std::printf("%-22s %-8s %-9s %7u %9.3f %-20s %s\n",
+                  m.fingerprint.c_str(), m.engine.c_str(),
+                  m.gf_backend.c_str(), m.threads, m.wall_seconds,
+                  m.started_at.empty() ? "-" : m.started_at.c_str(),
+                  kind.c_str());
+    }
+    std::printf("%zu record%s\n", records.size(),
+                records.size() == 1 ? "" : "s");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "history: %s\n", e.what());
+    return 2;
+  }
+}
+
+int cmd_compare(const Args& args) {
+  try {
+    const std::vector<obs::LedgerRecord> records = obs::filter_records(
+        obs::compact_records(load_ledgers(args)), parse_ledger_filter(args));
+    obs::CompareOptions options;
+    options.threshold = args.number("threshold", options.threshold);
+    options.min_phase_ms = args.number("min-phase-ms", options.min_phase_ms);
+    options.min_wall_seconds =
+        args.number("min-wall", options.min_wall_seconds);
+    const obs::CompareReport report =
+        obs::compare_records(records, options);
+    for (const std::string& drift : report.drifts)
+      std::printf("REGRESSION %s\n", drift.c_str());
+    for (const std::string& slow : report.slowdowns)
+      std::printf("REGRESSION %s\n", slow.c_str());
+    std::printf("compared %zu record%s across %zu fingerprint%s: %s\n",
+                report.records, report.records == 1 ? "" : "s", report.groups,
+                report.groups == 1 ? "" : "s",
+                report.clean()
+                    ? "clean"
+                    : (std::to_string(report.drifts.size()) + " drift(s), " +
+                       std::to_string(report.slowdowns.size()) +
+                       " slowdown(s)")
+                          .c_str());
+    return report.clean() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "compare: %s\n", e.what());
+    return 2;
+  }
 }
 
 int cmd_list(const Args& args) {
@@ -980,8 +1224,8 @@ int cmd_list(const Args& args) {
 void usage(std::FILE* out) {
   std::fprintf(out,
                "usage: fecsched_cli "
-               "<sweep|plan|universal|limits|fit|adapt|stream|mpath|run|list> "
-               "[--key=value ...]\n"
+               "<sweep|plan|universal|limits|fit|adapt|stream|mpath|run|"
+               "history|compare|list> [--key=value ...]\n"
                "\n"
                "  sweep      paper 14x14 (p, q) inefficiency table for one "
                "(code, tx, ratio)\n"
@@ -998,7 +1242,14 @@ void usage(std::FILE* out) {
                "  mpath      multipath packet-to-path scheduling comparison "
                "(src/mpath/)\n"
                "  run        execute a scenario spec JSON "
-               "(--spec=file.json; see --dump-spec)\n"
+               "(--spec=file.json, '-' = stdin; see --dump-spec)\n"
+               "  history    list ledger records "
+               "(--ledger=file.jsonl [--spec=fp --engine=E --gf=B "
+               "--kind=K --compact])\n"
+               "  compare    cross-run regression check over a ledger "
+               "(exit 1 on drift/slowdown;\n"
+               "             --threshold=R --min-phase-ms=M --min-wall=S "
+               "+ history's filters)\n"
                "  list       print the scenario registry (codes, channels, "
                "tx models, path schedulers)\n"
                "\n"
@@ -1007,6 +1258,9 @@ void usage(std::FILE* out) {
                "the scenario JSON and exit)\n"
                "  engine subcommands accept --metrics --profile "
                "--trace=<file.jsonl> --trace-sample=N (src/obs/)\n"
+               "  ...and the cross-run outputs --ledger=<file.jsonl> "
+               "(or FECSCHED_LEDGER), --progress,\n"
+               "  --profile-out=<file.folded>, --metrics-out=<file.prom>\n"
                "\n"
                "run 'fecsched_cli --help' or see the header of "
                "tools/fecsched_cli.cc for per-command flags\n");
@@ -1020,12 +1274,15 @@ struct Command {
 
 // Observability flags shared by the engine subcommands (`fit` keeps its
 // historical --trace=<loss file> INPUT flag and takes no obs flags).
+// FECSCHED_OBS_OUT_FLAGS are the PR-7 cross-run outputs: the run ledger,
+// the live heartbeat, and the profile/metrics export files.
 #define FECSCHED_OBS_FLAGS "metrics", "profile", "trace", "trace-sample"
+#define FECSCHED_OBS_OUT_FLAGS "ledger", "progress", "profile-out", "metrics-out"
 
 const Command kCommands[] = {
     {"sweep", cmd_sweep,
      {"code", "tx", "ratio", "k", "trials", "seed", "gnuplot", "dump-spec",
-      FECSCHED_OBS_FLAGS}},
+      FECSCHED_OBS_FLAGS, FECSCHED_OBS_OUT_FLAGS}},
     {"plan", cmd_plan, {"p", "q", "k", "trials", "bytes", "payload",
                         "tolerance"}},
     {"universal", cmd_universal, {"k", "trials"}},
@@ -1033,20 +1290,28 @@ const Command kCommands[] = {
     {"fit", cmd_fit, {"trace"}},
     {"adapt", cmd_adapt,
      {"p", "q", "pglobal", "burst", "k", "objects", "warmup", "seed", "json",
-      "dump-spec", FECSCHED_OBS_FLAGS}},
+      "dump-spec", FECSCHED_OBS_FLAGS, FECSCHED_OBS_OUT_FLAGS}},
     {"stream", cmd_stream,
      {"p", "q", "pglobal", "burst", "scheme", "sched", "overhead", "window",
       "blockk", "sources", "trials", "seed", "json", "dump-spec",
-      FECSCHED_OBS_FLAGS}},
+      FECSCHED_OBS_FLAGS, FECSCHED_OBS_OUT_FLAGS}},
     {"mpath", cmd_mpath,
      {"p", "q", "pglobal", "burst", "delay", "capacity", "scheduler",
       "scheme", "sched", "adapt", "warmup", "overhead", "window", "blockk",
-      "sources", "trials", "seed", "json", "dump-spec", FECSCHED_OBS_FLAGS}},
+      "sources", "trials", "seed", "json", "dump-spec", FECSCHED_OBS_FLAGS,
+      FECSCHED_OBS_OUT_FLAGS}},
     {"run", cmd_run,
-     {"spec", "json", "gnuplot", "dump-spec", FECSCHED_OBS_FLAGS}},
+     {"spec", "json", "gnuplot", "dump-spec", FECSCHED_OBS_FLAGS,
+      FECSCHED_OBS_OUT_FLAGS}},
+    {"history", cmd_history,
+     {"ledger", "spec", "engine", "gf", "kind", "compact"}},
+    {"compare", cmd_compare,
+     {"ledger", "spec", "engine", "gf", "kind", "threshold", "min-phase-ms",
+      "min-wall"}},
     {"list", cmd_list, {"describe"}},
 };
 
+#undef FECSCHED_OBS_OUT_FLAGS
 #undef FECSCHED_OBS_FLAGS
 
 }  // namespace
