@@ -15,7 +15,10 @@
 // measures gf256_addmul / rse_encode / rse_decode / ldgm_encode on EVERY
 // backend the host supports and writes throughput (bytes/s per op x
 // backend) plus best-SIMD-over-scalar speedups as JSON (recorded as
-// BENCH_codec_speed.json).  --check additionally enforces the perf
+// BENCH_codec_speed.json).  On hosts that grant perf_event_open
+// (obs/perfctr.h) each row also carries cycles/byte and cache-miss/byte
+// read from the hardware-counter group around the timed loop; elsewhere
+// the "perf_counters" block records why they are absent.  --check additionally enforces the perf
 // acceptance criteria on SIMD-capable hosts: >= 4x addmul and >= 1.5x
 // end-to-end RSE encode/decode over the scalar baseline (exit 1 when
 // violated).
@@ -37,6 +40,7 @@
 #include "fec/symbol_arena.h"
 #include "gf/gf256.h"
 #include "gf/gf256_kernels.h"
+#include "obs/perfctr.h"
 #include "util/rng.h"
 
 namespace {
@@ -161,14 +165,25 @@ BENCHMARK(BM_Gf256Addmul);
 
 // --------------------------------------------- machine-readable mode
 
+struct Measurement {
+  double bytes_per_second = 0.0;
+  double cycles_per_byte = 0.0;      // 0 when perf counters unavailable
+  double cache_miss_per_byte = 0.0;  // 0 when perf counters unavailable
+};
+
 /// Time `body` until at least min_time elapsed, returning bytes/second
-/// (`bytes_per_call` processed per invocation).
+/// (`bytes_per_call` processed per invocation).  When the host grants
+/// perf_event_open, the hardware-counter group is read once around the
+/// whole timed loop and normalized per byte of source data.
 template <typename Fn>
-double measure_bytes_per_second(double min_time, std::uint64_t bytes_per_call,
-                                Fn&& body) {
+Measurement measure_op(obs::PerfGroup& perf, double min_time,
+                       std::uint64_t bytes_per_call, Fn&& body) {
   using clock = std::chrono::steady_clock;
   // Warm-up (tables, dispatch, caches).
   body();
+  obs::PerfValues before{};
+  obs::PerfValues after{};
+  perf.read(before);
   std::uint64_t calls = 0;
   const auto start = clock::now();
   double elapsed = 0.0;
@@ -177,13 +192,32 @@ double measure_bytes_per_second(double min_time, std::uint64_t bytes_per_call,
     calls += 8;
     elapsed = std::chrono::duration<double>(clock::now() - start).count();
   } while (elapsed < min_time);
-  return static_cast<double>(calls * bytes_per_call) / elapsed;
+  perf.read(after);
+  Measurement m;
+  const double bytes = static_cast<double>(calls * bytes_per_call);
+  m.bytes_per_second = bytes / elapsed;
+  if (perf.available()) {
+    const auto idx = [](obs::PerfCounter c) {
+      return static_cast<std::size_t>(c);
+    };
+    m.cycles_per_byte =
+        static_cast<double>(after[idx(obs::PerfCounter::kCycles)] -
+                            before[idx(obs::PerfCounter::kCycles)]) /
+        bytes;
+    m.cache_miss_per_byte =
+        static_cast<double>(after[idx(obs::PerfCounter::kCacheMisses)] -
+                            before[idx(obs::PerfCounter::kCacheMisses)]) /
+        bytes;
+  }
+  return m;
 }
 
 struct OpResult {
   std::string op;
   std::string backend;
   double bytes_per_second = 0.0;
+  double cycles_per_byte = 0.0;
+  double cache_miss_per_byte = 0.0;
 };
 
 int run_json_mode(const std::string& json_path, bool check, double min_time,
@@ -205,6 +239,11 @@ int run_json_mode(const std::string& json_path, bool check, double min_time,
   const LdgmCode ldgm(ldgm_params(1020, 1.5, LdgmVariant::kStaircase));
   const auto ldgm_src = random_symbols(ldgm.k(), 3);
 
+  // One counter group for the whole run (single-threaded bench); on hosts
+  // without perf_event_open every Measurement's per-byte fields stay 0 and
+  // the JSON records why.
+  obs::PerfGroup perf;
+
   std::vector<OpResult> results;
   std::map<std::string, double> scalar_rate, best_simd_rate;
   for (const gf::Backend b : backends) {
@@ -212,37 +251,40 @@ int run_json_mode(const std::string& json_path, bool check, double min_time,
     const std::string name(gf::to_string(b));
 
     std::vector<std::uint8_t> dst(kSymbolSize, 1), addmul_src(kSymbolSize, 2);
-    const double addmul = measure_bytes_per_second(
-        min_time, kSymbolSize,
+    const Measurement addmul = measure_op(
+        perf, min_time, kSymbolSize,
         [&] { gf::kernels().addmul(dst.data(), addmul_src.data(), kSymbolSize, 0x57); });
 
-    const double rse_encode = measure_bytes_per_second(
-        min_time, static_cast<std::uint64_t>(k) * kSymbolSize, [&] {
+    const Measurement rse_encode = measure_op(
+        perf, min_time, static_cast<std::uint64_t>(k) * kSymbolSize, [&] {
           auto out = codec.encode(src);
           benchmark::DoNotOptimize(out);
         });
-    const double rse_decode = measure_bytes_per_second(
-        min_time, static_cast<std::uint64_t>(k) * kSymbolSize, [&] {
+    const Measurement rse_decode = measure_op(
+        perf, min_time, static_cast<std::uint64_t>(k) * kSymbolSize, [&] {
           auto out = codec.decode(rx);
           benchmark::DoNotOptimize(out);
         });
-    const double ldgm_encode = measure_bytes_per_second(
-        min_time, static_cast<std::uint64_t>(ldgm.k()) * kSymbolSize, [&] {
+    const Measurement ldgm_encode = measure_op(
+        perf, min_time, static_cast<std::uint64_t>(ldgm.k()) * kSymbolSize, [&] {
           auto out = ldgm.encode(ldgm_src);
           benchmark::DoNotOptimize(out);
         });
 
-    const std::map<std::string, double> rates = {
+    const std::map<std::string, Measurement> rates = {
         {"gf256_addmul", addmul},
         {"rse_encode", rse_encode},
         {"rse_decode", rse_decode},
         {"ldgm_encode", ldgm_encode}};
     const bool simd = b == gf::Backend::kSsse3 || b == gf::Backend::kAvx2 ||
                       b == gf::Backend::kNeon;
-    for (const auto& [op, rate] : rates) {
-      results.push_back({op, name, rate});
-      if (b == gf::Backend::kScalar) scalar_rate[op] = rate;
-      if (simd) best_simd_rate[op] = std::max(best_simd_rate[op], rate);
+    for (const auto& [op, m] : rates) {
+      results.push_back(
+          {op, name, m.bytes_per_second, m.cycles_per_byte,
+           m.cache_miss_per_byte});
+      if (b == gf::Backend::kScalar) scalar_rate[op] = m.bytes_per_second;
+      if (simd)
+        best_simd_rate[op] = std::max(best_simd_rate[op], m.bytes_per_second);
     }
   }
   gf::force_backend(original);
@@ -265,12 +307,20 @@ int run_json_mode(const std::string& json_path, bool check, double min_time,
   json.key("backends").begin_array();
   for (const gf::Backend b : backends) json.value(std::string(gf::to_string(b)));
   json.end_array();
+  json.key("perf_counters").begin_object();
+  json.key("available").value(perf.available());
+  json.key("status").value(perf.status());
+  json.end_object();
   json.key("results").begin_array();
   for (const OpResult& r : results) {
     json.begin_object();
     json.key("op").value(r.op);
     json.key("backend").value(r.backend);
     json.key("bytes_per_second").value(r.bytes_per_second);
+    if (perf.available()) {
+      json.key("cycles_per_byte").value(r.cycles_per_byte);
+      json.key("cache_miss_per_byte").value(r.cache_miss_per_byte);
+    }
     json.end_object();
   }
   json.end_array();
@@ -280,9 +330,16 @@ int run_json_mode(const std::string& json_path, bool check, double min_time,
   json.end_object();
   file << "\n";
 
-  for (const OpResult& r : results)
+  for (const OpResult& r : results) {
     std::cout << r.op << " [" << r.backend << "]: "
-              << r.bytes_per_second / 1e6 << " MB/s\n";
+              << r.bytes_per_second / 1e6 << " MB/s";
+    if (perf.available())
+      std::cout << "  (" << r.cycles_per_byte << " cycles/B, "
+                << r.cache_miss_per_byte << " cache-miss/B)";
+    std::cout << "\n";
+  }
+  if (!perf.available())
+    std::cout << "perf counters: unavailable (" << perf.status() << ")\n";
   for (const auto& [op, s] : speedup)
     std::cout << "speedup " << op << " (best SIMD / scalar): " << s << "x\n";
 

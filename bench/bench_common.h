@@ -21,6 +21,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -34,6 +35,7 @@
 #include "gf/gf256_kernels.h"
 #include "obs/ledger.h"
 #include "obs/manifest.h"
+#include "obs/memwatch.h"
 #include "sim/experiment.h"
 #include "sim/grid.h"
 #include "sim/table_io.h"
@@ -130,8 +132,11 @@ class JsonWriter {
   JsonWriter& value(double v) {
     comma();
     // NaN/Inf are not JSON; emit null so downstream parsers keep working.
+    // Finite values go through the shortest-round-trip formatter so bench
+    // JSON carries full precision (ostream defaults to 6 significant
+    // digits, which silently truncates throughput numbers).
     if (std::isfinite(v))
-      out_ << v;
+      out_ << api::Json::format_double(v);
     else
       out_ << "null";
     return *this;
@@ -172,6 +177,13 @@ class JsonWriter {
   void write_string(const std::string& s) {
     out_ << '"';
     for (const char c : s) {
+      const auto u = static_cast<unsigned char>(c);
+      if (u < 0x20) {  // raw control characters are not legal in JSON
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", u);
+        out_ << buf;
+        continue;
+      }
       if (c == '"' || c == '\\') out_ << '\\';
       out_ << c;
     }
@@ -227,6 +239,7 @@ inline obs::LedgerRecord make_bench_record(const std::string& name,
   record.manifest.started_at =
       obs::iso8601_utc(std::chrono::system_clock::now());
   record.manifest.hostname = obs::local_hostname();
+  record.manifest.max_rss_kb = obs::max_rss_kb();
   record.extra = std::move(extra);
   return record;
 }

@@ -1,6 +1,6 @@
 // bench_obs_overhead: price the observability layer (src/obs/).
 //
-// Three variants of the same grid-trial workload — identical schedules,
+// Five variants of the same grid-trial workload — identical schedules,
 // channel seeds and trackers — replayed at one Gilbert point:
 //
 //   baseline   the pre-obs hot loop: run_trial called directly, no
@@ -11,6 +11,11 @@
 //              run_trial (what every un-flagged run pays today)
 //   enabled    a metrics session armed: TrialScope + engaged Hook into
 //              run_trial_observed (what --metrics costs)
+//   timeline   metrics + profiling + span-ring session (what
+//              --timeline-out costs: every phase/trial pushes a span)
+//   counters   metrics + profiling + perf-group session (what --counters
+//              costs: a counter-group read around every phase; on hosts
+//              without perf_event_open the read degrades to the stub)
 //
 // Samples are interleaved (baseline/disabled/enabled per round) and
 // time-batched to >= 25 ms so scheduler noise averages out; the reported
@@ -128,12 +133,24 @@ int main(int argc, char** argv) {
   }
   w.tracker = experiment.new_tracker(derive_seed(scale.seed, {0, 0}));
 
-  // Observation must never change a result: compare all three variants
+  // Observation must never change a result: compare all five variants
   // trial by trial before timing anything.
   const std::vector<TrialResult> expect = replay(w, Mode::kBaseline);
   bool identical = same_results(expect, replay(w, Mode::kDisabled));
   {
     const obs::Config obs_cfg{.metrics = true};
+    const obs::Session session(obs_cfg);
+    identical = identical && same_results(expect, replay(w, Mode::kEnabled));
+  }
+  {
+    const obs::Config obs_cfg{.metrics = true, .profile = true,
+                              .timeline = true};
+    const obs::Session session(obs_cfg);
+    identical = identical && same_results(expect, replay(w, Mode::kEnabled));
+  }
+  {
+    const obs::Config obs_cfg{.metrics = true, .profile = true,
+                              .counters = true};
     const obs::Session session(obs_cfg);
     identical = identical && same_results(expect, replay(w, Mode::kEnabled));
   }
@@ -149,20 +166,38 @@ int main(int argc, char** argv) {
       std::max(1.0, 25e6 / std::max(probe_ns, 1.0)));
 
   constexpr int kSamples = 9;
-  std::vector<double> base_ns, off_ns, on_ns;
+  std::vector<double> base_ns, off_ns, on_ns, tl_ns, ctr_ns;
   for (int s = 0; s < kSamples; ++s) {
     base_ns.push_back(sample(w, Mode::kBaseline, reps));
     off_ns.push_back(sample(w, Mode::kDisabled, reps));
-    const obs::Config obs_cfg{.metrics = true};
-    const obs::Session session(obs_cfg);
-    on_ns.push_back(sample(w, Mode::kEnabled, reps));
+    {
+      const obs::Config obs_cfg{.metrics = true};
+      const obs::Session session(obs_cfg);
+      on_ns.push_back(sample(w, Mode::kEnabled, reps));
+    }
+    {
+      const obs::Config obs_cfg{.metrics = true, .profile = true,
+                                .timeline = true};
+      const obs::Session session(obs_cfg);
+      tl_ns.push_back(sample(w, Mode::kEnabled, reps));
+    }
+    {
+      const obs::Config obs_cfg{.metrics = true, .profile = true,
+                                .counters = true};
+      const obs::Session session(obs_cfg);
+      ctr_ns.push_back(sample(w, Mode::kEnabled, reps));
+    }
   }
 
   const double base = median(base_ns);
   const double off = median(off_ns);
   const double on = median(on_ns);
+  const double tl = median(tl_ns);
+  const double ctr = median(ctr_ns);
   const double off_overhead = (off - base) / base;
   const double on_overhead = (on - base) / base;
+  const double tl_overhead = (tl - base) / base;
+  const double ctr_overhead = (ctr - base) / base;
 
   std::cout << "obs overhead @ (p=" << kP << ", q=" << kQ << "), k=" << cfg.k
             << ", " << scale.trials << " trials/batch, " << reps
@@ -172,6 +207,10 @@ int main(int argc, char** argv) {
             << off_overhead * 100.0 << "% vs baseline)\n";
   std::cout << "  obs enabled (--metrics):   " << on << " ns/trial  ("
             << on_overhead * 100.0 << "% vs baseline)\n";
+  std::cout << "  obs enabled (timeline):    " << tl << " ns/trial  ("
+            << tl_overhead * 100.0 << "% vs baseline)\n";
+  std::cout << "  obs enabled (counters):    " << ctr << " ns/trial  ("
+            << ctr_overhead * 100.0 << "% vs baseline)\n";
 
   api::Json extra = api::Json::object();
   extra.set("baseline_ns_per_trial", api::Json::number_token(std::to_string(base)));
@@ -179,19 +218,31 @@ int main(int argc, char** argv) {
   extra.set("enabled_ns_per_trial", api::Json::number_token(std::to_string(on)));
   extra.set("disabled_overhead", api::Json::number_token(std::to_string(off_overhead)));
   extra.set("enabled_overhead", api::Json::number_token(std::to_string(on_overhead)));
+  extra.set("timeline_ns_per_trial", api::Json::number_token(std::to_string(tl)));
+  extra.set("timeline_overhead", api::Json::number_token(std::to_string(tl_overhead)));
+  extra.set("counters_ns_per_trial", api::Json::number_token(std::to_string(ctr)));
+  extra.set("counters_overhead", api::Json::number_token(std::to_string(ctr_overhead)));
   bench::append_bench_record(
       scale, "obs_overhead", /*threads=*/1,
       std::chrono::duration<double>(Clock::now() - bench_t0).count(),
       std::move(extra));
 
   if (check) {
+    // The dormant-cost gate: with the timeline and counter collectors
+    // compiled in, un-flagged runs must still pay < 2% over the pre-obs
+    // loop.  The enabled rows just have to exist and be measurable.
     if (off_overhead >= 0.02) {
       std::cout << "CHECK FAIL: disabled-mode overhead "
                 << off_overhead * 100.0 << "% >= 2%\n";
       return 1;
     }
+    if (!(tl > 0.0) || !(ctr > 0.0)) {
+      std::cout << "CHECK FAIL: timeline/counters rows not measured\n";
+      return 1;
+    }
     std::cout << "CHECK OK: disabled-mode overhead " << off_overhead * 100.0
-              << "% < 2%\n";
+              << "% < 2% (timeline " << tl_overhead * 100.0 << "%, counters "
+              << ctr_overhead * 100.0 << "% when enabled)\n";
   }
   return 0;
 }

@@ -19,6 +19,8 @@
 #include "adapt/controller.h"
 #include "gf/gf256_kernels.h"
 #include "mpath/path_adapt.h"
+#include "obs/memwatch.h"
+#include "obs/timeline.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -46,6 +48,7 @@ obs::RunManifest make_manifest(const ScenarioSpec& spec, double wall_seconds,
   m.wall_seconds = wall_seconds;
   m.started_at = started_at;
   m.hostname = obs::local_hostname();
+  m.max_rss_kb = obs::max_rss_kb();
   return m;
 }
 
@@ -67,6 +70,8 @@ void finish_observability(const ScenarioSpec& spec, obs::Session& session,
         spec.obs.trace,
         obs::manifest_to_trace_line(manifest, spec.obs.trace_sample),
         report.events, report.metrics);
+  if (!spec.obs.timeline.empty())
+    obs::write_timeline_file(spec.obs.timeline, manifest, report);
   out = std::move(report);
 }
 
@@ -285,6 +290,8 @@ ScenarioResult run_mpath_engine(const ScenarioSpec& spec) {
     }
     AdaptiveController controller;
     adapter.apply(base, controller);
+    if (obs::Observer* o = obs::current(); o != nullptr)
+      o->instant("adapt.apply");
     result.mpath_estimates = adapter.estimates();
     result.mpath_warmup = spec.adapt.warmup;
   }

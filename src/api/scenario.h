@@ -112,19 +112,26 @@ struct RunSpec {
 /// engine result.  All off by default — and when off, results (text and
 /// JSON) are byte-identical to a pre-obs build.  `trace` names a JSONL
 /// output file; `trace_sample` keeps every Nth trial ordinal (1 = all).
+/// `timeline` names a Chrome trace_event JSON output file; `counters`
+/// reads hardware counters (perf_event_open) around each phase.
 struct ObsSpec {
   bool metrics = false;
   bool profile = false;
   std::string trace;
   std::uint32_t trace_sample = 1;
+  std::string timeline;
+  bool counters = false;
 
   [[nodiscard]] bool enabled() const noexcept {
-    return metrics || profile || !trace.empty();
+    return metrics || profile || !trace.empty() || !timeline.empty() ||
+           counters;
   }
   /// The obs::Session config: profiling and tracing imply metrics (the
-  /// profile report and the trace summary line both embed them).
+  /// profile report and the trace summary line both embed them), and the
+  /// timeline/counter collectors ride on the profiling phase hooks.
   [[nodiscard]] obs::Config config() const noexcept {
-    return {metrics, profile, !trace.empty(), trace_sample};
+    return {metrics, profile || !timeline.empty() || counters,
+            !trace.empty(), trace_sample, !timeline.empty(), counters};
   }
   [[nodiscard]] bool operator==(const ObsSpec&) const = default;
 };

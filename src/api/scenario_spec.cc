@@ -98,6 +98,8 @@ Json spec_to_json_value(const ScenarioSpec& s) {
     obs.set("profile", Json(s.obs.profile));
     obs.set("trace", Json(s.obs.trace));
     obs.set("trace_sample", Json::integer(s.obs.trace_sample));
+    obs.set("timeline", Json(s.obs.timeline));
+    obs.set("counters", Json(s.obs.counters));
     root.set("obs", std::move(obs));
   }
   return root;
@@ -247,6 +249,8 @@ void parse_obs(const Json& v, ObsSpec& out) {
     else if (key == "trace") out.trace = val.as_string("obs.trace");
     else if (key == "trace_sample")
       out.trace_sample = as_uint32(val, "obs.trace_sample");
+    else if (key == "timeline") out.timeline = val.as_string("obs.timeline");
+    else if (key == "counters") out.counters = val.as_bool("obs.counters");
     else return false;
     return true;
   });

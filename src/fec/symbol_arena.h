@@ -19,6 +19,8 @@
 #include <span>
 #include <vector>
 
+#include "obs/memwatch.h"
+
 namespace fecsched {
 
 class SymbolArena {
@@ -35,6 +37,9 @@ class SymbolArena {
     symbol_size_ = symbol_size;
     stride_ = (symbol_size + kAlign - 1) / kAlign * kAlign;
     const std::size_t bytes = rows_ * stride_;
+    // rows * aligned stride is a pure function of the decode geometry, so
+    // the high-water gauge this feeds is thread-count independent.
+    obs::note_arena_bytes(bytes);
     if (bytes == 0) {
       base_ = nullptr;
       return;

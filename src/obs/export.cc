@@ -136,6 +136,42 @@ std::string prometheus_metrics(const RunManifest& manifest,
       out += '\n';
     }
   }
+
+  if (report.config.counters && report.perf.available) {
+    for (std::size_t i = 0; i < kPerfCounterCount; ++i) {
+      const std::string prom =
+          "fecsched_perf_" +
+          std::string(to_string(static_cast<PerfCounter>(i))) + "_total";
+      out += "# TYPE " + prom + " counter\n";
+      for (std::size_t p = 0; p < kPhaseCount; ++p) {
+        const PerfPhase& s = report.perf.phases[p];
+        if (s.reads == 0) continue;
+        out += prom + "{phase=\"";
+        out += to_string(static_cast<Phase>(p));
+        out += "\"} ";
+        append_u64(out, s.values[i]);
+        out += '\n';
+      }
+    }
+    out += "# TYPE fecsched_perf_ipc gauge\n";
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      const PerfPhase& s = report.perf.phases[p];
+      const std::uint64_t cycles =
+          s.values[static_cast<std::size_t>(PerfCounter::kCycles)];
+      if (s.reads == 0 || cycles == 0) continue;
+      const std::uint64_t instructions =
+          s.values[static_cast<std::size_t>(PerfCounter::kInstructions)];
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%.6g",
+                    static_cast<double>(instructions) /
+                        static_cast<double>(cycles));
+      out += "fecsched_perf_ipc{phase=\"";
+      out += to_string(static_cast<Phase>(p));
+      out += "\"} ";
+      out += buf;
+      out += '\n';
+    }
+  }
   return out;
 }
 

@@ -41,7 +41,7 @@ Json manifest_section(const RunManifest& m) { return manifest_to_json(m); }
 RunManifest manifest_from_json(const Json& j) {
   check_keys(j, "manifest",
              {"spec", "api", "gf", "engine", "threads", "hardware_threads",
-              "wall_seconds", "started_at", "hostname"});
+              "wall_seconds", "started_at", "hostname", "max_rss_kb"});
   RunManifest m;
   m.fingerprint = require(j, "spec").as_string("manifest.spec");
   m.version = require(j, "api").as_string("manifest.api");
@@ -56,7 +56,28 @@ RunManifest manifest_from_json(const Json& j) {
     m.started_at = s->as_string("manifest.started_at");
   if (const Json* h = j.find("hostname"))
     m.hostname = h->as_string("manifest.hostname");
+  if (const Json* r = j.find("max_rss_kb"))
+    m.max_rss_kb = r->as_uint64("manifest.max_rss_kb");
   return m;
+}
+
+Json perf_section(const PerfReport& perf) {
+  Json j = Json::object();
+  j.set("available", Json(perf.available));
+  j.set("status", Json(perf.status));
+  Json phases = Json::object();
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const PerfPhase& s = perf.phases[p];
+    if (s.reads == 0) continue;
+    Json row = Json::object();
+    row.set("reads", Json::integer(s.reads));
+    for (std::size_t i = 0; i < kPerfCounterCount; ++i)
+      row.set(std::string(to_string(static_cast<PerfCounter>(i))),
+              Json::integer(s.values[i]));
+    phases.set(std::string(to_string(static_cast<Phase>(p))), std::move(row));
+  }
+  j.set("phases", std::move(phases));
+  return j;
 }
 
 Phase phase_from_string(const std::string& name) {
@@ -111,6 +132,7 @@ Json record_to_json(const LedgerRecord& record) {
     }
     j.set("histograms", std::move(histograms));
   }
+  if (record.has_perf()) j.set("perf", perf_section(record.perf));
   if (!record.extra.is_null()) j.set("extra", record.extra);
   return j;
 }
@@ -118,7 +140,7 @@ Json record_to_json(const LedgerRecord& record) {
 LedgerRecord record_from_json(const Json& j) {
   check_keys(j, "record",
              {"kind", "label", "manifest", "phases", "counters", "gauges",
-              "histograms", "extra"});
+              "histograms", "perf", "extra"});
   LedgerRecord record;
   record.kind = require(j, "kind").as_string("kind");
   if (record.kind != "run" && record.kind != "bench")
@@ -155,6 +177,24 @@ LedgerRecord record_from_json(const Json& j) {
       record.metrics.histograms.push_back(std::move(hist));
     }
   }
+  if (const Json* perf = j.find("perf")) {
+    check_keys(*perf, "perf", {"available", "status", "phases"});
+    record.perf.available = require(*perf, "available").as_bool("perf.available");
+    record.perf.status = require(*perf, "status").as_string("perf.status");
+    for (const auto& [name, row] : require(*perf, "phases").as_object("perf.phases")) {
+      const Phase p = phase_from_string(name);
+      PerfPhase& s = record.perf.phases[static_cast<std::size_t>(p)];
+      check_keys(row, "perf.phases." + name,
+                 {"reads", "cycles", "instructions", "cache_references",
+                  "cache_misses", "branch_misses"});
+      s.reads = require(row, "reads").as_uint64("perf.phases." + name + ".reads");
+      for (std::size_t i = 0; i < kPerfCounterCount; ++i) {
+        const std::string key(to_string(static_cast<PerfCounter>(i)));
+        s.values[i] =
+            require(row, key).as_uint64("perf.phases." + name + "." + key);
+      }
+    }
+  }
   if (const Json* extra = j.find("extra")) record.extra = *extra;
 
   // Canonical member order regardless of source order, so a loaded
@@ -179,6 +219,7 @@ LedgerRecord make_run_record(const RunManifest& manifest,
   record.manifest = manifest;
   record.phases = report.phases;
   record.metrics = report.metrics;
+  if (report.config.counters) record.perf = report.perf;
   return record;
 }
 

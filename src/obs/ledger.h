@@ -42,6 +42,7 @@ struct LedgerRecord {
   RunManifest manifest;
   std::array<PhaseStats, kPhaseCount> phases{};
   MetricsSnapshot metrics;
+  PerfReport perf;  ///< hardware counters; serialized only when read
   api::Json extra;  ///< bench payload (object) or null
 
   /// True when any phase recorded calls (profiling was on for this run).
@@ -49,6 +50,12 @@ struct LedgerRecord {
     for (const PhaseStats& s : phases)
       if (s.calls > 0) return true;
     return false;
+  }
+
+  /// True when the run requested hardware counters (even if the host
+  /// denied them — the absent marker is worth recording).
+  [[nodiscard]] bool has_perf() const noexcept {
+    return perf.available || perf.any_reads() || !perf.status.empty();
   }
 };
 

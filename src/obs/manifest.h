@@ -31,6 +31,7 @@ struct RunManifest {
   double wall_seconds = 0.0;     ///< run_scenario wall-clock duration
   std::string started_at;        ///< ISO-8601 UTC run start; "" = unknown
   std::string hostname;          ///< machine that produced the run; "" = unknown
+  std::uint64_t max_rss_kb = 0;  ///< getrusage peak RSS; 0 = unknown/omitted
 };
 
 /// FNV-1a 64-bit hash (public-domain parameters); stable across platforms.

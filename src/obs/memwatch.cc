@@ -1,0 +1,32 @@
+#include "obs/memwatch.h"
+
+#include "obs/obs.h"
+
+#ifdef __unix__
+#include <sys/resource.h>
+#endif
+
+namespace fecsched::obs {
+
+void note_arena_bytes(std::uint64_t bytes) noexcept {
+  Observer* o = current();
+  if (o == nullptr || !o->counting()) return;
+  o->metrics().gauge(kArenaHighWaterGauge).update_max(bytes);
+}
+
+std::uint64_t max_rss_kb() noexcept {
+#ifdef __unix__
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes (macOS uses bytes; normalize).
+#ifdef __APPLE__
+  return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace fecsched::obs

@@ -1,0 +1,31 @@
+// Memory watermarks: arena high-water gauge + process max-RSS.
+//
+// SymbolArena::configure() reports its deterministic footprint
+// (rows * aligned stride) through note_arena_bytes(), which records a
+// max-merge gauge on the current observer — partition-independent by the
+// same argument as every other gauge, and free when no session is armed
+// (obs::current() is one relaxed load + branch).  max_rss_kb() samples
+// getrusage(RUSAGE_SELF) for the manifest/ledger; like started_at and
+// hostname it is environment-dependent and therefore excluded from spec
+// fingerprints and deterministic signatures.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace fecsched::obs {
+
+/// Gauge name under which arena footprints are recorded (max-merged).
+inline constexpr std::string_view kArenaHighWaterGauge =
+    "fec.arena_high_water_bytes";
+
+/// Records `bytes` on the current observer's arena high-water gauge.
+/// No-op (one relaxed load + branch) when no metrics session is armed.
+void note_arena_bytes(std::uint64_t bytes) noexcept;
+
+/// Peak resident set size of this process in kilobytes, or 0 when the
+/// platform cannot report it.
+[[nodiscard]] std::uint64_t max_rss_kb() noexcept;
+
+}  // namespace fecsched::obs

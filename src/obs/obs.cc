@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/parallel.h"
+
 namespace fecsched::obs {
 
 namespace detail {
@@ -31,42 +33,108 @@ std::uint64_t next_generation() noexcept {
 
 }  // namespace detail
 
+namespace {
+
+// Installed process-wide while a timeline session is armed: attaches an
+// observer on every parallel_for_index worker (so lane count equals the
+// resolved worker count even for workers that drain zero items), records
+// worker begin/end spans, and forwards everything to whatever observer
+// (e.g. a progress meter) was installed before.
+class WorkerSpanObserver final : public ParallelObserver {
+ public:
+  explicit WorkerSpanObserver(ParallelObserver* next) noexcept : next_(next) {}
+
+  void on_batch(std::size_t count) override {
+    if (next_ != nullptr) next_->on_batch(count);
+  }
+  void on_item_done() override {
+    if (next_ != nullptr) next_->on_item_done();
+  }
+  void on_worker_start(unsigned worker) override {
+    if (Observer* o = current(); o != nullptr) o->worker_begin(worker);
+    if (next_ != nullptr) next_->on_worker_start(worker);
+  }
+  void on_worker_finish(unsigned worker) override {
+    if (Observer* o = current(); o != nullptr) o->worker_end(worker);
+    if (next_ != nullptr) next_->on_worker_finish(worker);
+  }
+
+ private:
+  ParallelObserver* next_;
+};
+
+}  // namespace
+
 Session::Session(const Config& cfg) : cfg_(cfg) {
   if (!cfg_.enabled()) return;
   generation_ = detail::next_generation();
   Session* expected = nullptr;
   if (detail::g_session.compare_exchange_strong(expected, this,
-                                                std::memory_order_acq_rel))
+                                                std::memory_order_acq_rel)) {
     active_ = true;
+    epoch_ = ObsClock::now();
+    if (cfg_.timeline) {
+      worker_spans_ = std::make_unique<WorkerSpanObserver>(parallel_observer());
+      prev_parallel_ = set_parallel_observer(worker_spans_.get());
+    }
+  }
 }
 
-Session::~Session() {
-  if (active_) detail::g_session.store(nullptr, std::memory_order_release);
+void Session::disarm() noexcept {
+  if (!active_) return;
+  if (worker_spans_ != nullptr) {
+    set_parallel_observer(prev_parallel_);
+    prev_parallel_ = nullptr;
+  }
+  detail::g_session.store(nullptr, std::memory_order_release);
+  active_ = false;
 }
+
+Session::~Session() { disarm(); }
 
 Observer& Session::thread_observer() {
   std::lock_guard<std::mutex> lock(mu_);
-  observers_.push_back(std::make_unique<Observer>(cfg_));
+  observers_.push_back(std::make_unique<Observer>(cfg_, epoch_));
   return *observers_.back();
 }
 
 Report Session::finish() {
-  if (active_) {
-    detail::g_session.store(nullptr, std::memory_order_release);
-    active_ = false;
-  }
+  disarm();
   Report report;
   report.config = cfg_;
   MetricsRegistry merged;
   std::lock_guard<std::mutex> lock(mu_);
-  for (const std::unique_ptr<Observer>& o : observers_) {
-    merged.merge_from(o->metrics_);
+  report.lanes = static_cast<std::uint32_t>(observers_.size());
+  for (std::size_t lane = 0; lane < observers_.size(); ++lane) {
+    Observer& o = *observers_[lane];
+    merged.merge_from(o.metrics_);
     for (std::size_t p = 0; p < kPhaseCount; ++p) {
-      report.phases[p].calls += o->phases_[p].calls;
-      report.phases[p].ns += o->phases_[p].ns;
+      report.phases[p].calls += o.phases_[p].calls;
+      report.phases[p].ns += o.phases_[p].ns;
     }
-    report.events.insert(report.events.end(), o->events_.begin(), o->events_.end());
+    report.events.insert(report.events.end(), o.events_.begin(), o.events_.end());
+    if (cfg_.timeline) {
+      report.spans_dropped += o.spans_.dropped();
+      std::vector<TimelineSpan> spans = o.spans_.drain();
+      for (TimelineSpan& s : spans) {
+        s.lane = static_cast<std::uint32_t>(lane);
+        report.spans.push_back(std::move(s));
+      }
+    }
+    if (cfg_.counters) {
+      if (o.perf_ != nullptr) {
+        if (o.perf_->available()) report.perf.available = true;
+        if (report.perf.status.empty()) report.perf.status = o.perf_->status();
+      }
+      for (std::size_t p = 0; p < kPhaseCount; ++p) {
+        report.perf.phases[p].reads += o.perf_phases_[p].reads;
+        for (std::size_t i = 0; i < kPerfCounterCount; ++i)
+          report.perf.phases[p].values[i] += o.perf_phases_[p].values[i];
+      }
+    }
   }
+  if (cfg_.counters && report.perf.status.empty())
+    report.perf.status = "no observations recorded";
   report.metrics = merged.snapshot();
   // Each trial's events live on one observer in emission order; a stable
   // sort by trial ordinal therefore restores the serial-run order.
@@ -86,6 +154,17 @@ std::string Report::deterministic_signature() const {
     sig += std::to_string(phases[p].calls);
     sig += ';';
   }
+  if (config.counters) {
+    // Read counts are deterministic (one per timed phase call); counter
+    // values and availability are machine facts and stay out.
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      sig += "pr:";
+      sig += to_string(static_cast<Phase>(p));
+      sig += '=';
+      sig += std::to_string(perf.phases[p].reads);
+      sig += ';';
+    }
+  }
   for (const auto& [name, v] : metrics.counters)
     sig += "c:" + name + '=' + std::to_string(v) + ';';
   for (const auto& [name, v] : metrics.gauges)
@@ -98,6 +177,32 @@ std::string Report::deterministic_signature() const {
   sig += "events:";
   for (const TraceEvent& ev : events) sig += event_to_json(ev).dump(0) + '\n';
   return sig;
+}
+
+api::Json perf_json(const PerfReport& perf) {
+  api::Json j = api::Json::object();
+  j.set("available", api::Json(perf.available));
+  j.set("status", api::Json(perf.status));
+  api::Json phases = api::Json::object();
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const PerfPhase& s = perf.phases[p];
+    if (s.reads == 0) continue;
+    api::Json row = api::Json::object();
+    row.set("reads", api::Json::integer(s.reads));
+    for (std::size_t i = 0; i < kPerfCounterCount; ++i)
+      row.set(std::string(to_string(static_cast<PerfCounter>(i))),
+              api::Json::integer(s.values[i]));
+    const std::uint64_t cycles =
+        s.values[static_cast<std::size_t>(PerfCounter::kCycles)];
+    const std::uint64_t instructions =
+        s.values[static_cast<std::size_t>(PerfCounter::kInstructions)];
+    if (cycles > 0)
+      row.set("ipc", api::Json(static_cast<double>(instructions) /
+                               static_cast<double>(cycles)));
+    phases.set(std::string(to_string(static_cast<Phase>(p))), std::move(row));
+  }
+  j.set("phases", std::move(phases));
+  return j;
 }
 
 api::Json observability_json(const RunManifest& manifest, const Report& report) {
@@ -142,6 +247,14 @@ api::Json observability_json(const RunManifest& manifest, const Report& report) 
     trace.set("sample", api::Json::integer(report.config.trace_sample));
     j.set("trace", std::move(trace));
   }
+  if (report.config.timeline) {
+    api::Json timeline = api::Json::object();
+    timeline.set("lanes", api::Json::integer(report.lanes));
+    timeline.set("spans", api::Json::integer(report.spans.size()));
+    timeline.set("dropped", api::Json::integer(report.spans_dropped));
+    j.set("timeline", std::move(timeline));
+  }
+  if (report.config.counters) j.set("perf", perf_json(report.perf));
   return j;
 }
 

@@ -18,6 +18,10 @@
 //    stable-sorts trace events by trial ordinal — everything in the
 //    merged Report except nanosecond timings is bit-identical for any
 //    --threads value (Report::deterministic_signature()).
+//  * The hot-path collectors obey the same split: timeline span
+//    timestamps and hardware-counter values are wall/machine facts and
+//    stay out of the signature, while phase call counts and counter
+//    *read* counts are deterministic and merged exactly.
 //
 // Threads are attached lazily: the first hook a worker thread hits
 // registers a thread-local Observer with the armed session.  A global
@@ -41,66 +45,60 @@
 
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/perfctr.h"
+#include "obs/phase.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
+
+namespace fecsched {
+class ParallelObserver;
+}  // namespace fecsched
 
 namespace fecsched::obs {
 
-/// Engine phases timed by the profiler.
-enum class Phase : std::uint8_t {
-  kEncode = 0,    ///< code construction: RSE plans, LDGM graphs
-  kChannelDraw,   ///< loss-model draws (GilbertModel::lost and paths)
-  kSchedule,      ///< transmission-order construction / scheduler picks
-  kDecode,        ///< tracker/decoder symbol processing
-  kMatrixInvert,  ///< GF(256) dense solves inside decode
-  kResequence,    ///< multipath arrival reordering (Resequencer::drain)
-};
-inline constexpr std::size_t kPhaseCount = 6;
-
-[[nodiscard]] constexpr std::string_view to_string(Phase p) noexcept {
-  switch (p) {
-    case Phase::kEncode: return "encode";
-    case Phase::kChannelDraw: return "channel_draw";
-    case Phase::kSchedule: return "schedule";
-    case Phase::kDecode: return "decode";
-    case Phase::kMatrixInvert: return "matrix_invert";
-    case Phase::kResequence: return "resequence";
-  }
-  return "?";
-}
-
-struct PhaseStats {
-  std::uint64_t calls = 0;  ///< deterministic: merged by addition
-  std::uint64_t ns = 0;     ///< wall time; excluded from the signature
-};
-
 /// What to collect.  Metrics ride along with profiling and tracing (the
 /// trace summary line and the profile report both need them), so
-/// `counting` is true whenever anything is enabled.
+/// `counting` is true whenever anything is enabled.  Timeline spans and
+/// hardware counters ride on the profiling phase hooks, so callers
+/// requesting them should also set `profile` (ObsSpec::config() does).
 struct Config {
   bool metrics = false;
   bool profile = false;
   bool trace = false;
   std::uint32_t trace_sample = 1;  ///< trace every Nth trial ordinal
+  bool timeline = false;           ///< collect Chrome-trace spans
+  bool counters = false;           ///< read perf counters per phase
 
-  [[nodiscard]] bool enabled() const noexcept { return metrics || profile || trace; }
+  [[nodiscard]] bool enabled() const noexcept {
+    return metrics || profile || trace || timeline || counters;
+  }
 };
 
 /// Per-thread sink.  Never shared between threads; merged once by
 /// Session::finish().
 class Observer {
  public:
-  explicit Observer(const Config& cfg) noexcept : cfg_(cfg) {}
+  explicit Observer(const Config& cfg, ObsClock::time_point epoch)
+      : cfg_(cfg), epoch_(epoch) {
+    if (cfg_.counters) perf_ = std::make_unique<PerfGroup>();
+  }
 
   void begin_trial(std::uint64_t ordinal) noexcept {
     trial_ = ordinal;
     trace_this_trial_ =
         cfg_.trace && (cfg_.trace_sample <= 1 || ordinal % cfg_.trace_sample == 0);
+    if (cfg_.timeline) trial_t0_ = ObsClock::now();
   }
-  void end_trial() noexcept { trace_this_trial_ = false; }
+  void end_trial() noexcept {
+    trace_this_trial_ = false;
+    if (cfg_.timeline) push_span(SpanKind::kTrial, trial_t0_, ObsClock::now(), trial_);
+  }
 
   [[nodiscard]] bool counting() const noexcept { return cfg_.enabled(); }
   [[nodiscard]] bool profiling() const noexcept { return cfg_.profile; }
   [[nodiscard]] bool tracing() const noexcept { return trace_this_trial_; }
+  [[nodiscard]] bool timeline_on() const noexcept { return cfg_.timeline; }
+  [[nodiscard]] bool counters_on() const noexcept { return cfg_.counters; }
   [[nodiscard]] std::uint64_t trial() const noexcept { return trial_; }
 
   MetricsRegistry& metrics() noexcept { return metrics_; }
@@ -111,6 +109,59 @@ class Observer {
     s.ns += ns;
   }
 
+  /// Counter values before a phase body runs (zeros when the group is
+  /// unavailable — the matching perf_add still counts the read).
+  void perf_read(PerfValues& out) noexcept {
+    if (perf_ != nullptr && perf_->available()) {
+      perf_->read(out);
+    } else {
+      out.fill(0);
+    }
+  }
+
+  /// Accumulates the counter delta since `before` onto `p`.  The read
+  /// count increments unconditionally so it stays deterministic across
+  /// hosts with and without counter access.
+  void perf_add(Phase p, const PerfValues& before) noexcept {
+    PerfPhase& s = perf_phases_[static_cast<std::size_t>(p)];
+    ++s.reads;
+    if (perf_ == nullptr || !perf_->available()) return;
+    PerfValues now{};
+    perf_->read(now);
+    for (std::size_t i = 0; i < kPerfCounterCount; ++i)
+      s.values[i] += now[i] - before[i];
+  }
+
+  void span_phase(Phase p, ObsClock::time_point t0, ObsClock::time_point t1) {
+    push_span(SpanKind::kPhase, t0, t1, trial_, p);
+  }
+  void span_cell(std::uint64_t cell, ObsClock::time_point t0,
+                 ObsClock::time_point t1) {
+    push_span(SpanKind::kCell, t0, t1, cell);
+  }
+  void worker_begin(unsigned worker) noexcept {
+    if (cfg_.timeline) {
+      worker_ = worker;
+      worker_t0_ = ObsClock::now();
+    }
+  }
+  void worker_end(unsigned worker) {
+    if (cfg_.timeline && worker == worker_)
+      push_span(SpanKind::kWorker, worker_t0_, ObsClock::now(), worker);
+  }
+  /// Zero-width marker (adapt decision, replan, ...) on this lane.
+  void instant(std::string_view name) {
+    if (!cfg_.timeline) return;
+    const ObsClock::time_point now = ObsClock::now();
+    TimelineSpan s;
+    s.kind = SpanKind::kInstant;
+    s.t0_ns = since_epoch(now);
+    s.t1_ns = s.t0_ns;
+    s.arg = trial_;
+    s.label.assign(name);
+    spans_.push(std::move(s));
+  }
+
   void emit(TraceEvent ev) {
     ev.trial = trial_;
     events_.push_back(ev);
@@ -118,11 +169,35 @@ class Observer {
 
  private:
   friend class Session;
+
+  [[nodiscard]] std::uint64_t since_epoch(ObsClock::time_point t) const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch_).count());
+  }
+
+  void push_span(SpanKind kind, ObsClock::time_point t0, ObsClock::time_point t1,
+                 std::uint64_t arg, Phase phase = Phase::kEncode) {
+    TimelineSpan s;
+    s.kind = kind;
+    s.phase = phase;
+    s.t0_ns = since_epoch(t0);
+    s.t1_ns = since_epoch(t1);
+    s.arg = arg;
+    spans_.push(std::move(s));
+  }
+
   Config cfg_;
+  ObsClock::time_point epoch_;
   MetricsRegistry metrics_;
   std::array<PhaseStats, kPhaseCount> phases_{};
+  std::array<PerfPhase, kPhaseCount> perf_phases_{};
+  std::unique_ptr<PerfGroup> perf_;  ///< only when cfg_.counters
+  SpanRing spans_;
   std::vector<TraceEvent> events_;
   std::uint64_t trial_ = 0;
+  ObsClock::time_point trial_t0_{};
+  ObsClock::time_point worker_t0_{};
+  unsigned worker_ = 0;
   bool trace_this_trial_ = false;
 };
 
@@ -133,9 +208,18 @@ struct Report {
   MetricsSnapshot metrics;
   std::vector<TraceEvent> events;  ///< sorted by (trial, emission order)
 
+  // Hot-path collectors.  Span timestamps and counter values are
+  // wall/machine facts and never enter deterministic_signature();
+  // PerfPhase::reads does (it equals the phase call count).
+  std::vector<TimelineSpan> spans;    ///< per-lane order preserved
+  std::uint32_t lanes = 0;            ///< observer threads that attached
+  std::uint64_t spans_dropped = 0;    ///< ring overwrites across lanes
+  PerfReport perf;
+
   /// Text digest of everything deterministic (metric values, phase call
-  /// counts, events) — equal across --threads values for the same spec.
-  /// Nanosecond timings are deliberately excluded.
+  /// counts, counter read counts, events) — equal across --threads
+  /// values for the same spec.  Nanosecond timings, span timestamps and
+  /// hardware counter values are deliberately excluded.
   [[nodiscard]] std::string deterministic_signature() const;
 };
 
@@ -152,6 +236,7 @@ class Session {
   [[nodiscard]] bool active() const noexcept { return active_; }
   [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] ObsClock::time_point epoch() const noexcept { return epoch_; }
 
   /// Register (or reuse) this thread's observer.  Called via obs::current().
   Observer& thread_observer();
@@ -161,11 +246,20 @@ class Session {
   [[nodiscard]] Report finish();
 
  private:
+  void disarm() noexcept;
+
   Config cfg_;
   bool active_ = false;
   std::uint64_t generation_ = 0;
+  ObsClock::time_point epoch_{};
   std::mutex mu_;
   std::vector<std::unique_ptr<Observer>> observers_;
+  // Timeline worker lanes: while armed with cfg_.timeline, a chaining
+  // ParallelObserver is installed that records worker begin/end spans
+  // and forwards to whatever observer (e.g. a progress meter) was
+  // installed before.
+  std::unique_ptr<ParallelObserver> worker_spans_;
+  ParallelObserver* prev_parallel_ = nullptr;
 };
 
 namespace detail {
@@ -198,22 +292,27 @@ class TrialScope {
   Observer* o_;
 };
 
-using ObsClock = std::chrono::steady_clock;
-
 /// Times one phase over a lexical scope (for call sites that cannot wrap
 /// a lambda, e.g. inside a decoder member function).
 class PhaseScope {
  public:
   PhaseScope(Observer* o, Phase p) noexcept
       : o_(o != nullptr && o->profiling() ? o : nullptr), phase_(p) {
-    if (o_ != nullptr) t0_ = ObsClock::now();
+    if (o_ != nullptr) {
+      if (o_->counters_on()) o_->perf_read(before_);
+      t0_ = ObsClock::now();
+    }
   }
   ~PhaseScope() {
-    if (o_ != nullptr)
+    if (o_ != nullptr) {
+      const ObsClock::time_point t1 = ObsClock::now();
       o_->phase_add(phase_, static_cast<std::uint64_t>(
                                 std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                    ObsClock::now() - t0_)
+                                    t1 - t0_)
                                     .count()));
+      if (o_->counters_on()) o_->perf_add(phase_, before_);
+      if (o_->timeline_on()) o_->span_phase(phase_, t0_, t1);
+    }
   }
   PhaseScope(const PhaseScope&) = delete;
   PhaseScope& operator=(const PhaseScope&) = delete;
@@ -221,6 +320,30 @@ class PhaseScope {
  private:
   Observer* o_;
   Phase phase_;
+  ObsClock::time_point t0_{};
+  PerfValues before_{};
+};
+
+/// Emits one sweep-cell timeline span over a lexical scope.  Dormant
+/// (pointer test only) unless the armed session collects a timeline.
+class CellSpanScope {
+ public:
+  explicit CellSpanScope(std::uint64_t cell) noexcept : cell_(cell) {
+    Observer* o = current();
+    if (o != nullptr && o->timeline_on()) {
+      o_ = o;
+      t0_ = ObsClock::now();
+    }
+  }
+  ~CellSpanScope() {
+    if (o_ != nullptr) o_->span_cell(cell_, t0_, ObsClock::now());
+  }
+  CellSpanScope(const CellSpanScope&) = delete;
+  CellSpanScope& operator=(const CellSpanScope&) = delete;
+
+ private:
+  Observer* o_ = nullptr;
+  std::uint64_t cell_;
   ObsClock::time_point t0_{};
 };
 
@@ -234,6 +357,8 @@ class Hook {
       counting_ = o_->counting();
       profiling_ = o_->profiling();
       tracing_ = o_->tracing();
+      timeline_ = o_->timeline_on();
+      counters_ = o_->counters_on();
     }
   }
 
@@ -256,23 +381,31 @@ class Hook {
     if (counting_) o_->metrics().histogram(name, bounds).observe(v);
   }
 
-  /// Run f() and attribute its wall time to `phase` when profiling.
+  /// Zero-width timeline marker; no-op unless a timeline is armed.
+  void instant(std::string_view name) const {
+    if (timeline_) o_->instant(name);
+  }
+
+  /// Run f() and attribute its wall time (and, when armed, its hardware
+  /// counter delta and a timeline span) to `phase` when profiling.
   /// Transparent to f's return value (including references).
   template <typename F>
   decltype(auto) timed(Phase phase, F&& f) const {
     using R = decltype(std::forward<F>(f)());
     if (!profiling_) return std::forward<F>(f)();
+    PerfValues before{};
+    if (counters_) o_->perf_read(before);
     const ObsClock::time_point t0 = ObsClock::now();
     if constexpr (std::is_void_v<R>) {
       std::forward<F>(f)();
-      o_->phase_add(phase, elapsed_ns(t0));
+      finish_phase(phase, t0, before);
     } else if constexpr (std::is_reference_v<R>) {
       R r = std::forward<F>(f)();
-      o_->phase_add(phase, elapsed_ns(t0));
+      finish_phase(phase, t0, before);
       return static_cast<R>(r);
     } else {
       R r = std::forward<F>(f)();
-      o_->phase_add(phase, elapsed_ns(t0));
+      finish_phase(phase, t0, before);
       return r;
     }
   }
@@ -298,10 +431,15 @@ class Hook {
   }
 
  private:
-  static std::uint64_t elapsed_ns(ObsClock::time_point t0) noexcept {
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(ObsClock::now() - t0)
-            .count());
+  void finish_phase(Phase phase, ObsClock::time_point t0,
+                    const PerfValues& before) const {
+    const ObsClock::time_point t1 = ObsClock::now();
+    o_->phase_add(phase, static_cast<std::uint64_t>(
+                             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 t1 - t0)
+                                 .count()));
+    if (counters_) o_->perf_add(phase, before);
+    if (timeline_) o_->span_phase(phase, t0, t1);
   }
 
   void emit(EventKind kind, double slot, std::uint64_t id, bool repair,
@@ -323,12 +461,17 @@ class Hook {
   bool counting_ = false;
   bool profiling_ = false;
   bool tracing_ = false;
+  bool timeline_ = false;
+  bool counters_ = false;
 };
 
 /// Full observability document embedded in --json output and printed by
 /// the CLI text reports: {"manifest":..., "profile":[...],
-/// "metrics":{...}, "trace":{"events":N}}.
+/// "metrics":{...}, "trace":{"events":N}, "timeline":{...}, "perf":...}.
 [[nodiscard]] api::Json observability_json(const RunManifest& manifest,
                                            const Report& report);
+
+/// PerfReport as JSON: {"available":..., "status":..., "phases":{...}}.
+[[nodiscard]] api::Json perf_json(const PerfReport& perf);
 
 }  // namespace fecsched::obs

@@ -1,0 +1,46 @@
+// Engine phase vocabulary shared by every obs collector.
+//
+// Split out of obs/obs.h so the hot-path collectors (obs/timeline.h,
+// obs/perfctr.h) can name phases without pulling the whole session
+// machinery into their headers.
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fecsched::obs {
+
+/// Engine phases timed by the profiler.
+enum class Phase : std::uint8_t {
+  kEncode = 0,    ///< code construction: RSE plans, LDGM graphs
+  kChannelDraw,   ///< loss-model draws (GilbertModel::lost and paths)
+  kSchedule,      ///< transmission-order construction / scheduler picks
+  kDecode,        ///< tracker/decoder symbol processing
+  kMatrixInvert,  ///< GF(256) dense solves inside decode
+  kResequence,    ///< multipath arrival reordering (Resequencer::drain)
+};
+inline constexpr std::size_t kPhaseCount = 6;
+
+[[nodiscard]] constexpr std::string_view to_string(Phase p) noexcept {
+  switch (p) {
+    case Phase::kEncode: return "encode";
+    case Phase::kChannelDraw: return "channel_draw";
+    case Phase::kSchedule: return "schedule";
+    case Phase::kDecode: return "decode";
+    case Phase::kMatrixInvert: return "matrix_invert";
+    case Phase::kResequence: return "resequence";
+  }
+  return "?";
+}
+
+struct PhaseStats {
+  std::uint64_t calls = 0;  ///< deterministic: merged by addition
+  std::uint64_t ns = 0;     ///< wall time; excluded from the signature
+};
+
+using ObsClock = std::chrono::steady_clock;
+
+}  // namespace fecsched::obs

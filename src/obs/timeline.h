@@ -1,0 +1,110 @@
+// Chrome trace_event / Perfetto timeline collection.
+//
+// Each observer thread owns a SpanRing — a fixed-capacity ring of
+// TimelineSpan records pushed from the phase hooks, worker start/finish
+// callbacks, trial scopes and sweep-cell scopes.  No locks on the hot
+// path: a ring belongs to exactly one thread, and Session::finish()
+// drains all rings after the workers have joined (the same contract the
+// metrics merge already relies on).  When the ring overflows the oldest
+// spans are overwritten and the drop is counted, so an armed timeline
+// can never grow without bound.
+//
+// Serialization targets the Chrome trace_event JSON-object format
+// (https://ui.perfetto.dev loads it directly): phase/trial/cell spans as
+// complete ("X") events, worker lifetimes as begin/end ("B"/"E") pairs,
+// adapt decisions as instant ("i") events, plus process/thread metadata
+// records naming one lane per observer thread.  Timestamps are relative
+// to the session epoch and are never part of deterministic_signature().
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/phase.h"
+
+namespace fecsched::api {
+class Json;
+}  // namespace fecsched::api
+
+namespace fecsched::obs {
+
+struct Report;
+struct RunManifest;
+
+enum class SpanKind : std::uint8_t {
+  kPhase = 0,  ///< one Hook::timed / PhaseScope interval
+  kTrial,      ///< one TrialScope lifetime (arg = trial ordinal)
+  kCell,       ///< one sweep grid cell (arg = cell index)
+  kWorker,     ///< one parallel_for_index worker lifetime (arg = worker)
+  kInstant,    ///< zero-width marker, e.g. an adapt decision (label set)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(SpanKind k) noexcept {
+  switch (k) {
+    case SpanKind::kPhase: return "phase";
+    case SpanKind::kTrial: return "trial";
+    case SpanKind::kCell: return "cell";
+    case SpanKind::kWorker: return "worker";
+    case SpanKind::kInstant: return "instant";
+  }
+  return "?";
+}
+
+struct TimelineSpan {
+  SpanKind kind = SpanKind::kPhase;
+  Phase phase = Phase::kEncode;  ///< meaningful for kPhase only
+  std::uint32_t lane = 0;        ///< observer lane, assigned at merge
+  std::uint64_t t0_ns = 0;       ///< start, ns since session epoch
+  std::uint64_t t1_ns = 0;       ///< end (== t0_ns for instants)
+  std::uint64_t arg = 0;         ///< trial / cell / worker ordinal
+  std::string label;             ///< instant name; empty otherwise
+};
+
+/// Single-owner span ring: bounded, overwrite-oldest, drop-counting.
+class SpanRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  explicit SpanRing(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void push(TimelineSpan span) {
+    if (buf_.size() < capacity_) {
+      buf_.push_back(std::move(span));
+    } else {
+      buf_[head_] = std::move(span);
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++total_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return total_ - buf_.size();
+  }
+
+  /// Surviving spans, oldest first.  Leaves the ring empty.
+  [[nodiscard]] std::vector<TimelineSpan> drain();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TimelineSpan> buf_;
+  std::size_t head_ = 0;       ///< oldest element once the ring is full
+  std::uint64_t total_ = 0;    ///< lifetime pushes, including overwritten
+};
+
+/// The merged report as a Chrome trace_event JSON document.
+[[nodiscard]] api::Json timeline_json(const RunManifest& manifest,
+                                      const Report& report);
+
+/// Writes timeline_json() to `path` (compact, one trailing newline).
+/// Returns false when the file cannot be opened.
+bool write_timeline_file(const std::string& path, const RunManifest& manifest,
+                         const Report& report);
+
+}  // namespace fecsched::obs

@@ -103,7 +103,7 @@ void validate_trace_line(const Json& j) {
   if (ev == "manifest") {
     check_keys(j, {"ev", "spec", "api", "gf", "engine", "threads",
                    "hardware_threads", "wall_seconds", "trace_sample",
-                   "started_at", "hostname"});
+                   "started_at", "hostname", "max_rss_kb"});
     (void)require(j, "spec").as_string("spec");
     (void)require(j, "api").as_string("api");
     (void)require(j, "gf").as_string("gf");

@@ -204,6 +204,7 @@ AdaptiveComparePoint run_point(double p, double q,
     step.tuple = decision.tuple;
     step.regime = decision.regime;
     step.replanned = decision.replanned;
+    if (decision.replanned) hook.instant("adapt.replan");
     step.decoded = trial.decoded;
     step.inefficiency = inefficiency;
     step.n_sent = trial.n_sent;

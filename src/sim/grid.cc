@@ -31,6 +31,7 @@ std::vector<ChannelPoint> grid_points(const GridSpec& spec) {
 void sweep_points(std::span<const ChannelPoint> points,
                   const GridRunOptions& options, const PointVisitor& visit) {
   parallel_for_index(points.size(), options.threads, [&](std::size_t c) {
+    const obs::CellSpanScope cell_span(c);
     for (std::uint32_t t = 0; t < options.trials_per_cell; ++t) {
       // Scenario-global trial ordinal: cells run whole on one worker, so
       // observations merge thread-count-independently (src/obs/).

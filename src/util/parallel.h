@@ -29,6 +29,12 @@ class ParallelObserver {
   virtual ~ParallelObserver() = default;
   virtual void on_batch(std::size_t count) = 0;
   virtual void on_item_done() = 0;
+  /// Worker lifetime callbacks, invoked on the worker's own thread (the
+  /// calling thread counts as worker 0 on the serial path).  Default
+  /// no-ops so meters that only track item counts stay unchanged; the
+  /// obs timeline session overrides them to record per-lane spans.
+  virtual void on_worker_start(unsigned /*worker*/) {}
+  virtual void on_worker_finish(unsigned /*worker*/) {}
 };
 
 namespace detail {
@@ -68,23 +74,27 @@ void parallel_for_index(std::size_t count, unsigned threads,
   if (progress != nullptr) progress->on_batch(count);
   const unsigned workers = resolve_worker_count(threads, count);
   if (workers <= 1) {
+    if (progress != nullptr) progress->on_worker_start(0);
     for (std::size_t i = 0; i < count; ++i) {
       body(i);
       if (progress != nullptr) progress->on_item_done();
     }
+    if (progress != nullptr) progress->on_worker_finish(0);
     return;
   }
   std::atomic<std::size_t> next{0};
-  const auto worker = [&] {
+  const auto worker = [&](unsigned w) {
+    if (progress != nullptr) progress->on_worker_start(w);
     for (std::size_t i = next.fetch_add(1); i < count;
          i = next.fetch_add(1)) {
       body(i);
       if (progress != nullptr) progress->on_item_done();
     }
+    if (progress != nullptr) progress->on_worker_finish(w);
   };
   std::vector<std::thread> pool;
   pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker, w);
   for (std::thread& t : pool) t.join();
 }
 

@@ -1,0 +1,361 @@
+// Tests for the hot-path performance collectors (src/obs/timeline.h,
+// src/obs/perfctr.h, src/obs/memwatch.h): Chrome-trace span capture and
+// serialization, per-phase hardware-counter reads with deterministic
+// read counts, and memory watermarks — all under the repo's
+// observation-never-changes-results and thread-count-independence
+// contracts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/json.h"
+#include "api/scenario.h"
+#include "fec/symbol_arena.h"
+#include "obs/ledger.h"
+#include "obs/manifest.h"
+#include "obs/memwatch.h"
+#include "obs/obs.h"
+#include "obs/perfctr.h"
+#include "obs/timeline.h"
+
+namespace fecsched {
+namespace {
+
+using api::ScenarioResult;
+using api::ScenarioSpec;
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "hotpath_obs_test_" + name;
+}
+
+ScenarioSpec small_grid_spec() {
+  ScenarioSpec spec;
+  spec.engine = "grid";
+  spec.code.name = "rse";
+  spec.code.ratio = 1.5;
+  spec.code.k = 200;
+  spec.tx.model = "tx2";
+  spec.run.trials = 4;
+  spec.run.seed = 0x5eedf00dULL;
+  spec.sweep.p_values = {0.05, 0.4};
+  spec.sweep.q_values = {0.25};
+  return spec;
+}
+
+// --------------------------------------------------------- span ring
+
+TEST(ObsTimelineRing, OverwritesOldestAndCountsDrops) {
+  obs::SpanRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    obs::TimelineSpan s;
+    s.kind = obs::SpanKind::kPhase;
+    s.t0_ns = i;
+    s.t1_ns = i + 1;
+    s.arg = i;
+    ring.push(std::move(s));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  const std::vector<obs::TimelineSpan> spans = ring.drain();
+  ASSERT_EQ(spans.size(), 4u);
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    EXPECT_EQ(spans[i].arg, 6u + i) << "oldest-first drain order";
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+// ----------------------------------------------------- timeline spans
+
+TEST(ObsTimeline, GridSweepSpansBalanceAndLanesMatchWorkers) {
+  ScenarioSpec spec = small_grid_spec();
+  spec.obs.timeline = tmp_path("grid_timeline.json");
+  spec.run.threads = 2;  // 2 cells -> exactly 2 worker threads
+  const ScenarioResult result = api::run_scenario(spec);
+
+  ASSERT_TRUE(result.obs.has_value());
+  const obs::Report& report = *result.obs;
+  ASSERT_EQ(report.spans_dropped, 0u) << "small run must not overflow the ring";
+
+  std::uint64_t phase_spans = 0, trial_spans = 0, cell_spans = 0;
+  std::set<std::uint64_t> worker_ids;
+  for (const obs::TimelineSpan& s : report.spans) {
+    EXPECT_GE(s.t1_ns, s.t0_ns);
+    EXPECT_LT(s.lane, report.lanes);
+    switch (s.kind) {
+      case obs::SpanKind::kPhase: ++phase_spans; break;
+      case obs::SpanKind::kTrial: ++trial_spans; break;
+      case obs::SpanKind::kCell: ++cell_spans; break;
+      case obs::SpanKind::kWorker: worker_ids.insert(s.arg); break;
+      case obs::SpanKind::kInstant: break;
+    }
+  }
+  std::uint64_t phase_calls = 0;
+  for (const obs::PhaseStats& s : report.phases) phase_calls += s.calls;
+  EXPECT_EQ(phase_spans, phase_calls) << "one span per timed phase call";
+  EXPECT_EQ(trial_spans, 8u) << "2 cells x 4 trials";
+  EXPECT_EQ(cell_spans, 2u);
+  EXPECT_EQ(worker_ids.size(), 2u) << "one worker span pair per worker";
+  EXPECT_GE(report.lanes, 2u);
+
+  std::remove(spec.obs.timeline.c_str());
+}
+
+TEST(ObsTimeline, FileIsPerfettoJsonAndRoundTripsThroughApiJson) {
+  ScenarioSpec spec = small_grid_spec();
+  spec.obs.timeline = tmp_path("roundtrip_timeline.json");
+  const ScenarioResult result = api::run_scenario(spec);
+  ASSERT_TRUE(result.obs.has_value());
+
+  std::ifstream in(spec.obs.timeline);
+  ASSERT_TRUE(in) << "run_scenario must write the timeline file";
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const api::Json doc = api::Json::parse(text);
+
+  const api::Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::uint64_t begins = 0, ends = 0;
+  for (const api::Json& ev : events->as_array("traceEvents")) {
+    const std::string ph = ev.find("ph")->as_string("ph");
+    if (ph == "B") ++begins;
+    if (ph == "E") ++ends;
+  }
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends) << "every worker that began also ended";
+  const api::Json* other = doc.find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->find("spec")->as_string("spec"),
+            result.manifest.fingerprint);
+
+  // Round trip: re-dump and re-parse must preserve the event count.
+  const api::Json again = api::Json::parse(doc.dump(0));
+  EXPECT_EQ(again.find("traceEvents")->as_array("traceEvents").size(),
+            events->as_array("traceEvents").size());
+
+  std::remove(spec.obs.timeline.c_str());
+}
+
+TEST(ObsTimeline, InstantMarkersRecordedOnArmedSessions) {
+  obs::Config cfg;
+  cfg.metrics = true;
+  cfg.profile = true;
+  cfg.timeline = true;
+  obs::Session session(cfg);
+  {
+    const obs::TrialScope scope(3);
+    const obs::Hook hook;
+    hook.instant("adapt.replan");
+  }
+  const obs::Report report = session.finish();
+  bool found = false;
+  for (const obs::TimelineSpan& s : report.spans)
+    if (s.kind == obs::SpanKind::kInstant && s.label == "adapt.replan" &&
+        s.arg == 3)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsTimeline, DisabledSessionsCollectNoSpans) {
+  obs::Config cfg;
+  cfg.metrics = true;  // metrics only: the span ring must stay empty
+  obs::Session session(cfg);
+  {
+    const obs::TrialScope scope(0);
+    const obs::Hook hook;
+    hook.instant("never");
+    hook.timed(obs::Phase::kEncode, [] {});
+  }
+  const obs::Report report = session.finish();
+  EXPECT_TRUE(report.spans.empty());
+  EXPECT_EQ(report.spans_dropped, 0u);
+}
+
+// ------------------------------------------------- hardware counters
+
+TEST(ObsPerfctr, EnvVariableForcesStub) {
+  ::setenv(std::string(obs::kPerfEnv).c_str(), "off", 1);
+  {
+    obs::PerfGroup group;
+    EXPECT_FALSE(group.available());
+    EXPECT_NE(group.status().find("FECSCHED_PERF"), std::string::npos);
+    obs::PerfValues v{};
+    group.read(v);  // must be a harmless no-op
+  }
+  ::unsetenv(std::string(obs::kPerfEnv).c_str());
+}
+
+TEST(ObsPerfctr, StubStillCountsReadsDeterministically) {
+  ::setenv(std::string(obs::kPerfEnv).c_str(), "off", 1);
+  obs::Config cfg;
+  cfg.metrics = true;
+  cfg.profile = true;
+  cfg.counters = true;
+  obs::Session session(cfg);
+  {
+    const obs::TrialScope scope(0);
+    const obs::Hook hook;
+    for (int i = 0; i < 5; ++i) hook.timed(obs::Phase::kDecode, [] {});
+  }
+  const obs::Report report = session.finish();
+  EXPECT_FALSE(report.perf.available);
+  const auto decode = static_cast<std::size_t>(obs::Phase::kDecode);
+  EXPECT_EQ(report.perf.phases[decode].reads, 5u);
+  EXPECT_EQ(report.perf.phases[decode].reads, report.phases[decode].calls);
+  for (const std::uint64_t v : report.perf.phases[decode].values)
+    EXPECT_EQ(v, 0u) << "stub never fabricates counter values";
+  ::unsetenv(std::string(obs::kPerfEnv).c_str());
+}
+
+TEST(ObsPerfctr, ReadCountsAreThreadCountIndependent) {
+  ScenarioSpec spec = small_grid_spec();
+  spec.obs.counters = true;
+  spec.run.threads = 1;
+  const ScenarioResult one = api::run_scenario(spec);
+  spec.run.threads = 4;
+  const ScenarioResult four = api::run_scenario(spec);
+  ASSERT_TRUE(one.obs && four.obs);
+  for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+    EXPECT_EQ(one.obs->perf.phases[p].reads, four.obs->perf.phases[p].reads);
+    EXPECT_EQ(one.obs->perf.phases[p].reads, one.obs->phases[p].calls)
+        << "every timed phase call reads the counter group once";
+  }
+  EXPECT_EQ(one.obs->deterministic_signature(),
+            four.obs->deterministic_signature());
+}
+
+TEST(ObsPerfctr, RealCountersNonZeroWhenHostGrantsAccess) {
+  obs::PerfGroup probe;
+  if (!probe.available())
+    GTEST_SKIP() << "perf_event_open unavailable: " << probe.status();
+  ScenarioSpec spec = small_grid_spec();
+  spec.obs.counters = true;
+  const ScenarioResult result = api::run_scenario(spec);
+  ASSERT_TRUE(result.obs.has_value());
+  EXPECT_TRUE(result.obs->perf.available);
+  const auto cycles = static_cast<std::size_t>(obs::PerfCounter::kCycles);
+  const auto instr = static_cast<std::size_t>(obs::PerfCounter::kInstructions);
+  std::uint64_t total_cycles = 0, total_instr = 0;
+  for (const obs::PerfPhase& p : result.obs->perf.phases) {
+    total_cycles += p.values[cycles];
+    total_instr += p.values[instr];
+  }
+  EXPECT_GT(total_cycles, 0u);
+  EXPECT_GT(total_instr, 0u);
+}
+
+// --------------------------------------------------- memory watermark
+
+TEST(ObsMemwatch, ArenaGaugeIsExactForKnownGeometry) {
+  obs::Config cfg;
+  cfg.metrics = true;
+  obs::Session session(cfg);
+  {
+    const obs::TrialScope scope(0);
+    SymbolArena arena;
+    arena.configure(5, 100);  // stride rounds 100 up to 128 -> 640 bytes
+    EXPECT_EQ(arena.stride(), 128u);
+    arena.configure(2, 10);  // smaller reconfigure must not lower the max
+  }
+  const obs::Report report = session.finish();
+  std::uint64_t gauge = 0;
+  for (const auto& [name, value] : report.metrics.gauges)
+    if (name == std::string(obs::kArenaHighWaterGauge)) gauge = value;
+  EXPECT_EQ(gauge, 5u * 128u);
+}
+
+TEST(ObsMemwatch, MaxRssIsPositiveOnLinux) {
+#if defined(__linux__) || defined(__APPLE__)
+  EXPECT_GT(obs::max_rss_kb(), 0u);
+#else
+  GTEST_SKIP() << "no getrusage max-RSS on this platform";
+#endif
+}
+
+TEST(ObsMemwatch, ManifestOmitsMaxRssWhenZeroAndKeepsItOtherwise) {
+  obs::RunManifest m;
+  m.fingerprint = "fnv1a:0";
+  EXPECT_EQ(obs::manifest_to_json(m).find("max_rss_kb"), nullptr);
+  m.max_rss_kb = 1234;
+  const api::Json j = obs::manifest_to_json(m);
+  ASSERT_NE(j.find("max_rss_kb"), nullptr);
+  EXPECT_EQ(j.find("max_rss_kb")->as_uint64("max_rss_kb"), 1234u);
+}
+
+TEST(ObsMemwatch, RunManifestCarriesProcessPeak) {
+  const ScenarioResult result = api::run_scenario(small_grid_spec());
+#if defined(__linux__) || defined(__APPLE__)
+  EXPECT_GT(result.manifest.max_rss_kb, 0u);
+#endif
+}
+
+// ------------------------------------------------------------- ledger
+
+TEST(ObsLedgerPerf, PerfRecordRoundTripsStrictly) {
+  obs::LedgerRecord record;
+  record.kind = "run";
+  record.manifest.fingerprint = "fnv1a:deadbeef";
+  record.manifest.engine = "grid";
+  record.manifest.max_rss_kb = 4321;
+  record.perf.available = true;
+  record.perf.status = "ok";
+  auto& decode =
+      record.perf.phases[static_cast<std::size_t>(obs::Phase::kDecode)];
+  decode.reads = 7;
+  decode.values[static_cast<std::size_t>(obs::PerfCounter::kCycles)] = 1000;
+  decode.values[static_cast<std::size_t>(obs::PerfCounter::kCacheMisses)] = 3;
+
+  const api::Json j = obs::record_to_json(record);
+  const obs::LedgerRecord back = obs::record_from_json(j);
+  EXPECT_EQ(back.manifest.max_rss_kb, 4321u);
+  EXPECT_TRUE(back.perf.available);
+  EXPECT_EQ(back.perf.status, "ok");
+  const auto& d =
+      back.perf.phases[static_cast<std::size_t>(obs::Phase::kDecode)];
+  EXPECT_EQ(d.reads, 7u);
+  EXPECT_EQ(d.values[static_cast<std::size_t>(obs::PerfCounter::kCycles)],
+            1000u);
+  EXPECT_EQ(
+      d.values[static_cast<std::size_t>(obs::PerfCounter::kCacheMisses)], 3u);
+}
+
+// --------------------------------------------------------- spec knobs
+
+TEST(ObsSpecHotPath, TimelineAndCountersRoundTripThroughJson) {
+  ScenarioSpec spec = small_grid_spec();
+  spec.obs.timeline = "/tmp/t.json";
+  spec.obs.counters = true;
+  const ScenarioSpec back = ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.obs.timeline, "/tmp/t.json");
+  EXPECT_TRUE(back.obs.counters);
+  const obs::Config cfg = back.obs.config();
+  EXPECT_TRUE(cfg.timeline);
+  EXPECT_TRUE(cfg.counters);
+  EXPECT_TRUE(cfg.profile) << "timeline/counters ride on the phase hooks";
+}
+
+TEST(ObsSpecHotPath, ObsKnobsNeverChangeSpecIdentity) {
+  const ScenarioSpec plain = small_grid_spec();
+  ScenarioSpec observed = plain;
+  observed.obs.timeline = "/tmp/t.json";
+  observed.obs.counters = true;
+  const ScenarioResult a = api::run_scenario(plain);
+  EXPECT_EQ(a.manifest.fingerprint,
+            obs::spec_fingerprint(plain.to_json()));
+  // The fingerprint hashes the spec with obs knobs blanked, so flagged
+  // and un-flagged runs of the same scenario land under one ledger key.
+  ScenarioSpec identity = observed;
+  identity.obs = api::ObsSpec{};
+  EXPECT_EQ(obs::spec_fingerprint(identity.to_json()),
+            a.manifest.fingerprint);
+  std::remove("/tmp/t.json");
+}
+
+}  // namespace
+}  // namespace fecsched

@@ -171,3 +171,49 @@ grep -q 'stream: .*trials' BENCH_progress_err.txt
 grep -q '^fecsched;grid;' BENCH_profile.folded
 grep -q '^fecsched_grid_trials_total' BENCH_metrics.prom
 echo "cross-run gate: ledger compares clean across backends, stdout untouched"
+
+# Hot-path observability gate (obs/timeline.h, obs/perfctr.h,
+# obs/memwatch.h):
+# 1. the hot-path collector test suite (span capture, counter read
+#    determinism, arena/RSS watermarks);
+ctest --output-on-failure --no-tests=error \
+      -R 'ObsTimeline|ObsPerfctr|ObsMemwatch|ObsLedgerPerf|ObsSpecHotPath'
+# 2. timeline smoke on the pinned grid point, default and forced-scalar
+#    GF backends: stdout must stay byte-identical to the no-flag run, and
+#    the written document must pass trace_stats schema validation
+#    (parse + known phase letters + balanced worker begin/end spans);
+./fecsched_cli sweep --code=rse --tx=1 --ratio=1.5 --k=400 --trials=3 \
+  --timeline-out=BENCH_timeline.json | cmp - ../tools/pinned/grid_point.txt
+./trace_stats --timeline BENCH_timeline.json
+FECSCHED_GF_BACKEND=scalar ./fecsched_cli sweep --code=rse --tx=1 \
+  --ratio=1.5 --k=400 --trials=3 --timeline-out=BENCH_timeline.json \
+  | cmp - ../tools/pinned/grid_point.txt
+./trace_stats --timeline BENCH_timeline.json
+b=$(grep -o '"ph":"B"' BENCH_timeline.json | wc -l)
+e=$(grep -o '"ph":"E"' BENCH_timeline.json | wc -l)
+if [ "$b" -eq 0 ] || [ "$b" -ne "$e" ]; then
+  echo "BUG: timeline worker spans unbalanced (B=$b E=$e)"; exit 1
+fi
+# 3. counters run: on perf-capable hosts the report carries per-phase
+#    hardware counters, elsewhere it must still exit 0 with an explicit
+#    counters-absent marker — never crash, never fabricate values;
+./fecsched_cli stream --p=0.02 --q=0.4 --sources=800 --trials=3 \
+  --counters > BENCH_counters.txt
+grep -q 'perf counters' BENCH_counters.txt
+FECSCHED_PERF=off ./fecsched_cli stream --p=0.02 --q=0.4 --sources=800 \
+  --trials=3 --counters | grep -q 'perf counters: unavailable'
+# 4. the hot-path flags stay run-scoped: the query/planning subcommands
+#    must reject them like any unknown flag;
+for sub in plan universal limits fit history compare list; do
+  for flag in --timeline-out=BENCH_x.json --counters; do
+    if ./fecsched_cli "$sub" "$flag" > /dev/null 2>&1; then
+      echo "BUG: $sub accepted $flag"; exit 1
+    fi
+  done
+done
+# 5. the dormant-cost budget re-checked with the new collectors compiled
+#    in, and both enabled rows measured (bench_obs_overhead --check above
+#    already gates disabled overhead; this one also proves the timeline
+#    and counter rows exist at a smaller scale for speed).
+./bench_obs_overhead --k=500 --trials=8 --check
+echo "hot-path gate: timelines validate, counters degrade gracefully, stdout untouched"

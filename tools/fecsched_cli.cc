@@ -242,13 +242,14 @@ void build_channel(const Args& args, api::ChannelSpec& channel,
 
 /// Observability flags shared by every engine subcommand (and `run`,
 /// where they override the stored spec's obs section): --metrics,
-/// --profile, --trace=<file.jsonl>, --trace-sample=N.
+/// --profile, --trace=<file.jsonl>, --trace-sample=N, --counters.
 void apply_obs_flags(const Args& args, api::ObsSpec& obs) {
   if (args.get("metrics")) obs.metrics = true;
   if (args.get("profile")) obs.profile = true;
   if (const auto t = args.get("trace")) obs.trace = *t;
   if (const auto n = args.get("trace-sample"))
     obs.trace_sample = static_cast<std::uint32_t>(std::stoull(*n));
+  if (args.get("counters")) obs.counters = true;
 }
 
 // ------------------------------------------ cross-run output plumbing
@@ -264,6 +265,7 @@ struct ObsOutputs {
   std::string ledger;
   std::string profile_out;
   std::string metrics_out;
+  std::string timeline_out;
   bool progress = false;
 };
 
@@ -276,6 +278,7 @@ ObsOutputs parse_obs_outputs(const Args& args) {
   }
   if (const auto p = args.get("profile-out")) outputs.profile_out = *p;
   if (const auto m = args.get("metrics-out")) outputs.metrics_out = *m;
+  if (const auto t = args.get("timeline-out")) outputs.timeline_out = *t;
   outputs.progress = args.get("progress").has_value();
   return outputs;
 }
@@ -290,6 +293,11 @@ void force_obs_collection(const ObsOutputs& outputs, api::ObsSpec& obs) {
   }
   if (!outputs.profile_out.empty()) obs.profile = true;
   if (!outputs.metrics_out.empty()) obs.metrics = true;
+  // run_scenario writes the timeline file itself (the path rides in the
+  // spec's obs section), but like --ledger the flag never turns the
+  // stdout obs report on — run_scenario_with_outputs drops the report
+  // when the user did not ask for one.
+  if (!outputs.timeline_out.empty()) obs.timeline = outputs.timeline_out;
 }
 
 std::string progress_unit(const std::string& engine) {
@@ -475,6 +483,47 @@ void print_observability(const api::ScenarioResult& result) {
   if (report.config.trace)
     std::printf("trace: %zu events (1-in-%u trial sampling)\n",
                 report.events.size(), report.config.trace_sample);
+  if (report.config.counters) {
+    const obs::PerfReport& perf = report.perf;
+    if (!perf.available) {
+      std::printf("perf counters: unavailable (%s)\n", perf.status.c_str());
+    } else {
+      std::printf("perf counters: per-phase hardware counters "
+                  "(perf_event_open, user space)\n");
+      std::printf("%-14s %12s %14s %14s %6s %7s %12s\n", "phase", "reads",
+                  "cycles", "instructions", "ipc", "miss%", "branch_miss");
+      for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+        const obs::PerfPhase& s = perf.phases[i];
+        if (s.reads == 0) continue;
+        const auto value = [&](obs::PerfCounter c) {
+          return s.values[static_cast<std::size_t>(c)];
+        };
+        const std::uint64_t cycles = value(obs::PerfCounter::kCycles);
+        const std::uint64_t instructions =
+            value(obs::PerfCounter::kInstructions);
+        const std::uint64_t refs = value(obs::PerfCounter::kCacheReferences);
+        const std::uint64_t misses = value(obs::PerfCounter::kCacheMisses);
+        std::printf(
+            "%-14s %12llu %14llu %14llu %6.2f %7.2f %12llu\n",
+            std::string(obs::to_string(static_cast<obs::Phase>(i))).c_str(),
+            static_cast<unsigned long long>(s.reads),
+            static_cast<unsigned long long>(cycles),
+            static_cast<unsigned long long>(instructions),
+            cycles > 0 ? static_cast<double>(instructions) /
+                             static_cast<double>(cycles)
+                       : 0.0,
+            refs > 0 ? 100.0 * static_cast<double>(misses) /
+                           static_cast<double>(refs)
+                     : 0.0,
+            static_cast<unsigned long long>(
+                value(obs::PerfCounter::kBranchMisses)));
+      }
+    }
+  }
+  if (report.config.timeline)
+    std::printf("timeline: %zu spans on %u lanes (%llu dropped)\n",
+                report.spans.size(), report.lanes,
+                static_cast<unsigned long long>(report.spans_dropped));
 }
 
 // ------------------------------------------------------ grid printing
@@ -1257,10 +1306,14 @@ void usage(std::FILE* out) {
                "  every experiment subcommand accepts --dump-spec (print "
                "the scenario JSON and exit)\n"
                "  engine subcommands accept --metrics --profile "
-               "--trace=<file.jsonl> --trace-sample=N (src/obs/)\n"
+               "--trace=<file.jsonl> --trace-sample=N\n"
+               "  --counters (per-phase hardware counters; src/obs/)\n"
                "  ...and the cross-run outputs --ledger=<file.jsonl> "
                "(or FECSCHED_LEDGER), --progress,\n"
-               "  --profile-out=<file.folded>, --metrics-out=<file.prom>\n"
+               "  --profile-out=<file.folded>, --metrics-out=<file.prom>, "
+               "--timeline-out=<file.json>\n"
+               "  (Chrome trace_event timeline; load in "
+               "ui.perfetto.dev or chrome://tracing)\n"
                "\n"
                "run 'fecsched_cli --help' or see the header of "
                "tools/fecsched_cli.cc for per-command flags\n");
@@ -1274,10 +1327,14 @@ struct Command {
 
 // Observability flags shared by the engine subcommands (`fit` keeps its
 // historical --trace=<loss file> INPUT flag and takes no obs flags).
-// FECSCHED_OBS_OUT_FLAGS are the PR-7 cross-run outputs: the run ledger,
-// the live heartbeat, and the profile/metrics export files.
-#define FECSCHED_OBS_FLAGS "metrics", "profile", "trace", "trace-sample"
-#define FECSCHED_OBS_OUT_FLAGS "ledger", "progress", "profile-out", "metrics-out"
+// FECSCHED_OBS_OUT_FLAGS are the cross-run outputs: the run ledger, the
+// live heartbeat, the profile/metrics export files and the Chrome-trace
+// timeline — none of them changes stdout.  --counters is a user obs flag
+// (its report prints), --timeline-out an output flag (stdout untouched).
+#define FECSCHED_OBS_FLAGS \
+  "metrics", "profile", "trace", "trace-sample", "counters"
+#define FECSCHED_OBS_OUT_FLAGS \
+  "ledger", "progress", "profile-out", "metrics-out", "timeline-out"
 
 const Command kCommands[] = {
     {"sweep", cmd_sweep,

@@ -2,6 +2,15 @@
 // and cross-check them against the engine's own summary.
 //
 //   trace_stats <trace.jsonl> [--json] [--summary=<cli --json output>]
+//   trace_stats --timeline <timeline.json>
+//
+// The --timeline mode validates a Chrome trace_event document written by
+// `fecsched_cli ... --timeline-out=<file>` (src/obs/timeline.h): the
+// document must parse, every event needs name/ph/pid/tid with a known
+// phase letter (M/X/B/E/i), "X" events need a non-negative dur, and the
+// worker "B"/"E" events must balance per lane with never-negative depth.
+// Exit 0 and a one-line summary on success, 1 with a diagnostic on any
+// violation.
 //
 // With --json, stdout is exactly one JSON document (cross-check
 // statuses embedded under "checks"; human-readable check lines move to
@@ -32,7 +41,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "api/json.h"
@@ -135,14 +146,111 @@ const char* check(const char* what, const obs::TraceResidual& trace,
   return ok ? "ok" : "mismatch";
 }
 
+const api::Json& need(const api::Json& ev, const std::string& where,
+                      const char* key) {
+  const api::Json* v = ev.find(key);
+  if (v == nullptr)
+    throw std::invalid_argument(where + " is missing \"" + key + "\"");
+  return *v;
+}
+
+/// --timeline mode: schema-validate a Chrome trace_event document.
+int validate_timeline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_stats: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const api::Json doc = api::Json::parse(text);
+  const api::Json* events = doc.find("traceEvents");
+  if (events == nullptr) {
+    std::fprintf(stderr, "trace_stats: %s has no traceEvents array\n",
+                 path.c_str());
+    return 1;
+  }
+  // Per-lane begin/end depth; B/E events are worker lifetimes, which the
+  // timeline serializer always emits in begin-before-end pairs.
+  std::map<std::uint64_t, std::int64_t> depth;
+  std::set<std::uint64_t> lanes;
+  std::uint64_t n = 0, begins = 0, ends = 0, complete = 0, instants = 0;
+  for (const api::Json& ev : events->as_array("traceEvents")) {
+    ++n;
+    const std::string where = "traceEvents[" + std::to_string(n - 1) + "]";
+    (void)need(ev, where, "name").as_string(where + ".name");
+    const std::string ph = need(ev, where, "ph").as_string(where + ".ph");
+    (void)need(ev, where, "pid").as_uint64(where + ".pid");
+    const std::uint64_t tid = need(ev, where, "tid").as_uint64(where + ".tid");
+    if (ph == "M") continue;  // metadata carries no timestamp
+    lanes.insert(tid);
+    const double ts = need(ev, where, "ts").as_double(where + ".ts");
+    if (ts < 0.0) {
+      std::fprintf(stderr, "trace_stats: %s.ts is negative\n", where.c_str());
+      return 1;
+    }
+    if (ph == "X") {
+      ++complete;
+      if (need(ev, where, "dur").as_double(where + ".dur") < 0.0) {
+        std::fprintf(stderr, "trace_stats: %s.dur is negative\n",
+                     where.c_str());
+        return 1;
+      }
+    } else if (ph == "B") {
+      ++begins;
+      ++depth[tid];
+    } else if (ph == "E") {
+      ++ends;
+      if (--depth[tid] < 0) {
+        std::fprintf(stderr,
+                     "trace_stats: lane %llu ends a span it never began\n",
+                     static_cast<unsigned long long>(tid));
+        return 1;
+      }
+    } else if (ph == "i") {
+      ++instants;
+    } else {
+      std::fprintf(stderr, "trace_stats: %s has unknown ph \"%s\"\n",
+                   where.c_str(), ph.c_str());
+      return 1;
+    }
+  }
+  for (const auto& [tid, d] : depth) {
+    if (d != 0) {
+      std::fprintf(stderr,
+                   "trace_stats: lane %llu has %lld unbalanced begin spans\n",
+                   static_cast<unsigned long long>(tid),
+                   static_cast<long long>(d));
+      return 1;
+    }
+  }
+  std::printf("timeline: %llu events on %zu lanes (%llu complete, "
+              "%llu begin/%llu end balanced, %llu instants)\n",
+              static_cast<unsigned long long>(n), lanes.size(),
+              static_cast<unsigned long long>(complete),
+              static_cast<unsigned long long>(begins),
+              static_cast<unsigned long long>(ends),
+              static_cast<unsigned long long>(instants));
+  return 0;
+}
+
 int run(int argc, char** argv) {
   std::string path;
   std::optional<std::string> summary_path;
+  std::optional<std::string> timeline_path;
   bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--timeline") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "trace_stats: --timeline needs a file\n");
+        return 2;
+      }
+      timeline_path = argv[++i];
+    } else if (arg.rfind("--timeline=", 0) == 0) {
+      timeline_path = arg.substr(std::strlen("--timeline="));
     } else if (arg.rfind("--summary=", 0) == 0) {
       summary_path = arg.substr(std::strlen("--summary="));
     } else if (arg.rfind("--", 0) == 0) {
@@ -155,10 +263,20 @@ int run(int argc, char** argv) {
       return 2;
     }
   }
+  if (timeline_path) {
+    if (!path.empty() || summary_path || json) {
+      std::fprintf(stderr,
+                   "trace_stats: --timeline validates one file and takes no "
+                   "other arguments\n");
+      return 2;
+    }
+    return validate_timeline(*timeline_path);
+  }
   if (path.empty()) {
     std::fprintf(stderr,
                  "usage: trace_stats <trace.jsonl> [--json] "
-                 "[--summary=<cli --json output>]\n");
+                 "[--summary=<cli --json output>] | "
+                 "trace_stats --timeline <timeline.json>\n");
     return 2;
   }
 
