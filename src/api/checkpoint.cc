@@ -1,0 +1,222 @@
+#include "api/checkpoint.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <vector>
+
+#include "api/json.h"
+#include "util/durable_io.h"
+#include "util/faultpoint.h"
+
+namespace fecsched::api {
+
+namespace {
+
+/// "fnv1a:deadbeef..." -> "deadbeef..." (file names should not carry a
+/// colon; the algorithm tag is redundant with the shard body).
+std::string fingerprint_tag(const std::string& fingerprint) {
+  const std::size_t colon = fingerprint.find(':');
+  return colon == std::string::npos ? fingerprint
+                                    : fingerprint.substr(colon + 1);
+}
+
+/// mkdir that tolerates an existing directory.  Single level: checkpoint
+/// directories are operator-chosen scratch paths, not deep trees.
+void ensure_dir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return;
+  throw std::runtime_error("checkpoint: cannot create directory \"" + dir +
+                           "\": " + std::strerror(errno));
+}
+
+Json stats_json(const RunningStats& s) {
+  Json j = Json::object();
+  j.set("n", Json::integer(s.count()));
+  if (s.count() > 0) {
+    // min/max are +/-inf while empty, which JSON cannot carry; an empty
+    // accumulator is fully described by n=0.
+    j.set("mean", Json(s.mean()));
+    j.set("m2", Json(s.m2()));
+    j.set("min", Json(s.min()));
+    j.set("max", Json(s.max()));
+  }
+  return j;
+}
+
+RunningStats stats_from_json(const Json& j, std::string_view where) {
+  const Json* n = j.find("n");
+  if (n == nullptr)
+    throw std::invalid_argument(std::string(where) + ": missing key \"n\"");
+  const std::uint64_t count = n->as_uint64(where);
+  if (count == 0) return RunningStats{};
+  const auto field = [&](const char* key) {
+    const Json* v = j.find(key);
+    if (v == nullptr)
+      throw std::invalid_argument(std::string(where) + ": missing key \"" +
+                                  key + "\"");
+    return v->as_double(where);
+  };
+  return RunningStats::restore(static_cast<std::size_t>(count), field("mean"),
+                               field("m2"), field("min"), field("max"));
+}
+
+const Json& require(const Json& doc, const char* key) {
+  const Json* v = doc.find(key);
+  if (v == nullptr)
+    throw std::invalid_argument(std::string("missing key \"") + key + "\"");
+  return *v;
+}
+
+}  // namespace
+
+std::string shard_path(const std::string& dir, const std::string& fingerprint,
+                       std::size_t cell) {
+  return dir + "/" + fingerprint_tag(fingerprint) + ".cell" +
+         std::to_string(cell) + ".json";
+}
+
+std::string shard_json(const std::string& fingerprint, std::size_t cell,
+                       const CellResult& c, std::uint32_t trials_per_cell) {
+  Json j = Json::object();
+  j.set("checkpoint", Json("fecsched-grid-cell"));
+  j.set("spec", Json(fingerprint));
+  j.set("cell", Json::integer(cell));
+  j.set("trials_per_cell", Json::integer(trials_per_cell));
+  j.set("p", Json(c.p));
+  j.set("q", Json(c.q));
+  j.set("trials", Json::integer(c.trials));
+  j.set("failures", Json::integer(c.failures));
+  j.set("timed_out", Json(c.timed_out));
+  j.set("peak_memory_symbols", Json::integer(c.peak_memory_symbols));
+  j.set("inefficiency", stats_json(c.inefficiency));
+  j.set("received_ratio", stats_json(c.received_ratio));
+  return j.dump(0) + "\n";
+}
+
+CellResult cell_from_shard(std::string_view text,
+                           const std::string& fingerprint, std::size_t cell,
+                           std::uint32_t trials_per_cell) {
+  const Json doc = Json::parse(text);
+  const std::string& kind = require(doc, "checkpoint").as_string("checkpoint");
+  if (kind != "fecsched-grid-cell")
+    throw std::invalid_argument("not a grid-cell shard (checkpoint=\"" + kind +
+                                "\")");
+  const std::string& spec = require(doc, "spec").as_string("spec");
+  if (spec != fingerprint)
+    throw std::invalid_argument("spec fingerprint mismatch (shard " + spec +
+                                ", sweep " + fingerprint + ")");
+  const std::uint64_t got_cell = require(doc, "cell").as_uint64("cell");
+  if (got_cell != cell)
+    throw std::invalid_argument("cell index mismatch (shard " +
+                                std::to_string(got_cell) + ", expected " +
+                                std::to_string(cell) + ")");
+  const std::uint64_t per_cell =
+      require(doc, "trials_per_cell").as_uint64("trials_per_cell");
+  if (per_cell != trials_per_cell)
+    throw std::invalid_argument(
+        "trial count mismatch (shard " + std::to_string(per_cell) +
+        " trials/cell, sweep " + std::to_string(trials_per_cell) + ")");
+
+  CellResult c;
+  c.p = require(doc, "p").as_double("p");
+  c.q = require(doc, "q").as_double("q");
+  c.trials =
+      static_cast<std::uint32_t>(require(doc, "trials").as_uint64("trials"));
+  c.failures = static_cast<std::uint32_t>(
+      require(doc, "failures").as_uint64("failures"));
+  c.timed_out = require(doc, "timed_out").as_bool("timed_out");
+  c.peak_memory_symbols = static_cast<std::uint32_t>(
+      require(doc, "peak_memory_symbols").as_uint64("peak_memory_symbols"));
+  c.inefficiency = stats_from_json(require(doc, "inefficiency"),
+                                   "inefficiency");
+  c.received_ratio = stats_from_json(require(doc, "received_ratio"),
+                                     "received_ratio");
+  if (c.trials != trials_per_cell)
+    throw std::invalid_argument("incomplete cell (" +
+                                std::to_string(c.trials) + "/" +
+                                std::to_string(trials_per_cell) + " trials)");
+  return c;
+}
+
+void write_shard(const CheckpointSpec& checkpoint,
+                 const std::string& fingerprint, std::size_t cell,
+                 const CellResult& c, std::uint32_t trials_per_cell) {
+  if (fault::point("checkpoint.shard"))
+    throw fault::FaultInjected("checkpoint.shard");
+  durable::write_file(shard_path(checkpoint.dir, fingerprint, cell),
+                      shard_json(fingerprint, cell, c, trials_per_cell));
+}
+
+std::optional<CellResult> try_load_shard(const CheckpointSpec& checkpoint,
+                                         const std::string& fingerprint,
+                                         std::size_t cell,
+                                         std::uint32_t trials_per_cell) {
+  const std::string path = shard_path(checkpoint.dir, fingerprint, cell);
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return std::nullopt;  // never run, or torn away: rerun
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  try {
+    return cell_from_shard(text, fingerprint, cell, trials_per_cell);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "checkpoint: %s: %s; recomputing cell %zu\n",
+                 path.c_str(), e.what(), cell);
+    return std::nullopt;
+  }
+}
+
+GridResult run_grid_checkpointed(const GridSpec& spec, std::uint32_t k,
+                                 const TrialFn& trial_fn,
+                                 const GridRunOptions& options,
+                                 const CheckpointSpec& checkpoint,
+                                 const std::string& fingerprint) {
+  ensure_dir(checkpoint.dir);
+
+  GridResult result;
+  result.spec = spec;
+  result.k = k;
+  const std::vector<ChannelPoint> points = grid_points(spec);
+  result.cells.resize(points.size());
+  for (std::size_t c = 0; c < points.size(); ++c) {
+    result.cells[c].p = points[c].p;
+    result.cells[c].q = points[c].q;
+  }
+
+  // Restore before launching workers, so skip_point is a plain lookup.
+  std::vector<char> restored(points.size(), 0);
+  if (checkpoint.resume) {
+    for (std::size_t c = 0; c < points.size(); ++c) {
+      if (auto cell = try_load_shard(checkpoint, fingerprint, c,
+                                     options.trials_per_cell)) {
+        result.cells[c] = *cell;
+        restored[c] = 1;
+      }
+    }
+  }
+
+  GridRunOptions opt = options;
+  opt.skip_point = [&restored](std::size_t c) { return restored[c] != 0; };
+  opt.point_done = [&](std::size_t c) {
+    write_shard(checkpoint, fingerprint, c, result.cells[c],
+                options.trials_per_cell);
+  };
+  opt.trial_timed_out = [&result](std::size_t c, std::uint32_t) {
+    CellResult& cell = result.cells[c];
+    ++cell.trials;
+    ++cell.failures;
+    cell.timed_out = true;
+  };
+  sweep_points(points, opt,
+               [&](std::size_t c, double p, double q, std::uint32_t /*t*/,
+                   std::uint64_t seed) {
+                 accumulate_trial(result.cells[c], trial_fn(p, q, seed), k);
+               });
+  return result;
+}
+
+}  // namespace fecsched::api

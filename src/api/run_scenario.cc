@@ -21,9 +21,11 @@
 #include "mpath/path_adapt.h"
 #include "obs/memwatch.h"
 #include "obs/timeline.h"
+#include "util/interrupt.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/watchdog.h"
 
 namespace fecsched::api {
 
@@ -34,12 +36,7 @@ namespace {
 obs::RunManifest make_manifest(const ScenarioSpec& spec, double wall_seconds,
                                const std::string& started_at) {
   obs::RunManifest m;
-  // The fingerprint is the scenario's identity: hash the spec with the obs
-  // section reset to defaults so --metrics/--trace/--ledger never change
-  // which baseline a run compares against in the cross-run ledger.
-  ScenarioSpec identity = spec;
-  identity.obs = ObsSpec{};
-  m.fingerprint = obs::spec_fingerprint(identity.to_json());
+  m.fingerprint = scenario_fingerprint(spec);
   m.version = std::string(kVersion);
   m.gf_backend = std::string(gf::to_string(gf::current_backend()));
   m.engine = spec.engine;
@@ -49,7 +46,35 @@ obs::RunManifest make_manifest(const ScenarioSpec& spec, double wall_seconds,
   m.started_at = started_at;
   m.hostname = obs::local_hostname();
   m.max_rss_kb = obs::max_rss_kb();
+  // A drained run (SIGINT/SIGTERM arrived, engines wound down cleanly) is
+  // marked so ledger readers never mistake its partial result for a
+  // completed baseline.
+  if (interrupt::interrupted()) m.status = "interrupted";
   return m;
+}
+
+/// Reject RunControl combinations an engine cannot honour faithfully —
+/// better a loud error than a knob that silently changes semantics.
+void validate_control(const ScenarioSpec& spec, const RunControl& control,
+                      bool sweeping) {
+  if (control.checkpoint.enabled() && spec.engine != "grid")
+    throw std::invalid_argument(
+        "checkpoint: only the grid engine persists per-cell shards (engine "
+        "'" +
+        spec.engine + "' has no cell decomposition to checkpoint)");
+  if (control.trial_timeout_ms != 0) {
+    if (spec.engine == "adaptive")
+      throw std::invalid_argument(
+          "trial-timeout: the adaptive engine runs closed-loop object "
+          "sequences, not independent trials — a per-trial watchdog is "
+          "unsupported");
+    if (sweeping && spec.engine != "grid")
+      throw std::invalid_argument(
+          "trial-timeout: the " + spec.engine +
+          " axis sweep has no per-cell timeout status — dropping a trial "
+          "would silently corrupt its aggregates (grid sweeps and "
+          "single-point runs only)");
+  }
 }
 
 /// Fill the manifest, merge the session's observations (when armed) and
@@ -75,17 +100,35 @@ void finish_observability(const ScenarioSpec& spec, obs::Session& session,
   out = std::move(report);
 }
 
-GridRunOptions to_grid_options(const ScenarioSpec& spec) {
+GridRunOptions to_grid_options(const ScenarioSpec& spec,
+                               const RunControl& control) {
   GridRunOptions opt;
   opt.trials_per_cell = spec.run.trials;
   opt.master_seed = spec.run.seed;
   opt.threads = spec.run.threads;
+  opt.trial_timeout_ms = control.trial_timeout_ms;
   return opt;
 }
 
 // ---------------------------------------------------------------- grid
 
-ScenarioResult run_grid_engine(const ScenarioSpec& spec) {
+/// The grid engines' one sweep call: plain Experiment::run, or the
+/// checkpointed driver when a shard directory is configured.  Both paths
+/// share run_grid's seeds and accumulation, so the choice never changes a
+/// digit of the result.
+GridResult run_grid_result(const ScenarioSpec& spec, const RunControl& control,
+                           const Experiment& experiment) {
+  const GridRunOptions options = to_grid_options(spec, control);
+  if (!control.checkpoint.enabled())
+    return experiment.run(to_grid_spec(spec), options);
+  return run_grid_checkpointed(to_grid_spec(spec), experiment.k(),
+                               experiment.trial_fn(), options,
+                               control.checkpoint,
+                               scenario_fingerprint(spec));
+}
+
+ScenarioResult run_grid_engine(const ScenarioSpec& spec,
+                               const RunControl& control) {
   ScenarioResult result;
   result.engine = spec.engine;
   const ChannelPoint pt = spec.channel.point();
@@ -98,7 +141,7 @@ ScenarioResult run_grid_engine(const ScenarioSpec& spec) {
   const Experiment experiment(cfg);
   result.grid_config = cfg;
   result.grid_n_total = experiment.n_total();
-  result.grid = experiment.run(to_grid_spec(spec), to_grid_options(spec));
+  result.grid = run_grid_result(spec, control, experiment);
 
   RunningStats inefficiency;
   RunningStats received;
@@ -162,7 +205,8 @@ void fill_delay_summary(ScenarioSummary& summary,
           : 0.0;
 }
 
-ScenarioResult run_stream_engine(const ScenarioSpec& spec) {
+ScenarioResult run_stream_engine(const ScenarioSpec& spec,
+                                 const RunControl& control) {
   check_single_point_spec(spec);
   ScenarioResult result;
   result.engine = spec.engine;
@@ -190,14 +234,17 @@ ScenarioResult run_stream_engine(const ScenarioSpec& spec) {
     progress->on_batch(variants.size() * spec.run.trials);
 
   for (std::size_t v = 0; v < variants.size(); ++v) {
+    if (interrupt::interrupted()) break;
     StreamOutcome outcome;
     outcome.variant = variants[v];
     StreamTrialConfig cfg = base;
     cfg.scheme = variants[v].scheme;
     cfg.scheduling = variants[v].scheduling;
     for (std::uint32_t t = 0; t < spec.run.trials; ++t) {
+      if (interrupt::interrupted()) break;
       const obs::TrialScope trial_scope(
           static_cast<std::uint64_t>(v) * spec.run.trials + t);
+      const watchdog::TrialGuard deadline(control.trial_timeout_ms);
       const auto channel =
           registry().make_channel(spec.channel.model, {pt.p, pt.q});
       const StreamTrialResult r =
@@ -223,17 +270,22 @@ ScenarioResult run_stream_engine(const ScenarioSpec& spec) {
     result.stream.push_back(std::move(outcome));
   }
 
-  const StreamOutcome& first = result.stream.front();
-  fill_delay_summary(result.summary, first.delays, first.mean(),
-                     first.mean_residual_run(), first.residual_max_run,
-                     first.delivered, first.lost);
-  const double produced =
-      static_cast<double>(base.source_count) * first.trials;
-  if (produced > 0.0) {
-    result.summary.sent_ratio =
-        static_cast<double>(first.packets_sent) / produced;
-    result.summary.received_ratio =
-        static_cast<double>(first.packets_received) / produced;
+  // An interrupt can drain the run before any variant completes; a
+  // summary over nothing stays empty (the CLI does not print interrupted
+  // results anyway).
+  if (!result.stream.empty()) {
+    const StreamOutcome& first = result.stream.front();
+    fill_delay_summary(result.summary, first.delays, first.mean(),
+                       first.mean_residual_run(), first.residual_max_run,
+                       first.delivered, first.lost);
+    const double produced =
+        static_cast<double>(base.source_count) * first.trials;
+    if (produced > 0.0) {
+      result.summary.sent_ratio =
+          static_cast<double>(first.packets_sent) / produced;
+      result.summary.received_ratio =
+          static_cast<double>(first.packets_received) / produced;
+    }
   }
   return result;
 }
@@ -246,7 +298,8 @@ std::vector<MpathVariant> mpath_variants(const ScenarioSpec& spec) {
   return {{std::string(to_string(mode)), mode}};
 }
 
-ScenarioResult run_mpath_engine(const ScenarioSpec& spec) {
+ScenarioResult run_mpath_engine(const ScenarioSpec& spec,
+                                const RunControl& control) {
   check_single_point_spec(spec);
   ScenarioResult result;
   result.engine = spec.engine;
@@ -280,10 +333,12 @@ ScenarioResult run_mpath_engine(const ScenarioSpec& spec) {
     MpathTrialConfig probe = base;
     probe.scheduler = PathScheduling::kRoundRobin;
     for (std::uint32_t t = 0; t < spec.adapt.warmup; ++t) {
+      if (interrupt::interrupted()) break;
       // Warm-up trial ordinals continue past the variant trials so trace
       // events from probes are distinguishable from measured trials.
       const obs::TrialScope trial_scope(
           static_cast<std::uint64_t>(variants.size()) * spec.run.trials + t);
+      const watchdog::TrialGuard deadline(control.trial_timeout_ms);
       adapter.observe(
           run_mpath_trial(probe, derive_seed(spec.run.seed, {99, t})));
       if (progress != nullptr) progress->on_item_done();
@@ -297,13 +352,16 @@ ScenarioResult run_mpath_engine(const ScenarioSpec& spec) {
   }
 
   for (std::size_t v = 0; v < variants.size(); ++v) {
+    if (interrupt::interrupted()) break;
     MpathOutcome outcome;
     outcome.variant = variants[v];
     MpathTrialConfig cfg = base;
     cfg.scheduler = variants[v].scheduler;
     for (std::uint32_t t = 0; t < spec.run.trials; ++t) {
+      if (interrupt::interrupted()) break;
       const obs::TrialScope trial_scope(
           static_cast<std::uint64_t>(v) * spec.run.trials + t);
+      const watchdog::TrialGuard deadline(control.trial_timeout_ms);
       const MpathTrialResult r =
           run_mpath_trial(cfg, derive_seed(spec.run.seed, {v, t}));
       outcome.delays.insert(outcome.delays.end(), r.stream.delays.begin(),
@@ -343,18 +401,21 @@ ScenarioResult run_mpath_engine(const ScenarioSpec& spec) {
   }
   result.mpath_base = std::move(base);
 
-  const MpathOutcome& first = result.mpath.front();
-  fill_delay_summary(result.summary, first.delays, first.mean(),
-                     first.mean_residual_run(), first.residual_max_run,
-                     first.delivered, first.lost);
-  const double produced =
-      static_cast<double>(result.mpath_base->stream.source_count) *
-      first.trials;
-  if (produced > 0.0) {
-    result.summary.sent_ratio =
-        static_cast<double>(first.packets_sent) / produced;
-    result.summary.received_ratio =
-        static_cast<double>(first.packets_received) / produced;
+  // See run_stream_engine: an interrupt can leave no completed variant.
+  if (!result.mpath.empty()) {
+    const MpathOutcome& first = result.mpath.front();
+    fill_delay_summary(result.summary, first.delays, first.mean(),
+                       first.mean_residual_run(), first.residual_max_run,
+                       first.delivered, first.lost);
+    const double produced =
+        static_cast<double>(result.mpath_base->stream.source_count) *
+        first.trials;
+    if (produced > 0.0) {
+      result.summary.sent_ratio =
+          static_cast<double>(first.packets_sent) / produced;
+      result.summary.received_ratio =
+          static_cast<double>(first.packets_received) / produced;
+    }
   }
   return result;
 }
@@ -401,20 +462,36 @@ ScenarioResult run_adaptive_engine(const ScenarioSpec& spec) {
   return result;
 }
 
-ScenarioSweepResult run_scenario_sweep_engines(const ScenarioSpec& spec);
+ScenarioSweepResult run_scenario_sweep_engines(const ScenarioSpec& spec,
+                                               const RunControl& control);
 
 }  // namespace
 
+std::string scenario_fingerprint(const ScenarioSpec& spec) {
+  // Hash the spec with the obs section reset to defaults so
+  // --metrics/--trace/--ledger never change which baseline a run compares
+  // against in the cross-run ledger (or which shards a resume loads).
+  ScenarioSpec identity = spec;
+  identity.obs = ObsSpec{};
+  return obs::spec_fingerprint(identity.to_json());
+}
+
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  return run_scenario(spec, RunControl{});
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const RunControl& control) {
   spec.validate();
+  validate_control(spec, control, /*sweeping=*/false);
   const auto t0 = std::chrono::steady_clock::now();
   const std::string started_at =
       obs::iso8601_utc(std::chrono::system_clock::now());
   obs::Session session(spec.obs.config());
   ScenarioResult result = [&] {
-    if (spec.engine == "grid") return run_grid_engine(spec);
-    if (spec.engine == "stream") return run_stream_engine(spec);
-    if (spec.engine == "mpath") return run_mpath_engine(spec);
+    if (spec.engine == "grid") return run_grid_engine(spec, control);
+    if (spec.engine == "stream") return run_stream_engine(spec, control);
+    if (spec.engine == "mpath") return run_mpath_engine(spec, control);
     if (spec.engine == "adaptive") return run_adaptive_engine(spec);
     throw std::invalid_argument("spec: unknown engine '" + spec.engine + "'");
   }();
@@ -424,12 +501,18 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
 }
 
 ScenarioSweepResult run_scenario_sweep(const ScenarioSpec& spec) {
+  return run_scenario_sweep(spec, RunControl{});
+}
+
+ScenarioSweepResult run_scenario_sweep(const ScenarioSpec& spec,
+                                       const RunControl& control) {
   spec.validate();
+  validate_control(spec, control, /*sweeping=*/true);
   const auto t0 = std::chrono::steady_clock::now();
   const std::string started_at =
       obs::iso8601_utc(std::chrono::system_clock::now());
   obs::Session session(spec.obs.config());
-  ScenarioSweepResult result = run_scenario_sweep_engines(spec);
+  ScenarioSweepResult result = run_scenario_sweep_engines(spec, control);
   finish_observability(spec, session, t0, started_at, result.manifest,
                        result.obs);
   return result;
@@ -437,14 +520,15 @@ ScenarioSweepResult run_scenario_sweep(const ScenarioSpec& spec) {
 
 namespace {
 
-ScenarioSweepResult run_scenario_sweep_engines(const ScenarioSpec& spec) {
+ScenarioSweepResult run_scenario_sweep_engines(const ScenarioSpec& spec,
+                                               const RunControl& control) {
   ScenarioSweepResult result;
   result.engine = spec.engine;
 
   if (spec.engine == "grid") {
     const ExperimentConfig cfg = to_experiment_config(spec);
     const Experiment experiment(cfg);
-    result.grid = experiment.run(to_grid_spec(spec), to_grid_options(spec));
+    result.grid = run_grid_result(spec, control, experiment);
     result.points = grid_points(result.grid->spec);
     return result;
   }
@@ -459,8 +543,8 @@ ScenarioSweepResult run_scenario_sweep_engines(const ScenarioSpec& spec) {
     cfg.base = to_stream_config(spec);
     cfg.overheads = overheads;
     if (!spec.code.name.empty()) cfg.variants = stream_variants(spec);
-    result.stream =
-        run_stream_delay_grid(result.points, cfg, to_grid_options(spec));
+    result.stream = run_stream_delay_grid(result.points, cfg,
+                                          to_grid_options(spec, control));
     return result;
   }
 
@@ -488,7 +572,8 @@ ScenarioSweepResult run_scenario_sweep_engines(const ScenarioSpec& spec) {
     cfg.path_count = spec.paths.count;
     cfg.path_capacity = spec.paths.capacity;
     if (!spec.paths.scheduler.empty()) cfg.variants = mpath_variants(spec);
-    result.mpath = run_mpath_sweep(result.points, cfg, to_grid_options(spec));
+    result.mpath =
+        run_mpath_sweep(result.points, cfg, to_grid_options(spec, control));
     return result;
   }
 
@@ -503,6 +588,7 @@ ScenarioSweepResult run_scenario_sweep_engines(const ScenarioSpec& spec) {
     // the result matches a serial run digit for digit.
     std::vector<AdaptiveComparePoint> out(points.size());
     parallel_for_index(points.size(), spec.run.threads, [&](std::size_t i) {
+      if (interrupt::interrupted()) return;  // drain: finish nothing new
       out[i] =
           run_adaptive_compare_point(points[i].first, points[i].second, cfg);
     });

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "api/checkpoint.h"
 #include "api/registry.h"
 #include "mpath/mpath_trial.h"
 #include "obs/obs.h"
@@ -319,11 +320,35 @@ struct ScenarioSweepResult {
 
 // ------------------------------------------------------------- runner
 
+/// Execution controls orthogonal to scenario identity: they change *how*
+/// a run executes (crash safety, hang protection), never *what* it
+/// computes, so they live outside ScenarioSpec and do not participate in
+/// the spec fingerprint — a checkpointed run and a plain run of the same
+/// spec share a ledger baseline and produce byte-identical results.
+struct RunControl {
+  /// Grid engine only: persist per-cell shards / resume from them
+  /// (api/checkpoint.h).  Any other engine rejects an enabled checkpoint
+  /// with std::invalid_argument.
+  CheckpointSpec checkpoint;
+  /// Per-trial watchdog deadline in milliseconds (0 = off).  Grid cells
+  /// that hit it count the trial as a failure and carry timed_out=true;
+  /// the serial stream/mpath engines raise watchdog::TrialTimeout.  The
+  /// adaptive engine and the stream/mpath axis sweeps reject a non-zero
+  /// deadline (a silently dropped trial would corrupt their aggregates).
+  std::uint32_t trial_timeout_ms = 0;
+};
+
+/// The obs-excluded spec fingerprint ("fnv1a:<16 hex>"): the identity the
+/// run ledger, the regression sentinel and checkpoint shards all key by.
+[[nodiscard]] std::string scenario_fingerprint(const ScenarioSpec& spec);
+
 /// Run one scenario (single channel point for stream/mpath; the adaptive
 /// engine's point grid and the grid engine's (p, q) grid count as one
 /// scenario).  Dispatches on spec.engine after validate().  Throws
 /// std::invalid_argument on an invalid spec.
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
+                                          const RunControl& control);
 
 /// Expand the spec's sweep axes over the existing parallel sweep
 /// machinery: stream -> run_stream_delay_grid, mpath -> run_mpath_sweep,
@@ -331,6 +356,8 @@ struct ScenarioSweepResult {
 /// Experiment::run.  Channel points are the cartesian product
 /// p_globals x bursts (gilbert_point), in that nesting order.
 [[nodiscard]] ScenarioSweepResult run_scenario_sweep(const ScenarioSpec& spec);
+[[nodiscard]] ScenarioSweepResult run_scenario_sweep(
+    const ScenarioSpec& spec, const RunControl& control);
 
 /// The spec's resolved channel-point list (cartesian p_globals x bursts,
 /// else the single channel point) — what run_scenario_sweep iterates.

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "obs/memwatch.h"
+#include "util/faultpoint.h"
 
 namespace fecsched {
 
@@ -44,7 +45,14 @@ class SymbolArena {
       base_ = nullptr;
       return;
     }
-    if (buf_.size() < bytes + kAlign - 1) buf_.resize(bytes + kAlign - 1);
+    if (buf_.size() < bytes + kAlign - 1) {
+      // Growth is the cold path (the arena reaches its high-water size
+      // within the first trials), so the fault site — standing in for an
+      // OOM-killed allocation — costs nothing once warmed up.
+      if (fault::point("arena.alloc"))
+        throw fault::FaultInjected("arena.alloc");
+      buf_.resize(bytes + kAlign - 1);
+    }
     const auto addr = reinterpret_cast<std::uintptr_t>(buf_.data());
     base_ = buf_.data() + ((kAlign - addr % kAlign) % kAlign);
     std::memset(base_, 0, bytes);

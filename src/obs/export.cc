@@ -2,8 +2,9 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <fstream>
 #include <stdexcept>
+
+#include "util/durable_io.h"
 
 namespace fecsched::obs {
 
@@ -176,12 +177,7 @@ std::string prometheus_metrics(const RunManifest& manifest,
 }
 
 void write_text_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::trunc | std::ios::binary);
-  if (!out)
-    throw std::runtime_error("export: cannot open \"" + path +
-                             "\" for writing");
-  out << content;
-  if (!out) throw std::runtime_error("export: write to \"" + path + "\" failed");
+  durable::write_file(path, content);
 }
 
 }  // namespace fecsched::obs

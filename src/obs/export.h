@@ -40,7 +40,8 @@ namespace fecsched::obs {
 [[nodiscard]] std::string prometheus_metrics(const RunManifest& manifest,
                                              const Report& report);
 
-/// Overwrite `path` with `content`; throws std::runtime_error on failure.
+/// Atomically overwrite `path` with `content` (durable temp+fsync+rename
+/// via util/durable_io.h); throws std::runtime_error on failure.
 void write_text_file(const std::string& path, const std::string& content);
 
 }  // namespace fecsched::obs

@@ -1,10 +1,14 @@
 #include "obs/ledger.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <istream>
 #include <stdexcept>
 #include <tuple>
+
+#include "util/durable_io.h"
+#include "util/faultpoint.h"
 
 namespace fecsched::obs {
 
@@ -41,7 +45,8 @@ Json manifest_section(const RunManifest& m) { return manifest_to_json(m); }
 RunManifest manifest_from_json(const Json& j) {
   check_keys(j, "manifest",
              {"spec", "api", "gf", "engine", "threads", "hardware_threads",
-              "wall_seconds", "started_at", "hostname", "max_rss_kb"});
+              "wall_seconds", "started_at", "hostname", "max_rss_kb",
+              "status"});
   RunManifest m;
   m.fingerprint = require(j, "spec").as_string("manifest.spec");
   m.version = require(j, "api").as_string("manifest.api");
@@ -58,6 +63,8 @@ RunManifest manifest_from_json(const Json& j) {
     m.hostname = h->as_string("manifest.hostname");
   if (const Json* r = j.find("max_rss_kb"))
     m.max_rss_kb = r->as_uint64("manifest.max_rss_kb");
+  if (const Json* s = j.find("status"))
+    m.status = s->as_string("manifest.status");
   return m;
 }
 
@@ -224,26 +231,47 @@ LedgerRecord make_run_record(const RunManifest& manifest,
 }
 
 void append_record(const std::string& path, const LedgerRecord& record) {
-  std::ofstream out(path, std::ios::app);
-  if (!out)
-    throw std::runtime_error("ledger: cannot open \"" + path +
-                             "\" for appending");
-  out << ledger_line(record) << '\n';
-  if (!out)
-    throw std::runtime_error("ledger: write to \"" + path + "\" failed");
+  // Fault site + durable O_APPEND single-write(2) append: concurrent
+  // shard writers never interleave, and a crash can at worst tear the
+  // tail of the final line — exactly what load_ledger tolerates.
+  if (fault::point("ledger.append")) throw fault::FaultInjected("ledger.append");
+  durable::append_line(path, ledger_line(record));
 }
 
 std::vector<LedgerRecord> load_ledger_stream(std::istream& in,
-                                             const std::string& name) {
+                                             const std::string& name,
+                                             bool strict) {
+  // Read the whole stream first: torn-tail tolerance needs to know
+  // whether the final line is missing its newline (the signature of a
+  // crash mid-append) or is mid-file corruption (always rejected).
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const bool ends_with_newline = !text.empty() && text.back() == '\n';
+
   std::vector<LedgerRecord> records;
-  std::string line;
   std::size_t line_no = 0;
-  while (std::getline(in, line)) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    const bool last = end == std::string::npos;
+    if (last) end = text.size();
+    const std::string_view line(text.data() + pos, end - pos);
     ++line_no;
+    pos = end + 1;
     if (line.empty()) continue;
     try {
       records.push_back(record_from_json(Json::parse(line)));
     } catch (const std::invalid_argument& e) {
+      if (!strict && last && !ends_with_newline) {
+        // Exactly one trailing partial line without a newline: the torn
+        // tail a crashed appender leaves.  Drop it with a warning; every
+        // complete record before it is intact.
+        std::fprintf(stderr,
+                     "ledger: %s:%zu: ignoring torn trailing record "
+                     "(%zu bytes, no newline); pass --strict to reject\n",
+                     name.c_str(), line_no, line.size());
+        break;
+      }
       throw std::invalid_argument(name + ":" + std::to_string(line_no) + ": " +
                                   e.what());
     }
@@ -251,10 +279,10 @@ std::vector<LedgerRecord> load_ledger_stream(std::istream& in,
   return records;
 }
 
-std::vector<LedgerRecord> load_ledger(const std::string& path) {
+std::vector<LedgerRecord> load_ledger(const std::string& path, bool strict) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("ledger: cannot open \"" + path + "\"");
-  return load_ledger_stream(in, path);
+  return load_ledger_stream(in, path, strict);
 }
 
 std::vector<LedgerRecord> compact_records(std::vector<LedgerRecord> records) {
@@ -282,13 +310,12 @@ std::vector<LedgerRecord> compact_records(std::vector<LedgerRecord> records) {
 
 void write_ledger(const std::string& path,
                   const std::vector<LedgerRecord>& records) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out)
-    throw std::runtime_error("ledger: cannot open \"" + path +
-                             "\" for writing");
-  for (const LedgerRecord& r : records) out << ledger_line(r) << '\n';
-  if (!out)
-    throw std::runtime_error("ledger: write to \"" + path + "\" failed");
+  std::string out;
+  for (const LedgerRecord& r : records) {
+    out += ledger_line(r);
+    out += '\n';
+  }
+  durable::write_file(path, out);
 }
 
 }  // namespace fecsched::obs

@@ -71,14 +71,22 @@ struct LedgerRecord {
 [[nodiscard]] LedgerRecord make_run_record(const RunManifest& manifest,
                                            const Report& report);
 
-/// Append one record to `path` (created if missing).  Throws on I/O error.
+/// Append one record to `path` (created if missing) with a single durable
+/// O_APPEND write (util/durable_io.h), so concurrent shard appenders
+/// never interleave bytes.  Fault site "ledger.append".  Throws on I/O
+/// error.
 void append_record(const std::string& path, const LedgerRecord& record);
 
-/// Parse a whole ledger file / stream.  Blank lines are skipped; any
-/// malformed line throws std::invalid_argument with "<name>:<line>: ...".
-[[nodiscard]] std::vector<LedgerRecord> load_ledger(const std::string& path);
+/// Parse a whole ledger file / stream.  Blank lines are skipped; a
+/// malformed line throws std::invalid_argument with "<name>:<line>: ..."
+/// — except, by default, a single torn trailing line with no final
+/// newline (the signature of a crash mid-append), which is dropped with
+/// a stderr warning.  `strict` rejects even that (the history/compare
+/// --strict escape hatch).
+[[nodiscard]] std::vector<LedgerRecord> load_ledger(const std::string& path,
+                                                    bool strict = false);
 [[nodiscard]] std::vector<LedgerRecord> load_ledger_stream(
-    std::istream& in, const std::string& name);
+    std::istream& in, const std::string& name, bool strict = false);
 
 /// Canonical order + dedupe: sort by (fingerprint, engine, gf backend,
 /// started_at, hostname, serialized line), drop byte-identical duplicates.

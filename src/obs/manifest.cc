@@ -22,6 +22,7 @@ void append_fields(api::Json& j, const RunManifest& m) {
   if (!m.started_at.empty()) j.set("started_at", api::Json(m.started_at));
   if (!m.hostname.empty()) j.set("hostname", api::Json(m.hostname));
   if (m.max_rss_kb != 0) j.set("max_rss_kb", api::Json::integer(m.max_rss_kb));
+  if (!m.status.empty()) j.set("status", api::Json(m.status));
 }
 
 }  // namespace

@@ -32,6 +32,10 @@ struct RunManifest {
   std::string started_at;        ///< ISO-8601 UTC run start; "" = unknown
   std::string hostname;          ///< machine that produced the run; "" = unknown
   std::uint64_t max_rss_kb = 0;  ///< getrusage peak RSS; 0 = unknown/omitted
+  /// Completion status: "" = completed normally (omitted from JSON so
+  /// pre-PR-9 manifests serialize unchanged); "interrupted" = the run
+  /// drained after SIGINT/SIGTERM and its results are partial.
+  std::string status;
 };
 
 /// FNV-1a 64-bit hash (public-domain parameters); stable across platforms.

@@ -49,6 +49,7 @@
 #include "obs/phase.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
+#include "util/watchdog.h"
 
 namespace fecsched {
 class ParallelObserver;
@@ -296,8 +297,13 @@ class TrialScope {
 /// a lambda, e.g. inside a decoder member function).
 class PhaseScope {
  public:
-  PhaseScope(Observer* o, Phase p) noexcept
+  // Not noexcept: the watchdog poll below raises TrialTimeout past an
+  // armed per-trial deadline.  Phase boundaries are the poll sites — they
+  // are frequent enough to bound overrun and already on every engine's
+  // instrumented path (dormant cost: one relaxed load).
+  PhaseScope(Observer* o, Phase p)
       : o_(o != nullptr && o->profiling() ? o : nullptr), phase_(p) {
+    watchdog::poll();
     if (o_ != nullptr) {
       if (o_->counters_on()) o_->perf_read(before_);
       t0_ = ObsClock::now();
@@ -392,6 +398,9 @@ class Hook {
   template <typename F>
   decltype(auto) timed(Phase phase, F&& f) const {
     using R = decltype(std::forward<F>(f)());
+    // Watchdog poll site: before the profiling early-out, so the
+    // per-trial deadline is enforced even on unprofiled runs.
+    watchdog::poll();
     if (!profiling_) return std::forward<F>(f)();
     PerfValues before{};
     if (counters_) o_->perf_read(before);

@@ -1,10 +1,10 @@
 #include "obs/timeline.h"
 
-#include <fstream>
-
 #include "api/json.h"
 #include "obs/manifest.h"
 #include "obs/obs.h"
+#include "util/durable_io.h"
+#include "util/faultpoint.h"
 
 namespace fecsched::obs {
 
@@ -121,10 +121,14 @@ api::Json timeline_json(const RunManifest& manifest, const Report& report) {
 
 bool write_timeline_file(const std::string& path, const RunManifest& manifest,
                          const Report& report) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << timeline_json(manifest, report).dump(0) << '\n';
-  return static_cast<bool>(out);
+  if (fault::point("timeline.write"))
+    throw fault::FaultInjected("timeline.write");
+  try {
+    durable::write_file(path, timeline_json(manifest, report).dump(0) + "\n");
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace fecsched::obs

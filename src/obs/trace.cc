@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/durable_io.h"
+#include "util/faultpoint.h"
+
 namespace fecsched::obs {
 
 namespace {
@@ -103,7 +106,7 @@ void validate_trace_line(const Json& j) {
   if (ev == "manifest") {
     check_keys(j, {"ev", "spec", "api", "gf", "engine", "threads",
                    "hardware_threads", "wall_seconds", "trace_sample",
-                   "started_at", "hostname", "max_rss_kb"});
+                   "started_at", "hostname", "max_rss_kb", "status"});
     (void)require(j, "spec").as_string("spec");
     (void)require(j, "api").as_string("api");
     (void)require(j, "gf").as_string("gf");
@@ -111,6 +114,7 @@ void validate_trace_line(const Json& j) {
     (void)require(j, "trace_sample").as_uint64("trace_sample");
     if (const Json* s = j.find("started_at")) (void)s->as_string("started_at");
     if (const Json* h = j.find("hostname")) (void)h->as_string("hostname");
+    if (const Json* st = j.find("status")) (void)st->as_string("status");
     return;
   }
   if (ev == "summary") {
@@ -127,10 +131,17 @@ void validate_trace_line(const Json& j) {
 void write_trace_file(const std::string& path, const Json& manifest,
                       std::span<const TraceEvent> events,
                       const MetricsSnapshot& metrics) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw std::runtime_error("trace: cannot open \"" + path + "\" for writing");
-  out << manifest.dump(0) << '\n';
-  for (const TraceEvent& ev : events) out << event_to_json(ev).dump(0) << '\n';
+  if (fault::point("trace.write")) throw fault::FaultInjected("trace.write");
+  // Serialize the whole document first, then one atomic temp+rename
+  // write: a crash leaves either no trace file or a complete one, never
+  // the truncated prefix trace_stats would otherwise choke on.
+  std::string out;
+  out += manifest.dump(0);
+  out += '\n';
+  for (const TraceEvent& ev : events) {
+    out += event_to_json(ev).dump(0);
+    out += '\n';
+  }
   Json summary = Json::object();
   summary.set("ev", Json("summary"));
   Json counters = Json::object();
@@ -139,8 +150,9 @@ void write_trace_file(const std::string& path, const Json& manifest,
   for (const auto& [name, v] : metrics.gauges) gauges.set(name, Json::integer(v));
   summary.set("counters", std::move(counters));
   summary.set("gauges", std::move(gauges));
-  out << summary.dump(0) << '\n';
-  if (!out) throw std::runtime_error("trace: write to \"" + path + "\" failed");
+  out += summary.dump(0);
+  out += '\n';
+  durable::write_file(path, out);
 }
 
 TraceFile read_trace_file(const std::string& path) {

@@ -3,8 +3,11 @@
 #include <algorithm>
 
 #include "obs/obs.h"
+#include "util/faultpoint.h"
+#include "util/interrupt.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/watchdog.h"
 
 namespace fecsched {
 
@@ -31,6 +34,11 @@ std::vector<ChannelPoint> grid_points(const GridSpec& spec) {
 void sweep_points(std::span<const ChannelPoint> points,
                   const GridRunOptions& options, const PointVisitor& visit) {
   parallel_for_index(points.size(), options.threads, [&](std::size_t c) {
+    // Drain on SIGINT/SIGTERM: completed points are already checkpointed
+    // and remaining points resume later; in-flight points finish.
+    if (interrupt::interrupted()) return;
+    if (options.skip_point && options.skip_point(c)) return;
+    if (fault::point("sweep.cell")) throw fault::FaultInjected("sweep.cell");
     const obs::CellSpanScope cell_span(c);
     for (std::uint32_t t = 0; t < options.trials_per_cell; ++t) {
       // Scenario-global trial ordinal: cells run whole on one worker, so
@@ -38,8 +46,14 @@ void sweep_points(std::span<const ChannelPoint> points,
       const obs::TrialScope trial_scope(
           static_cast<std::uint64_t>(c) * options.trials_per_cell + t);
       const std::uint64_t seed = derive_seed(options.master_seed, {c, t});
-      visit(c, points[c].p, points[c].q, t, seed);
+      const watchdog::TrialGuard guard(options.trial_timeout_ms);
+      try {
+        visit(c, points[c].p, points[c].q, t, seed);
+      } catch (const watchdog::TrialTimeout&) {
+        if (options.trial_timed_out) options.trial_timed_out(c, t);
+      }
     }
+    if (options.point_done) options.point_done(c);
   });
 }
 
@@ -57,21 +71,30 @@ GridResult run_grid(const GridSpec& spec, std::uint32_t k,
     result.cells[c].p = points[c].p;
     result.cells[c].q = points[c].q;
   }
-  sweep_points(points, options,
+  GridRunOptions opt = options;
+  opt.trial_timed_out = [&result](std::size_t c, std::uint32_t) {
+    CellResult& cell = result.cells[c];
+    ++cell.trials;
+    ++cell.failures;
+    cell.timed_out = true;
+  };
+  sweep_points(points, opt,
                [&](std::size_t c, double p, double q, std::uint32_t,
                    std::uint64_t seed) {
-                 CellResult& cell = result.cells[c];
-                 const TrialResult r = trial_fn(p, q, seed);
-                 ++cell.trials;
-                 cell.peak_memory_symbols =
-                     std::max(cell.peak_memory_symbols, r.peak_memory_symbols);
-                 cell.received_ratio.add(r.received_ratio(k));
-                 if (r.decoded)
-                   cell.inefficiency.add(r.inefficiency(k));
-                 else
-                   ++cell.failures;
+                 accumulate_trial(result.cells[c], trial_fn(p, q, seed), k);
                });
   return result;
+}
+
+void accumulate_trial(CellResult& cell, const TrialResult& r, std::uint32_t k) {
+  ++cell.trials;
+  cell.peak_memory_symbols =
+      std::max(cell.peak_memory_symbols, r.peak_memory_symbols);
+  cell.received_ratio.add(r.received_ratio(k));
+  if (r.decoded)
+    cell.inefficiency.add(r.inefficiency(k));
+  else
+    ++cell.failures;
 }
 
 }  // namespace fecsched

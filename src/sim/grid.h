@@ -40,6 +40,10 @@ struct CellResult {
   RunningStats received_ratio;  ///< n_received/k over all trials
   std::uint32_t failures = 0;   ///< trials that did not decode
   std::uint32_t trials = 0;
+  /// True when any trial of the cell hit the --trial-timeout-ms watchdog
+  /// (the trial counts as a failure, so reportable() stays false — an
+  /// explicit status instead of a hung sweep).
+  bool timed_out = false;
   /// Largest decoder working set seen by any trial of the cell, in
   /// packet-sized symbols (the paper's future-work memory metric; feeds
   /// the scenario API's unified summary).
@@ -74,6 +78,21 @@ struct GridRunOptions {
   std::uint64_t master_seed = 0x5eedf00dULL;
   /// Worker threads; 0 = one per hardware thread.
   unsigned threads = 0;
+  /// Per-trial watchdog deadline (0 = off).  Polled at phase boundaries
+  /// via obs hooks; an expired trial raises watchdog::TrialTimeout, which
+  /// sweep_points catches at the trial boundary and reports through
+  /// trial_timed_out.
+  std::uint32_t trial_timeout_ms = 0;
+  /// Checkpoint/resume hooks (api/checkpoint.cc).  skip_point is
+  /// consulted before a point runs (true = the caller already has its
+  /// result); point_done fires on the worker thread after a point's last
+  /// trial, with that point's accumulation complete.  Both may be empty.
+  std::function<bool(std::size_t point_index)> skip_point;
+  std::function<void(std::size_t point_index)> point_done;
+  /// A trial hit the watchdog deadline; the point continues with its
+  /// remaining trials.  Empty = timed-out trials are silently abandoned.
+  std::function<void(std::size_t point_index, std::uint32_t trial)>
+      trial_timed_out;
 };
 
 /// Run the sweep.  Cells are processed in parallel; per-trial seeds are
@@ -82,6 +101,11 @@ struct GridRunOptions {
 [[nodiscard]] GridResult run_grid(const GridSpec& spec, std::uint32_t k,
                                   const TrialFn& trial_fn,
                                   const GridRunOptions& options = {});
+
+/// Fold one trial outcome into its cell — run_grid's exact accumulation,
+/// factored out so the checkpointed driver (api/checkpoint.cc) shares it
+/// and bit-identity between the two paths is by construction.
+void accumulate_trial(CellResult& cell, const TrialResult& r, std::uint32_t k);
 
 /// One channel operating point of a sweep.
 struct ChannelPoint {

@@ -1,0 +1,108 @@
+#include "util/durable_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/faultpoint.h"
+
+namespace fecsched::durable {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("durable: " + what + " \"" + path +
+                           "\": " + std::strerror(errno));
+}
+
+/// The directory component of `path` ("." when there is none), for the
+/// post-rename directory fsync that makes the new name itself durable.
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// write(2) until `size` bytes are out (EINTR-safe).  Returns false with
+/// errno set on a hard error.
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// The "short" fault kind: manufacture the torn artifact a non-durable
+/// writer would leave — a truncated prefix at the FINAL path — then die
+/// the way a crash would.  Used by robustness tests to prove the readers'
+/// torn-file tolerance.
+[[noreturn]] void tear_and_die(const std::string& path, std::string_view data,
+                               int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags, 0644);
+  if (fd >= 0) {
+    (void)write_all(fd, data.data(), data.size() / 2);
+    ::close(fd);
+  }
+  ::_exit(fault::kExitCode);
+}
+
+}  // namespace
+
+void write_file(const std::string& path, std::string_view content) {
+  if (fault::point("durable.write"))
+    tear_and_die(path, content, O_WRONLY | O_CREAT | O_TRUNC);
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot create", tmp);
+  if (!write_all(fd, content.data(), content.size()) || ::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail("write to", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail("close of", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("rename to", path);
+  }
+  // fsync the directory so the rename itself survives a power cut; a
+  // failure here is ignorable on filesystems that refuse O_RDONLY dir
+  // fsync, but a hard error still surfaces through later reads.
+  const int dirfd = ::open(dir_of(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    (void)::fsync(dirfd);
+    ::close(dirfd);
+  }
+}
+
+void append_line(const std::string& path, std::string_view line) {
+  std::string record(line);
+  record += '\n';
+  if (fault::point("durable.append"))
+    tear_and_die(path, record, O_WRONLY | O_CREAT | O_APPEND);
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) fail("cannot open", path);
+  // One write(2) for the whole record: O_APPEND makes the offset atomic,
+  // so concurrent appenders never interleave and a crash can only tear
+  // the tail of the final line.
+  if (!write_all(fd, record.data(), record.size()) || ::fsync(fd) != 0) {
+    ::close(fd);
+    fail("append to", path);
+  }
+  if (::close(fd) != 0) fail("close of", path);
+}
+
+}  // namespace fecsched::durable

@@ -1,0 +1,41 @@
+// Crash-durable file writes.
+//
+// Two primitives, both with POSIX-rename/O_APPEND semantics so a crash —
+// the process's own, or the kernel's — never leaves a torn artifact:
+//
+//  * write_file(): write-temp + fsync + rename + directory fsync.  A
+//    reader either sees the complete old file or the complete new file,
+//    never a prefix.  This is the discipline every whole-file artifact
+//    writer (trace, timeline, profile, metrics, checkpoint shards) goes
+//    through.
+//
+//  * append_line(): open(O_APPEND) + ONE write(2) of the whole line +
+//    fsync.  POSIX guarantees O_APPEND writes are atomic with respect to
+//    the offset, so concurrent appenders (sharded ledger writers) never
+//    interleave bytes; a crash mid-write can at worst leave one torn
+//    final line, which obs::load_ledger tolerates by design.
+//
+// Both throw std::runtime_error naming the path on failure.  The fault
+// points "durable.write" / "durable.append" (src/util/faultpoint.h) fire
+// before any byte reaches the filesystem, so fault-injection tests can
+// prove the atomicity claims.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace fecsched::durable {
+
+/// Atomically replace `path` with `content`: temp file in the same
+/// directory, write, fsync, rename over `path`, fsync the directory.
+/// Throws std::runtime_error on any failure (the temp file is removed).
+void write_file(const std::string& path, std::string_view content);
+
+/// Append `line` + '\n' to `path` (created 0644 if missing) with a single
+/// O_APPEND write(2) followed by fsync.  Throws std::runtime_error on
+/// failure.  A short write is retried on the remainder; only a crash can
+/// tear the line, and only at its tail.
+void append_line(const std::string& path, std::string_view line);
+
+}  // namespace fecsched::durable

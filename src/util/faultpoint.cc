@@ -1,0 +1,133 @@
+#include "util/faultpoint.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fecsched::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+// The armed configuration.  Written only by arm()/disarm() (main thread /
+// static init); the hit counter alone is touched concurrently by workers.
+std::string g_name;
+Kind g_kind = Kind::kThrow;
+std::uint64_t g_nth = 0;
+std::atomic<std::uint64_t> g_hits{0};
+
+/// Arm from FECSCHED_FAULT once before main().  A malformed spec is a
+/// hard configuration error: better to die loudly than to run a
+/// fault-injection experiment with no fault armed.
+[[maybe_unused]] const bool g_env_armed = [] {
+  const char* spec = std::getenv("FECSCHED_FAULT");
+  if (spec == nullptr || spec[0] == '\0') return false;
+  try {
+    arm_from_spec(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FECSCHED_FAULT: %s\n", e.what());
+    ::_exit(2);
+  }
+  return true;
+}();
+
+}  // namespace
+
+const std::array<std::string_view, 8>& registered_points() {
+  static const std::array<std::string_view, 8> kPoints = {
+      "durable.write",  "durable.append",   "ledger.append",
+      "trace.write",    "timeline.write",   "checkpoint.shard",
+      "sweep.cell",     "arena.alloc",
+  };
+  return kPoints;
+}
+
+namespace detail {
+
+bool hit(std::string_view name) {
+  if (name != g_name) return false;
+  // fetch_add makes the Nth hit a global property: exactly one thread of
+  // a parallel sweep observes the firing ordinal.
+  if (g_hits.fetch_add(1, std::memory_order_relaxed) + 1 != g_nth)
+    return false;
+  switch (g_kind) {
+    case Kind::kThrow:
+      throw FaultInjected(std::string(name));
+    case Kind::kExit:
+      ::_exit(kExitCode);
+    case Kind::kShort:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+void arm(std::string_view name, std::uint64_t nth, Kind kind) {
+  bool known = false;
+  for (std::string_view p : registered_points())
+    if (p == name) {
+      known = true;
+      break;
+    }
+  if (!known)
+    throw std::invalid_argument("fault: unregistered point \"" +
+                                std::string(name) + "\"");
+  if (nth == 0)
+    throw std::invalid_argument("fault: nth must be >= 1 (1-based hits)");
+  detail::g_armed.store(false, std::memory_order_relaxed);
+  g_name.assign(name);
+  g_kind = kind;
+  g_nth = nth;
+  g_hits.store(0, std::memory_order_relaxed);
+  detail::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void disarm() noexcept {
+  detail::g_armed.store(false, std::memory_order_relaxed);
+  g_hits.store(0, std::memory_order_relaxed);
+}
+
+void arm_from_spec(std::string_view spec) {
+  const std::size_t c1 = spec.find(':');
+  if (c1 == std::string_view::npos)
+    throw std::invalid_argument(
+        "fault: spec must be <name>:<nth>[:kind], got \"" + std::string(spec) +
+        "\"");
+  const std::string_view name = spec.substr(0, c1);
+  std::string_view rest = spec.substr(c1 + 1);
+  std::string_view kind_text;
+  const std::size_t c2 = rest.find(':');
+  if (c2 != std::string_view::npos) {
+    kind_text = rest.substr(c2 + 1);
+    rest = rest.substr(0, c2);
+  }
+  std::uint64_t nth = 0;
+  if (rest.empty()) throw std::invalid_argument("fault: missing nth");
+  for (char c : rest) {
+    if (c < '0' || c > '9')
+      throw std::invalid_argument("fault: nth must be a number, got \"" +
+                                  std::string(rest) + "\"");
+    nth = nth * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  Kind kind = Kind::kThrow;
+  if (!kind_text.empty()) {
+    if (kind_text == "throw")
+      kind = Kind::kThrow;
+    else if (kind_text == "exit")
+      kind = Kind::kExit;
+    else if (kind_text == "short")
+      kind = Kind::kShort;
+    else
+      throw std::invalid_argument("fault: unknown kind \"" +
+                                  std::string(kind_text) +
+                                  "\" (throw|exit|short)");
+  }
+  arm(name, nth, kind);
+}
+
+}  // namespace fecsched::fault

@@ -1,0 +1,88 @@
+// Deterministic fault injection: named crash sites threaded through the
+// artifact writers, arena growth and sweep cell boundaries.
+//
+// A fault point is a named call site — `fault::point("ledger.append")` —
+// that is completely dormant (one relaxed atomic load + branch, the same
+// discipline as obs::current()) until armed.  Arming selects ONE point by
+// name, the ordinal hit at which it fires, and what firing does:
+//
+//   FECSCHED_FAULT=<name>:<nth>[:kind]
+//
+//     name   a registered point (see registered_points())
+//     nth    1-based hit ordinal; the point fires on its nth execution
+//     kind   throw  raise fault::FaultInjected            [default]
+//            exit   _exit(fault::kExitCode) — a crash the parent can
+//                   distinguish from every engine exit code
+//            short  point() returns true; write sites respond by leaving
+//                   a torn artifact and dying (non-write sites treat
+//                   short as throw)
+//
+// The environment is parsed once at static-init time; tests arm points
+// programmatically with arm()/disarm().  Hit counting is an atomic
+// fetch_add on the armed-and-name-matched path only, so determinism holds
+// even under the parallel sweep: the Nth *global* hit fires.
+//
+// Every call site must pass a name from registered_points(); point()
+// asserts this in debug builds so the table in README.md cannot rot.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace fecsched::fault {
+
+/// The process exit code of an injected crash (`exit` / `short` kinds).
+/// Distinct from the engine codes (0 ok, 1 failure, 2 usage, 40
+/// interrupted) so CI can assert the child died of the injected fault.
+inline constexpr int kExitCode = 41;
+
+/// Thrown by the `throw` kind (and by `short` at non-write sites).
+struct FaultInjected : std::runtime_error {
+  explicit FaultInjected(const std::string& site)
+      : std::runtime_error("fault injected at " + site) {}
+};
+
+enum class Kind { kThrow, kExit, kShort };
+
+/// Every fault-point name in the tree, in documentation order.  README's
+/// fault-point table and the robustness test's kill matrix iterate this.
+[[nodiscard]] const std::array<std::string_view, 8>& registered_points();
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+/// Slow path: name match, hit count, fire.  Returns true for `short`.
+[[nodiscard]] bool hit(std::string_view name);
+[[nodiscard]] inline bool armed() noexcept {
+  return g_armed.load(std::memory_order_relaxed);
+}
+}  // namespace detail
+
+/// Execute the fault point `name`.  Dormant cost: one relaxed atomic
+/// load + branch.  When armed and this is the configured Nth hit of the
+/// configured name: `throw` raises FaultInjected, `exit` calls
+/// _exit(kExitCode), `short` returns true (the caller tears its write
+/// and dies; callers with nothing to tear should treat true as throw).
+[[nodiscard]] inline bool point(std::string_view name) {
+  if (!detail::armed()) return false;
+  return detail::hit(name);
+}
+
+/// Programmatic arming (tests).  Replaces any previous arming, resets the
+/// hit counter.  Throws std::invalid_argument on an unregistered name or
+/// nth == 0.
+void arm(std::string_view name, std::uint64_t nth, Kind kind = Kind::kThrow);
+
+/// Disarm and reset the hit counter.
+void disarm() noexcept;
+
+/// Parse "<name>:<nth>[:kind]" and arm accordingly (what the
+/// FECSCHED_FAULT environment hook calls).  Throws std::invalid_argument
+/// on grammar errors, unregistered names, unknown kinds or nth == 0.
+void arm_from_spec(std::string_view spec);
+
+}  // namespace fecsched::fault

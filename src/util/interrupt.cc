@@ -1,0 +1,48 @@
+#include "util/interrupt.h"
+
+#include <signal.h>
+
+namespace fecsched::interrupt {
+
+namespace detail {
+std::atomic<bool> g_interrupted{false};
+}  // namespace detail
+
+namespace {
+
+struct sigaction g_prev_int;
+struct sigaction g_prev_term;
+
+/// Async-signal-safe: set the flag; on a second signal restore the
+/// default disposition and re-raise so double Ctrl-C kills immediately.
+void on_signal(int signo) {
+  if (detail::g_interrupted.exchange(true, std::memory_order_relaxed)) {
+    ::signal(signo, SIG_DFL);
+    ::raise(signo);
+  }
+}
+
+}  // namespace
+
+void reset() noexcept {
+  detail::g_interrupted.store(false, std::memory_order_relaxed);
+}
+
+InterruptGuard::InterruptGuard() noexcept {
+  reset();
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupt blocking writes too
+  if (::sigaction(SIGINT, &sa, &g_prev_int) == 0 &&
+      ::sigaction(SIGTERM, &sa, &g_prev_term) == 0)
+    installed_ = true;
+}
+
+InterruptGuard::~InterruptGuard() {
+  if (!installed_) return;
+  ::sigaction(SIGINT, &g_prev_int, nullptr);
+  ::sigaction(SIGTERM, &g_prev_term, nullptr);
+}
+
+}  // namespace fecsched::interrupt

@@ -1,0 +1,52 @@
+// Cooperative SIGINT/SIGTERM handling for long runs.
+//
+// InterruptGuard installs async-signal-safe handlers that do nothing but
+// set a flag; the sweep drivers poll interrupted() at point boundaries
+// and drain instead of dying mid-write.  The CLI then flushes whatever
+// checkpoint shards and ledger records the completed points produced,
+// marks the manifest `interrupted`, and exits with kExitCode — so a
+// Ctrl-C'd checkpointed sweep loses at most the in-flight points and
+// resumes cleanly with --resume.
+//
+// A second signal while draining restores the default disposition and
+// re-raises, so an impatient operator's double Ctrl-C still kills the
+// process immediately.
+
+#pragma once
+
+#include <atomic>
+
+namespace fecsched::interrupt {
+
+/// Process exit code of a run that drained after SIGINT/SIGTERM.
+/// Distinct from 0/1/2 and from fault::kExitCode (41).
+inline constexpr int kExitCode = 40;
+
+namespace detail {
+extern std::atomic<bool> g_interrupted;
+}  // namespace detail
+
+/// True once SIGINT or SIGTERM arrived under an active InterruptGuard.
+/// Dormant cost: one relaxed atomic load.
+[[nodiscard]] inline bool interrupted() noexcept {
+  return detail::g_interrupted.load(std::memory_order_relaxed);
+}
+
+/// Clear the flag (tests; a fresh guard also clears it).
+void reset() noexcept;
+
+/// Installs the flag-setting SIGINT/SIGTERM handlers for its lifetime
+/// and restores the previous dispositions on destruction.  Guards do not
+/// nest (the CLI installs exactly one around a run).
+class InterruptGuard {
+ public:
+  InterruptGuard() noexcept;
+  ~InterruptGuard();
+  InterruptGuard(const InterruptGuard&) = delete;
+  InterruptGuard& operator=(const InterruptGuard&) = delete;
+
+ private:
+  bool installed_ = false;
+};
+
+}  // namespace fecsched::interrupt

@@ -32,6 +32,26 @@ class RunningStats {
   /// Merge another accumulator into this one (parallel reduction).
   void merge(const RunningStats& other) noexcept;
 
+  /// Welford's second central moment sum (variance numerator).  Exposed —
+  /// together with restore() — so checkpoint shards can round-trip an
+  /// accumulator exactly (api::Json doubles serialize losslessly).
+  [[nodiscard]] double m2() const noexcept { return m2_; }
+
+  /// Rebuild an accumulator from its exact internal state, the inverse of
+  /// (count, mean, m2, min, max).  A restored accumulator continues
+  /// add()/merge() bit-identically to the original.
+  [[nodiscard]] static RunningStats restore(std::size_t n, double mean,
+                                            double m2, double min,
+                                            double max) noexcept {
+    RunningStats s;
+    s.n_ = n;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

@@ -1,0 +1,47 @@
+#include "util/watchdog.h"
+
+#include <chrono>
+
+namespace fecsched::watchdog {
+
+namespace detail {
+
+std::atomic<bool> g_any_armed{false};
+thread_local std::uint64_t t_deadline_ns = 0;
+
+// Guards armed across all threads; g_any_armed stays set while > 0 so
+// one sweep worker's deadline does not flicker the flag for the others.
+namespace {
+std::atomic<std::uint64_t> g_armed_count{0};
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+void check() {
+  if (now_ns() >= t_deadline_ns) throw TrialTimeout();
+}
+
+}  // namespace detail
+
+TrialGuard::TrialGuard(std::uint32_t timeout_ms) noexcept {
+  if (timeout_ms == 0) return;
+  detail::t_deadline_ns =
+      detail::now_ns() + static_cast<std::uint64_t>(timeout_ms) * 1000000ULL;
+  detail::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  detail::g_any_armed.store(true, std::memory_order_relaxed);
+  armed_ = true;
+}
+
+TrialGuard::~TrialGuard() {
+  if (!armed_) return;
+  detail::t_deadline_ns = 0;
+  if (detail::g_armed_count.fetch_sub(1, std::memory_order_relaxed) == 1)
+    detail::g_any_armed.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace fecsched::watchdog

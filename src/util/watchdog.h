@@ -1,0 +1,59 @@
+// Per-trial watchdog: a cooperative monotonic deadline polled at phase
+// boundaries, so a wedged trial becomes an explicit `timed_out` cell
+// status instead of a hung sweep.
+//
+// The design follows the obs dormant-cost contract: when no deadline is
+// armed anywhere in the process, poll() is one relaxed atomic load + a
+// predictable branch — cheap enough to sit inside obs::PhaseScope and
+// obs::Hook::timed, which every engine's trial loop already passes
+// through many times per trial.  The deadline itself is thread-local
+// (each sweep worker arms its own trial), so polling never contends.
+//
+// Expiry raises TrialTimeout from the poll site; the sweep driver
+// catches it at the trial boundary and marks the cell.  This is
+// cooperative, not preemptive: a trial that makes no phase transitions
+// cannot be interrupted — acceptable here because every engine's unit of
+// work (encode/channel/decode/release) is phase-bracketed.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+namespace fecsched::watchdog {
+
+/// Thrown by poll() when the calling thread's armed deadline has passed.
+struct TrialTimeout : std::runtime_error {
+  TrialTimeout() : std::runtime_error("trial watchdog deadline exceeded") {}
+};
+
+namespace detail {
+extern std::atomic<bool> g_any_armed;     ///< any thread has a deadline
+extern thread_local std::uint64_t t_deadline_ns;  ///< 0 = disarmed
+/// Slow path: compare the monotonic clock against this thread's deadline.
+void check();
+}  // namespace detail
+
+/// Check the calling thread's deadline; throws TrialTimeout past it.
+/// Dormant cost (no deadline armed process-wide): one relaxed load.
+inline void poll() {
+  if (!detail::g_any_armed.load(std::memory_order_relaxed)) return;
+  if (detail::t_deadline_ns != 0) detail::check();
+}
+
+/// Arms a deadline `timeout_ms` from now on the constructing thread for
+/// the guard's lifetime (RAII, one per trial).  timeout_ms == 0 arms
+/// nothing.  Guards do not nest: a trial is the unit of timeout.
+class TrialGuard {
+ public:
+  explicit TrialGuard(std::uint32_t timeout_ms) noexcept;
+  ~TrialGuard();
+  TrialGuard(const TrialGuard&) = delete;
+  TrialGuard& operator=(const TrialGuard&) = delete;
+
+ private:
+  bool armed_ = false;
+};
+
+}  // namespace fecsched::watchdog

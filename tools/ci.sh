@@ -217,3 +217,95 @@ done
 #    and counter rows exist at a smaller scale for speed).
 ./bench_obs_overhead --k=500 --trials=8 --check
 echo "hot-path gate: timelines validate, counters degrade gracefully, stdout untouched"
+
+# Robustness gate (util/durable_io.h, util/faultpoint.h, api/checkpoint.h,
+# util/watchdog.h, util/interrupt.h — README "Crash safety & fault
+# injection"):
+# 1. the robustness test suite (fork-kill matrix at every registered
+#    fault point, shard round-trip exactness, torn-artifact tolerance);
+ctest --output-on-failure --no-tests=error -R 'Robustness'
+# 2. kill-then-resume bit-identity, CLI level: crash the pinned grid
+#    sweep mid-flight with an injected _exit at a sweep-cell boundary
+#    (the child must die with the fault exit code 41, proving the fault
+#    actually fired), then resume from the shards and cmp against the
+#    pinned output — under the default and forced-scalar GF backends.
+rm -rf BENCH_ckpt && rm -f BENCH_resume_out.txt
+rc=0
+FECSCHED_FAULT=sweep.cell:2:exit ./fecsched_cli sweep --code=rse --tx=1 \
+  --ratio=1.5 --k=400 --trials=3 --checkpoint=BENCH_ckpt \
+  > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 41 ]; then
+  echo "BUG: injected sweep.cell crash exited $rc, want 41"; exit 1
+fi
+./fecsched_cli sweep --code=rse --tx=1 --ratio=1.5 --k=400 --trials=3 \
+  --checkpoint=BENCH_ckpt --resume | cmp - ../tools/pinned/grid_point.txt
+rm -rf BENCH_ckpt
+rc=0
+FECSCHED_GF_BACKEND=scalar FECSCHED_FAULT=checkpoint.shard:3:exit \
+  ./fecsched_cli sweep --code=rse --tx=1 --ratio=1.5 --k=400 --trials=3 \
+  --checkpoint=BENCH_ckpt > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 41 ]; then
+  echo "BUG: injected checkpoint.shard crash exited $rc, want 41"; exit 1
+fi
+FECSCHED_GF_BACKEND=scalar ./fecsched_cli sweep --code=rse --tx=1 \
+  --ratio=1.5 --k=400 --trials=3 --checkpoint=BENCH_ckpt --resume \
+  | cmp - ../tools/pinned/grid_point.txt
+# 3. SIGINT drains: a heavy ledgered sweep interrupted mid-flight must
+#    exit 40, print nothing on stdout, and leave a strict-parseable
+#    ledger whose record is marked interrupted;
+rm -f BENCH_sigint.jsonl BENCH_sigint_out.txt
+./fecsched_cli sweep --code=ldgm-triangle --tx=4 --ratio=2.5 --k=4000 \
+  --trials=60 --ledger=BENCH_sigint.jsonl > BENCH_sigint_out.txt 2>/dev/null &
+sweep_pid=$!
+sleep 2
+kill -INT "$sweep_pid" || true  # rc check below catches an early exit
+rc=0
+wait "$sweep_pid" || rc=$?
+if [ "$rc" -ne 40 ]; then
+  echo "BUG: interrupted sweep exited $rc, want 40"; exit 1
+fi
+if [ -s BENCH_sigint_out.txt ]; then
+  echo "BUG: interrupted sweep printed a partial result"; exit 1
+fi
+grep -q '"status":"interrupted"' BENCH_sigint.jsonl
+./fecsched_cli history --ledger=BENCH_sigint.jsonl --strict > /dev/null
+# 4. the trial watchdog turns a too-tight deadline into timed-out cells,
+#    not a hang or a crash;
+./fecsched_cli sweep --code=rse --tx=1 --ratio=1.5 --k=400 --trials=3 \
+  --trial-timeout-ms=1 > /dev/null
+# 5. truncated-artifact diagnostics: trace_stats must name the
+#    truncation (writer died mid-write) instead of a confusing parse
+#    error — on a torn trace and a torn timeline;
+head -c -1 BENCH_obs_stream.jsonl > BENCH_torn.jsonl
+if ./trace_stats BENCH_torn.jsonl > /dev/null 2> BENCH_torn_err.txt; then
+  echo "BUG: trace_stats accepted a truncated trace"; exit 1
+fi
+grep -q 'truncated file' BENCH_torn_err.txt
+# 6. crash-safety flags stay engine-scoped, and misuse is a usage error:
+#    --checkpoint/--resume/--trial-timeout-ms belong to the sweep/run
+#    engines (timeout also to stream/mpath), --strict to history/compare,
+#    --resume requires --checkpoint, and a malformed FECSCHED_FAULT dies
+#    loudly at startup rather than running faultless.
+for sub in stream mpath adapt plan history compare list; do
+  if ./fecsched_cli "$sub" --checkpoint=BENCH_x > /dev/null 2>&1; then
+    echo "BUG: $sub accepted --checkpoint"; exit 1
+  fi
+done
+for sub in adapt plan history compare list; do
+  if ./fecsched_cli "$sub" --trial-timeout-ms=1 > /dev/null 2>&1; then
+    echo "BUG: $sub accepted --trial-timeout-ms"; exit 1
+  fi
+done
+for sub in sweep stream mpath adapt plan list; do
+  if ./fecsched_cli "$sub" --strict > /dev/null 2>&1; then
+    echo "BUG: $sub accepted --strict"; exit 1
+  fi
+done
+if ./fecsched_cli sweep --code=rse --tx=1 --ratio=1.5 --k=400 --trials=3 \
+    --resume > /dev/null 2>&1; then
+  echo "BUG: --resume accepted without --checkpoint"; exit 1
+fi
+if FECSCHED_FAULT=no.such.point:1 ./fecsched_cli list > /dev/null 2>&1; then
+  echo "BUG: malformed FECSCHED_FAULT did not abort"; exit 1
+fi
+echo "robustness gate: kill-resume bit-identical on both backends, SIGINT drains, torn artifacts diagnosed"

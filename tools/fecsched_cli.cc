@@ -122,6 +122,23 @@
 //                          speedscope); implies --profile.
 //   --metrics-out=<file>   Prometheus text exposition of the metrics
 //                          registry; implies --metrics.
+//
+// Crash safety (PR 9):
+//   --checkpoint=<dir>     (sweep, run with a grid spec) persist every
+//                          completed grid cell as a durable JSON shard;
+//   --resume               skip cells whose shard validates — a killed
+//                          sweep resumed this way reproduces the
+//                          uninterrupted output byte-for-byte.
+//   --trial-timeout-ms=N   per-trial watchdog: a stuck grid trial counts
+//                          as a failure and marks its cell timed_out
+//                          instead of hanging the sweep.
+//   --strict               (history, compare) reject a torn trailing
+//                          ledger line instead of skipping it.
+// SIGINT/SIGTERM drain a run cleanly: durable outputs flush, the ledger
+// record is marked "interrupted", partial results are not printed, exit
+// code 40.  FECSCHED_FAULT=<point>:<nth>[:throw|exit|short] arms the
+// deterministic fault-injection harness (src/util/faultpoint.h); a
+// fault-killed process exits 41.
 
 #include <cstdio>
 #include <cstdlib>
@@ -151,6 +168,7 @@
 #include "flute/fdt.h"
 #include "sim/analytic.h"
 #include "sim/table_io.h"
+#include "util/interrupt.h"
 #include "util/stats.h"
 
 namespace {
@@ -300,6 +318,37 @@ void force_obs_collection(const ObsOutputs& outputs, api::ObsSpec& obs) {
   if (!outputs.timeline_out.empty()) obs.timeline = outputs.timeline_out;
 }
 
+/// Crash-safety flags shared by the engine subcommands:
+/// --checkpoint=<dir> / --resume (grid sweeps; api/checkpoint.h) and
+/// --trial-timeout-ms=N (per-trial watchdog).  None of them is part of
+/// the scenario spec — they change how a run executes, never what it
+/// computes, so --dump-spec documents stay identical with or without
+/// them.
+api::RunControl parse_run_control(const Args& args) {
+  api::RunControl control;
+  if (const auto dir = args.get("checkpoint")) control.checkpoint.dir = *dir;
+  control.checkpoint.resume = args.get("resume").has_value();
+  if (control.checkpoint.resume && !control.checkpoint.enabled())
+    throw std::invalid_argument("--resume requires --checkpoint=<dir>");
+  control.trial_timeout_ms =
+      static_cast<std::uint32_t>(args.integer("trial-timeout-ms", 0));
+  return control;
+}
+
+/// SIGINT/SIGTERM arrived while the engines ran: everything durable
+/// (ledger record, checkpoint shards) is already flushed, the manifest is
+/// marked "interrupted", and partial results are NOT printed — a reader
+/// of the pinned output formats must never mistake a drained run for a
+/// complete one.  Exit interrupt::kExitCode (40), distinct from domain
+/// failures (1) and usage errors (2).
+int finish_interrupted(const char* cmd) {
+  std::fprintf(stderr,
+               "%s: interrupted — durable outputs flushed, partial results "
+               "not printed\n",
+               cmd);
+  return interrupt::kExitCode;
+}
+
 std::string progress_unit(const std::string& engine) {
   if (engine == "grid") return "cells";
   if (engine == "adaptive") return "points";
@@ -327,9 +376,9 @@ void write_obs_outputs(const ObsOutputs& outputs,
 /// flags forced any collection: when false, the report was collected only
 /// to feed the files above, and it is dropped from the result afterwards
 /// so stdout/JSON stay byte-identical to a run without the new flags.
-api::ScenarioResult run_scenario_with_outputs(const api::ScenarioSpec& spec,
-                                              const ObsOutputs& outputs,
-                                              bool user_obs) {
+api::ScenarioResult run_scenario_with_outputs(
+    const api::ScenarioSpec& spec, const ObsOutputs& outputs, bool user_obs,
+    const api::RunControl& control = {}) {
   std::optional<obs::ProgressMeter> meter;
   if (outputs.progress) {
     obs::ProgressOptions popt;
@@ -337,7 +386,13 @@ api::ScenarioResult run_scenario_with_outputs(const api::ScenarioSpec& spec,
     popt.unit = progress_unit(spec.engine);
     meter.emplace(std::move(popt));
   }
-  api::ScenarioResult result = api::run_scenario(spec);
+  // SIGINT/SIGTERM drain the engines instead of killing the process: the
+  // run winds down at the next cell/trial boundary, the ledger record and
+  // any checkpoint shards still flush below (manifest status
+  // "interrupted"), and the caller exits interrupt::kExitCode without
+  // printing partial results.  A second signal kills immediately.
+  const interrupt::InterruptGuard signals;
+  api::ScenarioResult result = api::run_scenario(spec, control);
   if (meter) meter->finish();
   write_obs_outputs(outputs, result.manifest, result.obs);
   if (!user_obs) result.obs.reset();
@@ -551,13 +606,15 @@ int cmd_sweep(const Args& args) {
     api::ScenarioSpec spec = build_sweep_spec(args);
     if (maybe_dump_spec(args, spec)) return 0;
     const ObsOutputs outputs = parse_obs_outputs(args);
+    const api::RunControl control = parse_run_control(args);
     const bool user_obs = spec.obs.enabled();
     force_obs_collection(outputs, spec.obs);
-    result = run_scenario_with_outputs(spec, outputs, user_obs);
+    result = run_scenario_with_outputs(spec, outputs, user_obs, control);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sweep: %s\n", e.what());
     return 2;
   }
+  if (interrupt::interrupted()) return finish_interrupted("sweep");
   return print_grid_result(args, result);
 }
 
@@ -816,6 +873,7 @@ int cmd_adapt(const Args& args) {
     std::fprintf(stderr, "adapt: %s\n", e.what());
     return 2;
   }
+  if (interrupt::interrupted()) return finish_interrupted("adapt");
   return print_adapt_result(args, result);
 }
 
@@ -911,13 +969,15 @@ int cmd_stream(const Args& args) {
     api::ScenarioSpec spec = build_stream_spec(args);
     if (maybe_dump_spec(args, spec)) return 0;
     const ObsOutputs outputs = parse_obs_outputs(args);
+    const api::RunControl control = parse_run_control(args);
     const bool user_obs = spec.obs.enabled();
     force_obs_collection(outputs, spec.obs);
-    result = run_scenario_with_outputs(spec, outputs, user_obs);
+    result = run_scenario_with_outputs(spec, outputs, user_obs, control);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "stream: %s\n", e.what());
     return 2;
   }
+  if (interrupt::interrupted()) return finish_interrupted("stream");
   return print_stream_result(args, result);
 }
 
@@ -1060,13 +1120,15 @@ int cmd_mpath(const Args& args) {
     api::ScenarioSpec spec = build_mpath_spec(args);
     if (maybe_dump_spec(args, spec)) return 0;
     const ObsOutputs outputs = parse_obs_outputs(args);
+    const api::RunControl control = parse_run_control(args);
     const bool user_obs = spec.obs.enabled();
     force_obs_collection(outputs, spec.obs);
-    result = run_scenario_with_outputs(spec, outputs, user_obs);
+    result = run_scenario_with_outputs(spec, outputs, user_obs, control);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mpath: %s\n", e.what());
     return 2;
   }
+  if (interrupt::interrupted()) return finish_interrupted("mpath");
   return print_mpath_result(args, result);
 }
 
@@ -1111,13 +1173,15 @@ int cmd_run(const Args& args) {
           "--json is not supported for the grid engine (the paper table is "
           "the output)");
     const ObsOutputs outputs = parse_obs_outputs(args);
+    const api::RunControl control = parse_run_control(args);
     const bool user_obs = spec.obs.enabled();
     force_obs_collection(outputs, spec.obs);
-    result = run_scenario_with_outputs(spec, outputs, user_obs);
+    result = run_scenario_with_outputs(spec, outputs, user_obs, control);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "run: %s\n", e.what());
     return 2;
   }
+  if (interrupt::interrupted()) return finish_interrupted("run");
   if (engine == "grid") return print_grid_result(args, result);
   if (engine == "stream") return print_stream_result(args, result);
   if (engine == "mpath") return print_mpath_result(args, result);
@@ -1139,9 +1203,13 @@ std::vector<obs::LedgerRecord> load_ledgers(const Args& args) {
     throw std::invalid_argument(
         "no ledger: pass --ledger=<file.jsonl> (repeatable) or set "
         "FECSCHED_LEDGER");
+  // By default a torn trailing line (a crash mid-append) is skipped with
+  // a warning so history/compare keep working right after a crash;
+  // --strict turns any malformed line into a hard error.
+  const bool strict = args.get("strict").has_value();
   std::vector<obs::LedgerRecord> records;
   for (const std::string& path : paths) {
-    std::vector<obs::LedgerRecord> shard = obs::load_ledger(path);
+    std::vector<obs::LedgerRecord> shard = obs::load_ledger(path, strict);
     records.insert(records.end(),
                    std::make_move_iterator(shard.begin()),
                    std::make_move_iterator(shard.end()));
@@ -1314,6 +1382,12 @@ void usage(std::FILE* out) {
                "--timeline-out=<file.json>\n"
                "  (Chrome trace_event timeline; load in "
                "ui.perfetto.dev or chrome://tracing)\n"
+               "  crash safety: --checkpoint=<dir> [--resume] (grid "
+               "sweeps), --trial-timeout-ms=N,\n"
+               "  --strict (history/compare); SIGINT/SIGTERM drain cleanly "
+               "(exit 40);\n"
+               "  FECSCHED_FAULT=<point>:<nth>[:kind] injects faults "
+               "(exit 41)\n"
                "\n"
                "run 'fecsched_cli --help' or see the header of "
                "tools/fecsched_cli.cc for per-command flags\n");
@@ -1339,7 +1413,8 @@ struct Command {
 const Command kCommands[] = {
     {"sweep", cmd_sweep,
      {"code", "tx", "ratio", "k", "trials", "seed", "gnuplot", "dump-spec",
-      FECSCHED_OBS_FLAGS, FECSCHED_OBS_OUT_FLAGS}},
+      "checkpoint", "resume", "trial-timeout-ms", FECSCHED_OBS_FLAGS,
+      FECSCHED_OBS_OUT_FLAGS}},
     {"plan", cmd_plan, {"p", "q", "k", "trials", "bytes", "payload",
                         "tolerance"}},
     {"universal", cmd_universal, {"k", "trials"}},
@@ -1351,20 +1426,20 @@ const Command kCommands[] = {
     {"stream", cmd_stream,
      {"p", "q", "pglobal", "burst", "scheme", "sched", "overhead", "window",
       "blockk", "sources", "trials", "seed", "json", "dump-spec",
-      FECSCHED_OBS_FLAGS, FECSCHED_OBS_OUT_FLAGS}},
+      "trial-timeout-ms", FECSCHED_OBS_FLAGS, FECSCHED_OBS_OUT_FLAGS}},
     {"mpath", cmd_mpath,
      {"p", "q", "pglobal", "burst", "delay", "capacity", "scheduler",
       "scheme", "sched", "adapt", "warmup", "overhead", "window", "blockk",
-      "sources", "trials", "seed", "json", "dump-spec", FECSCHED_OBS_FLAGS,
-      FECSCHED_OBS_OUT_FLAGS}},
+      "sources", "trials", "seed", "json", "dump-spec", "trial-timeout-ms",
+      FECSCHED_OBS_FLAGS, FECSCHED_OBS_OUT_FLAGS}},
     {"run", cmd_run,
-     {"spec", "json", "gnuplot", "dump-spec", FECSCHED_OBS_FLAGS,
-      FECSCHED_OBS_OUT_FLAGS}},
+     {"spec", "json", "gnuplot", "dump-spec", "checkpoint", "resume",
+      "trial-timeout-ms", FECSCHED_OBS_FLAGS, FECSCHED_OBS_OUT_FLAGS}},
     {"history", cmd_history,
-     {"ledger", "spec", "engine", "gf", "kind", "compact"}},
+     {"ledger", "spec", "engine", "gf", "kind", "compact", "strict"}},
     {"compare", cmd_compare,
      {"ledger", "spec", "engine", "gf", "kind", "threshold", "min-phase-ms",
-      "min-wall"}},
+      "min-wall", "strict"}},
     {"list", cmd_list, {"describe"}},
 };
 

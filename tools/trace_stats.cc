@@ -36,7 +36,11 @@
 // have a single variant so the residual integers are attributable).
 //
 // Exit status: 0 = statistics computed and every requested cross-check
-// passed; 1 = mismatch or unreadable input; 2 = usage error.
+// passed; 1 = mismatch or unreadable input; 2 = usage error.  A file
+// that does not end in '\n' (torn tail — the artifact writers are
+// atomic, so this means a non-atomic copy or a foreign writer) fails
+// with a "truncated file" diagnostic naming the byte offset where the
+// complete prefix ends.
 
 #include <cstdio>
 #include <cstring>
@@ -146,6 +150,29 @@ const char* check(const char* what, const obs::TraceResidual& trace,
   return ok ? "ok" : "mismatch";
 }
 
+/// Crash forensics pre-scan.  Every artifact this tool reads is written
+/// atomically (temp + fsync + rename, src/util/durable_io.h) and ends
+/// with '\n', so a file whose last byte is not a newline is a torn copy
+/// or the work of a pre-durable writer.  Diagnose it by name — with the
+/// byte offset where the complete prefix ends — instead of surfacing a
+/// bare JSON parse error from deep inside the torn tail.
+std::string read_complete_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (!text.empty() && text.back() != '\n') {
+    const std::size_t good = text.rfind('\n');
+    const std::size_t offset = good == std::string::npos ? 0 : good + 1;
+    throw std::runtime_error(
+        path + ": truncated file — last complete line ends at byte " +
+        std::to_string(offset) + ", " + std::to_string(text.size() - offset) +
+        " torn trailing byte(s) (writer died mid-write, or the file was "
+        "copied non-atomically)");
+  }
+  return text;
+}
+
 const api::Json& need(const api::Json& ev, const std::string& where,
                       const char* key) {
   const api::Json* v = ev.find(key);
@@ -156,13 +183,7 @@ const api::Json& need(const api::Json& ev, const std::string& where,
 
 /// --timeline mode: schema-validate a Chrome trace_event document.
 int validate_timeline(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "trace_stats: cannot open %s\n", path.c_str());
-    return 1;
-  }
-  const std::string text((std::istreambuf_iterator<char>(in)),
-                         std::istreambuf_iterator<char>());
+  const std::string text = read_complete_file(path);
   const api::Json doc = api::Json::parse(text);
   const api::Json* events = doc.find("traceEvents");
   if (events == nullptr) {
@@ -280,6 +301,7 @@ int run(int argc, char** argv) {
     return 2;
   }
 
+  (void)read_complete_file(path);  // truncation diagnostic before parsing
   const obs::TraceFile file = obs::read_trace_file(path);
   const obs::TraceResidual residual = obs::residual_from_trace(file.events);
   const std::string engine =
