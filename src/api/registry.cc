@@ -24,7 +24,7 @@ Registry::Registry() {
        engines({"grid", "adaptive"})},
       {"ldgm", {}, "plain LDGM, H = [H1 | I] (ablation); as a streaming "
        "scheme: one large-block LDGM with iterative peeling",
-       engines({"grid", "adaptive", "stream", "mpath"})},
+       engines({"grid", "adaptive", "stream", "mpath", "net"})},
       {"ldgm-staircase", {}, "LDGM Staircase (Sec. 2.3.3)",
        engines({"grid", "adaptive"})},
       {"ldgm-triangle", {}, "LDGM Triangle (Sec. 2.3.4) — the paper's "
@@ -32,22 +32,23 @@ Registry::Registry() {
        engines({"grid", "adaptive"})},
       {"replication", {}, "no FEC: each source sent x times (Sec. 4.2); "
        "as a streaming scheme: round-robin re-sends over the window",
-       engines({"grid", "adaptive", "stream", "mpath"})},
+       engines({"grid", "adaptive", "stream", "mpath", "net"})},
       {"sliding-window", {"sliding"}, "systematic sliding-window GF(256) "
        "code, on-the-fly decoding (Karzand-style low-delay streaming)",
-       engines({"stream", "mpath"})},
+       engines({"stream", "mpath", "net"})},
       {"block-rse", {}, "blocked Reed-Solomon streaming: per-block "
        "sources then parity, MDS completion rule",
-       engines({"stream", "mpath"})},
+       engines({"stream", "mpath", "net"})},
   };
   channels_ = {
       {"gilbert", {}, "two-state Markov erasure process (p, q); the "
        "paper's Sec. 3.2 loss model", engines({"grid", "stream", "mpath",
-       "adaptive"})},
+       "adaptive", "net"})},
       {"bernoulli", {"iid"}, "memoryless erasure process (Gilbert with "
-       "q = 1 - p)", engines({"grid", "stream", "mpath", "adaptive"})},
+       "q = 1 - p)", engines({"grid", "stream", "mpath", "adaptive",
+       "net"})},
       {"perfect", {}, "the ideal channel: nothing is ever lost",
-       engines({"stream", "mpath"})},
+       engines({"stream", "mpath", "net"})},
   };
   tx_models_ = {
       {"tx1", {"1"}, "source sequential, then parity sequential (Sec. 4.3)",
@@ -63,11 +64,11 @@ Registry::Registry() {
       {"tx6", {"6"}, "random 20% of source + all parity, shuffled (Sec. 4.8)",
        engines({"grid", "adaptive"})},
       {"sequential", {"seq"}, "streaming order: each block's sources, then "
-       "its parity", engines({"stream", "mpath"})},
+       "its parity", engines({"stream", "mpath", "net"})},
       {"interleaved", {}, "streaming order: Tx_model_5 per-block "
-       "interleaving", engines({"stream", "mpath"})},
+       "interleaving", engines({"stream", "mpath", "net"})},
       {"carousel", {}, "streaming order: sequential schedule looped until "
-       "delivery", engines({"stream"})},
+       "delivery", engines({"stream", "net"})},
   };
   path_schedulers_ = {
       {"round-robin", {"rr"}, "packet i on path i mod K — the naive "
@@ -81,6 +82,14 @@ Registry::Registry() {
        "to the path with the smallest backlog-aware arrival time",
        engines({"mpath"})},
   };
+  transports_ = {
+      {"udp", {}, "nonblocking UDP datagram sockets on a 127.0.0.1 "
+       "loopback pair; impairment injected above the (lossless) socket",
+       engines({"net"})},
+      {"memory", {"inproc"}, "in-process datagram queue pair; hermetic "
+       "fallback with wire semantics identical to udp",
+       engines({"net"})},
+  };
 }
 
 const std::vector<RegistryEntry>& Registry::list(
@@ -90,6 +99,7 @@ const std::vector<RegistryEntry>& Registry::list(
     case RegistrySection::kChannels: return channels_;
     case RegistrySection::kTxModels: return tx_models_;
     case RegistrySection::kPathSchedulers: return path_schedulers_;
+    case RegistrySection::kTransports: return transports_;
   }
   return codes_;
 }
@@ -183,6 +193,12 @@ PathScheduling Registry::path_scheduler(std::string_view name) const {
   if (canon == "split") return PathScheduling::kSplit;
   if (canon == "earliest-arrival") return PathScheduling::kEarliestArrival;
   unknown(RegistrySection::kPathSchedulers, "path scheduler", name);
+}
+
+std::string Registry::transport(std::string_view name) const {
+  const RegistryEntry* e = lookup(RegistrySection::kTransports, name);
+  if (e != nullptr) return e->name;
+  unknown(RegistrySection::kTransports, "transport", name, "net");
 }
 
 std::unique_ptr<LossModel> Registry::make_channel(

@@ -47,8 +47,14 @@ struct ChannelParams {
   double q = 1.0;
 };
 
-/// The four discoverable sections of the scenario vocabulary.
-enum class RegistrySection { kCodes, kChannels, kTxModels, kPathSchedulers };
+/// The five discoverable sections of the scenario vocabulary.
+enum class RegistrySection {
+  kCodes,
+  kChannels,
+  kTxModels,
+  kPathSchedulers,
+  kTransports
+};
 
 [[nodiscard]] constexpr std::string_view to_string(RegistrySection s) noexcept {
   switch (s) {
@@ -56,6 +62,7 @@ enum class RegistrySection { kCodes, kChannels, kTxModels, kPathSchedulers };
     case RegistrySection::kChannels: return "channels";
     case RegistrySection::kTxModels: return "tx-models";
     case RegistrySection::kPathSchedulers: return "path-schedulers";
+    case RegistrySection::kTransports: return "transports";
   }
   return "?";
 }
@@ -82,6 +89,9 @@ class Registry {
   [[nodiscard]] TxModel tx_model(std::string_view name) const;
   [[nodiscard]] StreamScheduling stream_scheduling(std::string_view name) const;
   [[nodiscard]] PathScheduling path_scheduler(std::string_view name) const;
+  /// Canonical transport name for the net engine ("udp", "memory";
+  /// "inproc" is an accepted alias for "memory").
+  [[nodiscard]] std::string transport(std::string_view name) const;
 
   /// Instantiate a loss model by name ("gilbert", "bernoulli",
   /// "perfect") at the given operating point.
@@ -106,6 +116,7 @@ class Registry {
   std::vector<RegistryEntry> channels_;
   std::vector<RegistryEntry> tx_models_;
   std::vector<RegistryEntry> path_schedulers_;
+  std::vector<RegistryEntry> transports_;
 };
 
 /// The process-wide registry (constructed on first use, thread-safe).

@@ -17,10 +17,12 @@
 #include <thread>
 
 #include "adapt/controller.h"
+#include "api/json.h"
 #include "gf/gf256_kernels.h"
 #include "mpath/path_adapt.h"
 #include "obs/memwatch.h"
 #include "obs/timeline.h"
+#include "util/durable_io.h"
 #include "util/interrupt.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -290,6 +292,139 @@ ScenarioResult run_stream_engine(const ScenarioSpec& spec,
   return result;
 }
 
+// ----------------------------------------------------------------- net
+
+/// The wire twin of run_stream_engine: the same serial (variant, trial)
+/// accounting, but every trial crosses a real transport via
+/// run_net_trial.  When spec.net.parity is on (the default), each trial
+/// is re-run through run_stream_trial with the same seed and a fresh
+/// channel, and any divergence in the delivered-delay distribution is
+/// counted — the sim-vs-wire parity contract is tolerance ZERO.
+ScenarioResult run_net_engine(const ScenarioSpec& spec,
+                              const RunControl& control) {
+  check_single_point_spec(spec);
+  ScenarioResult result;
+  result.engine = spec.engine;
+  const ChannelPoint pt = spec.channel.point();
+  result.p = pt.p;
+  result.q = pt.q;
+  result.trials = spec.run.trials;
+  result.seed = spec.run.seed;
+
+  const net::NetTrialConfig base = to_net_config(spec);
+  base.validate();
+  result.net_base = base;
+  result.stream_base = base.stream;
+  NetRunStats stats;
+  Json dump_trials = Json::array();
+
+  ParallelObserver* const progress = parallel_observer();
+  if (progress != nullptr) progress->on_batch(spec.run.trials);
+
+  StreamOutcome outcome;
+  outcome.variant = {std::string(to_string(base.stream.scheme)),
+                     base.stream.scheme, base.stream.scheduling};
+  for (std::uint32_t t = 0; t < spec.run.trials; ++t) {
+    if (interrupt::interrupted()) break;
+    const obs::TrialScope trial_scope(t);
+    const watchdog::TrialGuard deadline(control.trial_timeout_ms);
+    const std::uint64_t seed = derive_seed(spec.run.seed, {0, t});
+    const auto channel =
+        registry().make_channel(spec.channel.model, {pt.p, pt.q});
+    const net::NetTrialResult r =
+        net::run_net_trial(base, *channel, seed, /*object_id=*/t);
+
+    const StreamTrialResult& sr = r.stream;
+    outcome.delays.insert(outcome.delays.end(), sr.delays.begin(),
+                          sr.delays.end());
+    outcome.delivered += sr.delay.delivered;
+    outcome.lost += sr.residual.lost;
+    outcome.residual_runs += sr.residual.runs;
+    outcome.residual_max_run =
+        std::max(outcome.residual_max_run, sr.residual.max_run_length);
+    const auto delivered = static_cast<double>(sr.delay.delivered);
+    outcome.delay_sum += sr.delay.mean * delivered;
+    outcome.transport_sum += sr.delay.mean_transport * delivered;
+    outcome.hol_sum += sr.delay.mean_hol * delivered;
+    outcome.overhead_actual_sum += sr.overhead_actual;
+    outcome.packets_sent += sr.packets_sent;
+    outcome.packets_received += sr.packets_received;
+    ++outcome.trials;
+
+    stats.datagrams_sent += r.datagrams_sent;
+    stats.datagrams_dropped += r.datagrams_dropped;
+    stats.bytes_sent += r.bytes_sent;
+    stats.sources_verified += r.sources_verified;
+    stats.payload_mismatches += r.payload_mismatches;
+    stats.frames_rejected += r.frames_rejected;
+    stats.reports_received += r.reports_received;
+    stats.estimate = r.estimate;
+
+    if (spec.net.parity) {
+      // The twin consumes the exact channel substream the wire run drew
+      // (fresh model, same seed), so every field must match exactly.
+      const auto twin =
+          registry().make_channel(spec.channel.model, {pt.p, pt.q});
+      const StreamTrialResult sim =
+          run_stream_trial(base.stream, *twin, seed);
+      ++stats.parity_trials;
+      const bool equal = sim.delays == sr.delays &&
+                         sim.delay.delivered == sr.delay.delivered &&
+                         sim.residual.lost == sr.residual.lost &&
+                         sim.packets_sent == sr.packets_sent &&
+                         sim.packets_received == sr.packets_received &&
+                         sim.all_delivered == sr.all_delivered;
+      if (!equal) ++stats.parity_failures;
+    }
+
+    if (!spec.net.dump.empty()) {
+      Json entry = Json::object();
+      entry.set("trial", Json::integer(t));
+      entry.set("seed", Json::integer(seed));
+      entry.set("datagrams_sent", Json::integer(r.datagrams_sent));
+      entry.set("datagrams_dropped", Json::integer(r.datagrams_dropped));
+      entry.set("bytes_sent", Json::integer(r.bytes_sent));
+      entry.set("sources_verified", Json::integer(r.sources_verified));
+      entry.set("payload_mismatches", Json::integer(r.payload_mismatches));
+      entry.set("frames_rejected", Json::integer(r.frames_rejected));
+      entry.set("reports_received", Json::integer(r.reports_received));
+      entry.set("residual_lost", Json::integer(sr.residual.lost));
+      entry.set("all_delivered", Json(sr.all_delivered));
+      dump_trials.push_back(std::move(entry));
+    }
+    if (progress != nullptr) progress->on_item_done();
+  }
+  std::sort(outcome.delays.begin(), outcome.delays.end());
+  result.stream.push_back(std::move(outcome));
+  result.net = stats;
+
+  const StreamOutcome& first = result.stream.front();
+  if (first.trials > 0) {
+    fill_delay_summary(result.summary, first.delays, first.mean(),
+                       first.mean_residual_run(), first.residual_max_run,
+                       first.delivered, first.lost);
+    const double produced =
+        static_cast<double>(base.stream.source_count) * first.trials;
+    result.summary.sent_ratio =
+        static_cast<double>(first.packets_sent) / produced;
+    result.summary.received_ratio =
+        static_cast<double>(first.packets_received) / produced;
+  }
+
+  if (!spec.net.dump.empty()) {
+    // Through durable::write_file, so the artifact rides the same
+    // atomic-rename discipline (and "durable.write" fault point) as every
+    // other whole-file artifact.
+    Json root = Json::object();
+    root.set("engine", Json(std::string("net")));
+    root.set("transport", Json(base.transport));
+    root.set("fingerprint", Json(scenario_fingerprint(spec)));
+    root.set("trials", std::move(dump_trials));
+    durable::write_file(spec.net.dump, root.dump(2));
+  }
+  return result;
+}
+
 // --------------------------------------------------------------- mpath
 
 std::vector<MpathVariant> mpath_variants(const ScenarioSpec& spec) {
@@ -493,6 +628,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
     if (spec.engine == "stream") return run_stream_engine(spec, control);
     if (spec.engine == "mpath") return run_mpath_engine(spec, control);
     if (spec.engine == "adaptive") return run_adaptive_engine(spec);
+    if (spec.engine == "net") return run_net_engine(spec, control);
     throw std::invalid_argument("spec: unknown engine '" + spec.engine + "'");
   }();
   finish_observability(spec, session, t0, started_at, result.manifest,
@@ -532,6 +668,12 @@ ScenarioSweepResult run_scenario_sweep_engines(const ScenarioSpec& spec,
     result.points = grid_points(result.grid->spec);
     return result;
   }
+
+  if (spec.engine == "net")
+    throw std::invalid_argument(
+        "spec: the net engine runs single loopback points only — axis "
+        "sweeps would re-bind sockets per cell for no measurement gain "
+        "(drop the sweep section, or sweep the 'stream' twin)");
 
   result.points = sweep_channel_points(spec);
   const std::vector<double> overheads = spec.sweep.overheads.empty()

@@ -32,6 +32,7 @@
 #include "api/checkpoint.h"
 #include "api/registry.h"
 #include "mpath/mpath_trial.h"
+#include "net/net_trial.h"
 #include "obs/obs.h"
 #include "sim/adaptive_compare.h"
 #include "sim/experiment.h"
@@ -137,6 +138,22 @@ struct ObsSpec {
   [[nodiscard]] bool operator==(const ObsSpec&) const = default;
 };
 
+/// Wire-replay knobs (net engine; src/net/).  The stream sub-specs still
+/// define the FEC geometry — this section only shapes the transport.
+struct NetSpec {
+  std::string transport = "udp";     ///< registry transports: udp | memory
+  std::uint32_t payload_bytes = 64;  ///< source symbol size on the wire
+  std::uint32_t report_interval = 0; ///< reverse-path LossReport cadence
+  std::uint32_t recv_timeout_ms = 2000;
+  /// Cross-check every trial against its run_stream_trial twin (same
+  /// seed, fresh channel) and count mismatching delay distributions.
+  bool parity = true;
+  /// Durable JSON dump of per-trial wire stats ("" = off).
+  std::string dump;
+
+  [[nodiscard]] bool operator==(const NetSpec&) const = default;
+};
+
 /// Per-axis sweep lists.  Empty = single-point run.  grid names a
 /// built-in (p, q) grid ("paper", "fig7"); p/q give explicit axes.
 struct SweepSpec {
@@ -157,7 +174,7 @@ struct SweepSpec {
 
 /// One declarative scenario: engine + nested sub-specs + sweep axes.
 struct ScenarioSpec {
-  std::string engine = "grid";  ///< grid | stream | mpath | adaptive
+  std::string engine = "grid";  ///< grid | stream | mpath | adaptive | net
   CodeSpec code;
   ChannelSpec channel;
   TxSpec tx;
@@ -166,6 +183,7 @@ struct ScenarioSpec {
   RunSpec run;
   SweepSpec sweep;
   ObsSpec obs;
+  NetSpec net;
 
   /// Structural validation (names resolve, ranges hold).  Engine-level
   /// config validation still runs inside run_scenario.  Throws
@@ -250,6 +268,21 @@ struct MpathOutcome {
   }
 };
 
+/// Aggregated wire-side counters of a net scenario (all trials), plus
+/// the sim-vs-wire parity verdict the ci.sh net gate pins.
+struct NetRunStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t sources_verified = 0;
+  std::uint64_t payload_mismatches = 0;
+  std::uint64_t frames_rejected = 0;
+  std::uint64_t reports_received = 0;
+  std::uint32_t parity_trials = 0;    ///< trials cross-checked vs the sim twin
+  std::uint32_t parity_failures = 0;  ///< delay distributions that differed
+  ChannelEstimate estimate;           ///< last trial's wire-fed estimate
+};
+
 /// Engine-independent headline numbers.  Every field is optional-tagged:
 /// an engine fills what it measures (the grid engine has no delay axis,
 /// the streaming engines no decode inefficiency).
@@ -286,6 +319,12 @@ struct ScenarioResult {
   // engine == "stream"
   std::vector<StreamOutcome> stream;
   std::optional<StreamTrialConfig> stream_base;
+
+  // engine == "net" (stream outcomes reuse the `stream` vector — the net
+  // engine produces the same per-variant delay aggregates, replayed over
+  // real sockets)
+  std::optional<NetRunStats> net;
+  std::optional<fecsched::net::NetTrialConfig> net_base;
 
   // engine == "mpath"
   std::vector<MpathOutcome> mpath;
@@ -368,6 +407,7 @@ struct RunControl {
 // throws std::invalid_argument on names that do not resolve.
 [[nodiscard]] ExperimentConfig to_experiment_config(const ScenarioSpec& spec);
 [[nodiscard]] StreamTrialConfig to_stream_config(const ScenarioSpec& spec);
+[[nodiscard]] net::NetTrialConfig to_net_config(const ScenarioSpec& spec);
 [[nodiscard]] MpathTrialConfig to_mpath_config(const ScenarioSpec& spec);
 [[nodiscard]] AdaptiveCompareConfig to_adaptive_config(
     const ScenarioSpec& spec);

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "api/json.h"
+#include "net/wire.h"
 
 namespace fecsched::api {
 
@@ -89,6 +90,19 @@ Json spec_to_json_value(const ScenarioSpec& s) {
   sweep.set("overhead", doubles_array(s.sweep.overheads));
   sweep.set("delay_spread", doubles_array(s.sweep.delay_spreads));
   root.set("sweep", std::move(sweep));
+
+  // Omitted entirely when default so pre-net spec documents stay
+  // byte-identical fixed points.
+  if (!(s.net == NetSpec{})) {
+    Json net = Json::object();
+    net.set("transport", Json(s.net.transport));
+    net.set("payload_bytes", Json::integer(s.net.payload_bytes));
+    net.set("report_interval", Json::integer(s.net.report_interval));
+    net.set("recv_timeout_ms", Json::integer(s.net.recv_timeout_ms));
+    net.set("parity", Json(s.net.parity));
+    net.set("dump", Json(s.net.dump));
+    root.set("net", std::move(net));
+  }
 
   // Omitted entirely when default so pre-obs spec documents stay
   // byte-identical fixed points.
@@ -242,6 +256,22 @@ void parse_sweep(const Json& v, SweepSpec& out) {
   });
 }
 
+void parse_net(const Json& v, NetSpec& out) {
+  walk_object(v, "net", [&](const std::string& key, const Json& val) {
+    if (key == "transport") out.transport = val.as_string("net.transport");
+    else if (key == "payload_bytes")
+      out.payload_bytes = as_uint32(val, "net.payload_bytes");
+    else if (key == "report_interval")
+      out.report_interval = as_uint32(val, "net.report_interval");
+    else if (key == "recv_timeout_ms")
+      out.recv_timeout_ms = as_uint32(val, "net.recv_timeout_ms");
+    else if (key == "parity") out.parity = val.as_bool("net.parity");
+    else if (key == "dump") out.dump = val.as_string("net.dump");
+    else return false;
+    return true;
+  });
+}
+
 void parse_obs(const Json& v, ObsSpec& out) {
   walk_object(v, "obs", [&](const std::string& key, const Json& val) {
     if (key == "metrics") out.metrics = val.as_bool("obs.metrics");
@@ -280,6 +310,7 @@ ScenarioSpec ScenarioSpec::from_json(std::string_view text) {
     else if (key == "adapt") parse_adapt(val, spec.adapt);
     else if (key == "run") parse_run(val, spec.run);
     else if (key == "sweep") parse_sweep(val, spec.sweep);
+    else if (key == "net") parse_net(val, spec.net);
     else if (key == "obs") parse_obs(val, spec.obs);
     else return false;
     return true;
@@ -291,9 +322,9 @@ ScenarioSpec ScenarioSpec::from_json(std::string_view text) {
 void ScenarioSpec::validate() const {
   const Registry& reg = registry();
   if (engine != "grid" && engine != "stream" && engine != "mpath" &&
-      engine != "adaptive")
+      engine != "adaptive" && engine != "net")
     spec_error("unknown engine '" + engine +
-               "' (grid, stream, mpath, adaptive)");
+               "' (grid, stream, mpath, adaptive, net)");
 
   if (obs.trace_sample == 0)
     spec_error("obs.trace_sample must be >= 1");
@@ -308,7 +339,7 @@ void ScenarioSpec::validate() const {
     if (!sweep.grid.empty() && sweep.grid != "paper" && sweep.grid != "fig7")
       spec_error("unknown sweep.grid '" + sweep.grid + "' (paper, fig7)");
   }
-  if (engine == "stream" || engine == "mpath") {
+  if (engine == "stream" || engine == "mpath" || engine == "net") {
     if (!code.name.empty()) (void)reg.stream_scheme(code.name);
     const StreamScheduling sched = reg.stream_scheduling(tx.stream);
     if (engine == "mpath" && sched == StreamScheduling::kCarousel)
@@ -320,6 +351,12 @@ void ScenarioSpec::validate() const {
     // The sources x trials memory guard lives in run_scenario's
     // single-point engines: only they merge the full delay distribution
     // (the axis sweeps aggregate RunningStats and are unbounded).
+  }
+  if (engine == "net") {
+    (void)reg.transport(net.transport);
+    if (net.payload_bytes == 0 || net.payload_bytes > net::kMaxPayload)
+      spec_error("net.payload_bytes must be in [1, " +
+                 std::to_string(net::kMaxPayload) + "]");
   }
   if (engine == "mpath" && !paths.scheduler.empty())
     (void)reg.path_scheduler(paths.scheduler);
@@ -358,6 +395,16 @@ StreamTrialConfig to_stream_config(const ScenarioSpec& spec) {
   cfg.overhead = spec.code.overhead;
   cfg.window = spec.code.window;
   cfg.block_k = spec.code.block_k;
+  return cfg;
+}
+
+net::NetTrialConfig to_net_config(const ScenarioSpec& spec) {
+  net::NetTrialConfig cfg;
+  cfg.stream = to_stream_config(spec);
+  cfg.payload_bytes = spec.net.payload_bytes;
+  cfg.transport = registry().transport(spec.net.transport);
+  cfg.recv_timeout_ms = spec.net.recv_timeout_ms;
+  cfg.report_interval = spec.net.report_interval;
   return cfg;
 }
 

@@ -1,0 +1,18 @@
+#include "net/impairment.h"
+
+namespace fecsched::net {
+
+void ImpairmentShim::reset(std::uint64_t seed) {
+  model_->reset(seed);
+  drawn_ = 0;
+  dropped_ = 0;
+}
+
+bool ImpairmentShim::drop_next() {
+  ++drawn_;
+  const bool drop = model_->lost();
+  if (drop) ++dropped_;
+  return drop;
+}
+
+}  // namespace fecsched::net

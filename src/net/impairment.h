@@ -1,0 +1,42 @@
+// Channel impairment above a lossless transport.
+//
+// The emulated link must lose packets with EXACTLY the statistics — and
+// exactly the pseudo-random substream — of the simulation it is being
+// compared against, or sim-vs-wire parity is meaningless.  So impairment
+// is applied at the sender, before the transport: one drop_next() per
+// datagram in transmission order is one LossModel::lost() draw, i.e. the
+// same call sequence run_stream_trial makes against the same substream
+// (channel seed = derive_seed(trial_seed, {0})).  A dropped frame is
+// never handed to the socket; a frame the shim passes must arrive, and a
+// transport-level loss underneath it is a hard error, not channel noise.
+
+#pragma once
+
+#include <cstdint>
+
+#include "channel/loss_model.h"
+
+namespace fecsched::net {
+
+class ImpairmentShim {
+ public:
+  /// Borrows the model; the caller keeps it alive for the shim's life.
+  explicit ImpairmentShim(LossModel& model) : model_(&model) {}
+
+  /// Re-seed the underlying model and zero the counters.
+  void reset(std::uint64_t seed);
+
+  /// One channel draw for the next datagram, in transmission order.
+  /// True = the emulated link eats this frame.
+  [[nodiscard]] bool drop_next();
+
+  [[nodiscard]] std::uint64_t drawn() const noexcept { return drawn_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  LossModel* model_;
+  std::uint64_t drawn_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace fecsched::net

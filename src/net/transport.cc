@@ -1,0 +1,89 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/udp_endpoint.h"
+
+namespace fecsched::net {
+
+namespace {
+
+class UdpTransport final : public Transport {
+ public:
+  explicit UdpTransport(UdpEndpoint endpoint) : ep_(std::move(endpoint)) {}
+
+  bool send(std::span<const std::uint8_t> datagram) override {
+    return ep_.try_send(datagram);
+  }
+
+  std::ptrdiff_t recv(std::span<std::uint8_t> buf, int timeout_ms) override {
+    // Drain first: loopback delivery usually beats the poll() syscall.
+    const std::ptrdiff_t n = ep_.try_recv(buf);
+    if (n >= 0) return n;
+    if (!ep_.wait_readable(timeout_ms)) return -1;
+    return ep_.try_recv(buf);
+  }
+
+ private:
+  UdpEndpoint ep_;
+};
+
+/// Two lock-free-because-single-threaded deques shared by both ends.
+struct MemoryQueues {
+  std::deque<std::vector<std::uint8_t>> a_to_b;
+  std::deque<std::vector<std::uint8_t>> b_to_a;
+};
+
+class MemoryTransport final : public Transport {
+ public:
+  MemoryTransport(std::shared_ptr<MemoryQueues> queues, bool is_a)
+      : queues_(std::move(queues)), is_a_(is_a) {}
+
+  bool send(std::span<const std::uint8_t> datagram) override {
+    auto& q = is_a_ ? queues_->a_to_b : queues_->b_to_a;
+    q.emplace_back(datagram.begin(), datagram.end());
+    return true;
+  }
+
+  std::ptrdiff_t recv(std::span<std::uint8_t> buf, int) override {
+    // The lockstep driver never waits on the memory pipe: a frame is
+    // either already queued or will never arrive, so the timeout is moot.
+    auto& q = is_a_ ? queues_->b_to_a : queues_->a_to_b;
+    if (q.empty()) return -1;
+    const std::vector<std::uint8_t>& d = q.front();
+    const std::size_t n = std::min(d.size(), buf.size());
+    std::copy_n(d.begin(), n, buf.begin());
+    q.pop_front();
+    return static_cast<std::ptrdiff_t>(n);
+  }
+
+ private:
+  std::shared_ptr<MemoryQueues> queues_;
+  bool is_a_;
+};
+
+}  // namespace
+
+TransportPair make_transport_pair(std::string_view name) {
+  if (name == "udp") {
+    UdpEndpoint a;
+    UdpEndpoint b;
+    a.connect_to(b.port());
+    b.connect_to(a.port());
+    return {std::make_unique<UdpTransport>(std::move(a)),
+            std::make_unique<UdpTransport>(std::move(b))};
+  }
+  if (name == "memory") {
+    auto queues = std::make_shared<MemoryQueues>();
+    return {std::make_unique<MemoryTransport>(queues, true),
+            std::make_unique<MemoryTransport>(queues, false)};
+  }
+  throw std::invalid_argument("net: unknown transport \"" + std::string(name) +
+                              "\" (udp, memory)");
+}
+
+}  // namespace fecsched::net

@@ -1,0 +1,53 @@
+// Datagram transport abstraction for the net engine.
+//
+// A Transport is one END of a bidirectional datagram pipe: send() goes
+// to the peer, recv() drains what the peer sent.  make_transport_pair()
+// builds both ends at once:
+//
+//   "udp"     two UdpEndpoints bound to 127.0.0.1 ephemeral ports and
+//             connect(2)ed to each other — real kernel datagrams, the
+//             transport the net engine exists for.
+//   "memory"  a shared in-process deque pair — hermetic fallback with
+//             identical semantics, for environments where even loopback
+//             sockets are off limits and for transport-agnostic tests.
+//
+// Both are lossless: channel impairment is injected ABOVE the transport
+// by ImpairmentShim (dropped frames are never handed to send()), so the
+// emulated loss process is exactly the simulation's substream and an
+// unexpected transport-level drop is a hard error the trial reports.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+namespace fecsched::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Send one datagram to the peer.  Returns false on backpressure
+  /// (kernel queue full); throws std::runtime_error on real errors.
+  [[nodiscard]] virtual bool send(std::span<const std::uint8_t> datagram) = 0;
+
+  /// Receive one datagram into `buf`, waiting up to `timeout_ms`.
+  /// Returns the datagram length, or -1 when nothing arrived in time.
+  [[nodiscard]] virtual std::ptrdiff_t recv(std::span<std::uint8_t> buf,
+                                            int timeout_ms) = 0;
+};
+
+/// Both ends of one pipe.  Frames flow a->b and b->a independently.
+struct TransportPair {
+  std::unique_ptr<Transport> a;
+  std::unique_ptr<Transport> b;
+};
+
+/// Build a pair by registry name ("udp" or "memory").  Throws
+/// std::invalid_argument on an unknown name.
+[[nodiscard]] TransportPair make_transport_pair(std::string_view name);
+
+}  // namespace fecsched::net

@@ -1,0 +1,103 @@
+#include "net/udp_endpoint.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace fecsched::net {
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw std::runtime_error(std::string("udp: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+UdpEndpoint::UdpEndpoint() {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) fail("socket");
+  const sockaddr_in addr = loopback(0);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
+    fail("bind");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) != 0)
+    fail("fcntl O_NONBLOCK");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+    fail("getsockname");
+  port_ = ntohs(bound.sin_port);
+}
+
+UdpEndpoint::~UdpEndpoint() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+UdpEndpoint::UdpEndpoint(UdpEndpoint&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+UdpEndpoint& UdpEndpoint::operator=(UdpEndpoint&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+void UdpEndpoint::connect_to(std::uint16_t peer_port) {
+  const sockaddr_in addr = loopback(peer_port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0)
+    fail("connect");
+}
+
+bool UdpEndpoint::try_send(std::span<const std::uint8_t> datagram) {
+  const ssize_t n = ::send(fd_, datagram.data(), datagram.size(), 0);
+  if (n >= 0) {
+    if (static_cast<std::size_t>(n) != datagram.size()) fail("short send");
+    return true;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) return false;
+  fail("send");
+}
+
+std::ptrdiff_t UdpEndpoint::try_recv(std::span<std::uint8_t> buf) {
+  const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+  if (n >= 0) return n;
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+  fail("recv");
+}
+
+bool UdpEndpoint::wait_readable(int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return (pfd.revents & POLLIN) != 0;
+    if (rc == 0) return false;
+    if (errno != EINTR) fail("poll");
+  }
+}
+
+}  // namespace fecsched::net

@@ -1,0 +1,58 @@
+// One nonblocking UDP socket bound to 127.0.0.1, ephemeral port.
+//
+// The net engine runs both ends of the wire inside one process, so an
+// endpoint is deliberately minimal: bind to loopback on port 0 (the
+// kernel picks a free port — two test binaries never collide), connect
+// to the peer's port, then send/recv whole datagrams.  All sockets are
+// O_NONBLOCK; blocking behaviour lives in wait_readable(), a poll(2)
+// with a caller-chosen timeout, so a lost datagram surfaces as a timed
+// wait instead of a hang.
+//
+// Real socket errors throw std::runtime_error carrying errno text;
+// would-block conditions are ordinary return values.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace fecsched::net {
+
+class UdpEndpoint {
+ public:
+  /// socket + bind 127.0.0.1:0 + O_NONBLOCK.  Throws on failure.
+  UdpEndpoint();
+  ~UdpEndpoint();
+
+  UdpEndpoint(UdpEndpoint&& other) noexcept;
+  UdpEndpoint& operator=(UdpEndpoint&& other) noexcept;
+  UdpEndpoint(const UdpEndpoint&) = delete;
+  UdpEndpoint& operator=(const UdpEndpoint&) = delete;
+
+  /// The kernel-assigned local port (host byte order).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// connect(2) to 127.0.0.1:peer_port so send/recv address one peer.
+  void connect_to(std::uint16_t peer_port);
+
+  /// Send one datagram.  Returns false when the kernel queue is full
+  /// (EAGAIN/ENOBUFS — backpressure, caller decides); throws on errors.
+  [[nodiscard]] bool try_send(std::span<const std::uint8_t> datagram);
+
+  /// Receive one datagram into `buf`.  Returns its length, or -1 when
+  /// nothing is queued.  A datagram longer than `buf` is truncated by
+  /// the kernel; callers size `buf` above the wire maximum.
+  [[nodiscard]] std::ptrdiff_t try_recv(std::span<std::uint8_t> buf);
+
+  /// poll(2) until readable or `timeout_ms` elapses.
+  [[nodiscard]] bool wait_readable(int timeout_ms);
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace fecsched::net

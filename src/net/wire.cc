@@ -1,0 +1,164 @@
+#include "net/wire.h"
+
+#include <stdexcept>
+
+#include "util/crc32.h"
+
+namespace fecsched::net {
+
+namespace {
+
+constexpr std::size_t kCrcOffset = 44;  // header CRC position, both types
+constexpr std::uint8_t kMaxScheme = 3;  // StreamScheme has four values
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+void put_preamble(std::vector<std::uint8_t>& out, FrameType type) {
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+}
+
+void seal_header(std::vector<std::uint8_t>& out) {
+  put_u32(out, crc32({out.data(), kCrcOffset}));
+}
+
+}  // namespace
+
+void pack(const DataFrame& frame, std::vector<std::uint8_t>& out) {
+  if (frame.payload.size() > kMaxPayload)
+    throw std::invalid_argument("wire: payload exceeds kMaxPayload");
+  if (frame.scheme > kMaxScheme)
+    throw std::invalid_argument("wire: scheme tag out of range");
+  if (frame.span_first > frame.span_last)
+    throw std::invalid_argument("wire: span_first > span_last");
+  out.clear();
+  out.reserve(kDataOverhead + frame.payload.size());
+  put_preamble(out, FrameType::kData);
+  out.push_back(frame.scheme);
+  out.push_back(frame.repair ? 0x01 : 0x00);
+  put_u16(out, static_cast<std::uint16_t>(frame.payload.size()));
+  put_u32(out, frame.object_id);
+  put_u64(out, frame.symbol_id);
+  put_u64(out, frame.coding_seed);
+  put_u64(out, frame.span_first);
+  put_u64(out, frame.span_last);
+  seal_header(out);
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  put_u32(out, crc32({frame.payload.data(), frame.payload.size()}));
+}
+
+void pack(const ReportFrame& frame, std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(kReportSize);
+  put_preamble(out, FrameType::kReport);
+  std::uint8_t flags = 0;
+  if (frame.report.first_lost) flags |= 0x01;
+  if (frame.report.has_events) flags |= 0x02;
+  out.push_back(flags);
+  out.push_back(0);
+  out.push_back(0);
+  out.push_back(0);
+  put_u32(out, frame.object_id);
+  put_u64(out, frame.report.ok_to_ok);
+  put_u64(out, frame.report.ok_to_loss);
+  put_u64(out, frame.report.loss_to_ok);
+  put_u64(out, frame.report.loss_to_loss);
+  seal_header(out);
+}
+
+std::vector<std::uint8_t> pack(const DataFrame& frame) {
+  std::vector<std::uint8_t> out;
+  pack(frame, out);
+  return out;
+}
+
+std::vector<std::uint8_t> pack(const ReportFrame& frame) {
+  std::vector<std::uint8_t> out;
+  pack(frame, out);
+  return out;
+}
+
+WireError parse(std::span<const std::uint8_t> d, ParsedFrame& out) {
+  if (d.size() < kHeaderSize) return WireError::kTruncatedHeader;
+  if (d[0] != kMagic0 || d[1] != kMagic1) return WireError::kBadMagic;
+  if (d[2] != kWireVersion) return WireError::kBadVersion;
+  if (d[3] > static_cast<std::uint8_t>(FrameType::kReport))
+    return WireError::kUnknownType;
+  const auto type = static_cast<FrameType>(d[3]);
+
+  if (type == FrameType::kData) {
+    if (d[4] > kMaxScheme) return WireError::kUnknownScheme;
+    if ((d[5] & ~0x01u) != 0) return WireError::kBadPadding;
+    const std::uint16_t len = get_u16(d.data() + 6);
+    if (len > kMaxPayload) return WireError::kOversizedPayload;
+    const std::size_t want = kDataOverhead + len;
+    if (d.size() < want) return WireError::kTruncatedPayload;
+    if (d.size() > want) return WireError::kTrailingBytes;
+    if (get_u32(d.data() + kCrcOffset) != crc32({d.data(), kCrcOffset}))
+      return WireError::kHeaderCrcMismatch;
+    const std::uint64_t span_first = get_u64(d.data() + 28);
+    const std::uint64_t span_last = get_u64(d.data() + 36);
+    if (span_first > span_last) return WireError::kBadSpan;
+    if (get_u32(d.data() + kHeaderSize + len) !=
+        crc32({d.data() + kHeaderSize, len}))
+      return WireError::kPayloadCrcMismatch;
+    out.type = FrameType::kData;
+    out.data.scheme = d[4];
+    out.data.repair = (d[5] & 0x01u) != 0;
+    out.data.object_id = get_u32(d.data() + 8);
+    out.data.symbol_id = get_u64(d.data() + 12);
+    out.data.coding_seed = get_u64(d.data() + 20);
+    out.data.span_first = span_first;
+    out.data.span_last = span_last;
+    out.data.payload.assign(d.data() + kHeaderSize, d.data() + kHeaderSize + len);
+    return WireError::kOk;
+  }
+
+  if ((d[4] & ~0x03u) != 0 || d[5] != 0 || d[6] != 0 || d[7] != 0)
+    return WireError::kBadPadding;
+  if (d.size() > kReportSize) return WireError::kTrailingBytes;
+  if (get_u32(d.data() + kCrcOffset) != crc32({d.data(), kCrcOffset}))
+    return WireError::kHeaderCrcMismatch;
+  out.type = FrameType::kReport;
+  out.report.object_id = get_u32(d.data() + 8);
+  out.report.report.first_lost = (d[4] & 0x01u) != 0;
+  out.report.report.has_events = (d[4] & 0x02u) != 0;
+  out.report.report.ok_to_ok = get_u64(d.data() + 12);
+  out.report.report.ok_to_loss = get_u64(d.data() + 20);
+  out.report.report.loss_to_ok = get_u64(d.data() + 28);
+  out.report.report.loss_to_loss = get_u64(d.data() + 36);
+  return WireError::kOk;
+}
+
+}  // namespace fecsched::net

@@ -21,8 +21,12 @@ enum class Phase : std::uint8_t {
   kDecode,        ///< tracker/decoder symbol processing
   kMatrixInvert,  ///< GF(256) dense solves inside decode
   kResequence,    ///< multipath arrival reordering (Resequencer::drain)
+  kNetPack,       ///< wire-format frame building (net/wire.h)
+  kNetSend,       ///< UDP sendto on the loopback pair (net/udp_endpoint.h)
+  kNetRecv,       ///< UDP recvfrom / poll on the loopback pair
+  kNetUnpack,     ///< wire-format frame parsing at the receiver
 };
-inline constexpr std::size_t kPhaseCount = 6;
+inline constexpr std::size_t kPhaseCount = 10;
 
 [[nodiscard]] constexpr std::string_view to_string(Phase p) noexcept {
   switch (p) {
@@ -32,6 +36,10 @@ inline constexpr std::size_t kPhaseCount = 6;
     case Phase::kDecode: return "decode";
     case Phase::kMatrixInvert: return "matrix_invert";
     case Phase::kResequence: return "resequence";
+    case Phase::kNetPack: return "net.pack";
+    case Phase::kNetSend: return "net.send";
+    case Phase::kNetRecv: return "net.recv";
+    case Phase::kNetUnpack: return "net.unpack";
   }
   return "?";
 }

@@ -37,11 +37,12 @@ std::atomic<std::uint64_t> g_hits{0};
 
 }  // namespace
 
-const std::array<std::string_view, 8>& registered_points() {
-  static const std::array<std::string_view, 8> kPoints = {
+const std::array<std::string_view, 10>& registered_points() {
+  static const std::array<std::string_view, 10> kPoints = {
       "durable.write",  "durable.append",   "ledger.append",
       "trace.write",    "timeline.write",   "checkpoint.shard",
-      "sweep.cell",     "arena.alloc",
+      "sweep.cell",     "arena.alloc",      "net.send",
+      "net.recv",
   };
   return kPoints;
 }

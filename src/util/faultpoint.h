@@ -51,7 +51,7 @@ enum class Kind { kThrow, kExit, kShort };
 
 /// Every fault-point name in the tree, in documentation order.  README's
 /// fault-point table and the robustness test's kill matrix iterate this.
-[[nodiscard]] const std::array<std::string_view, 8>& registered_points();
+[[nodiscard]] const std::array<std::string_view, 10>& registered_points();
 
 namespace detail {
 extern std::atomic<bool> g_armed;

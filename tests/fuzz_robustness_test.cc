@@ -16,6 +16,7 @@
 #include "flute/fdt.h"
 #include "flute/lct_header.h"
 #include "flute/session.h"
+#include "net/wire.h"
 #include "stream/sliding_window.h"
 #include "stream/stream_trial.h"
 #include "util/rng.h"
@@ -336,6 +337,62 @@ TEST(FuzzTrialWorkspace, SlidingDecoderResetMatchesFreshDecoder) {
     ASSERT_EQ(fresh.known_count(), reused->known_count());
     ASSERT_EQ(fresh.lost_count(), reused->lost_count());
     ASSERT_EQ(fresh.active_equations(), reused->active_equations());
+  }
+}
+
+TEST(FuzzNetWire, RandomDatagramsNeverParse) {
+  // The wire preamble (magic + version + type) plus the header CRC make a
+  // random byte string unparseable with overwhelming probability; any
+  // acceptance here means a check is missing.  Every rejection must carry
+  // a named reason.
+  Rng rng(30);
+  net::ParsedFrame parsed;
+  int accepted = 0;
+  for (int round = 0; round < 20000; ++round) {
+    const auto bytes = random_bytes(rng.below(net::kDataOverhead * 2), rng);
+    const net::WireError e = net::parse(bytes, parsed);
+    if (e == net::WireError::kOk) ++accepted;
+    EXPECT_NE(net::to_string(e), "?");
+  }
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(FuzzNetWire, TruncationsAndBitFlipsOfValidFramesRejectByName) {
+  // Take valid packed data frames and damage them: every strict prefix
+  // and every single-bit flip must be rejected with a named reason (the
+  // two CRCs cover header and payload separately), and an undamaged copy
+  // must still round-trip byte-identically afterwards.
+  Rng rng(31);
+  net::ParsedFrame parsed;
+  for (int round = 0; round < 20; ++round) {
+    net::DataFrame frame;
+    frame.scheme = static_cast<std::uint8_t>(rng.below(4));
+    frame.repair = rng.below(2) == 1;
+    frame.object_id = static_cast<std::uint32_t>(rng());
+    frame.symbol_id = rng();
+    frame.coding_seed = rng();
+    frame.span_first = rng();
+    frame.span_last = frame.span_first + rng.below(64);
+    frame.payload = random_bytes(1 + rng.below(128), rng);
+    const auto wire = net::pack(frame);
+
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+      const std::span<const std::uint8_t> prefix(wire.data(), len);
+      EXPECT_NE(net::parse(prefix, parsed), net::WireError::kOk)
+          << "round " << round << " prefix " << len;
+    }
+    std::vector<std::uint8_t> flipped = wire;
+    for (std::size_t bit = 0; bit < wire.size() * 8; ++bit) {
+      flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      const net::WireError e = net::parse(flipped, parsed);
+      ASSERT_NE(e, net::WireError::kOk)
+          << "round " << round << " bit " << bit;
+      ASSERT_NE(net::to_string(e), "?");
+      flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    ASSERT_EQ(net::parse(wire, parsed), net::WireError::kOk);
+    ASSERT_EQ(parsed.type, net::FrameType::kData);
+    ASSERT_EQ(parsed.data, frame);
   }
 }
 

@@ -155,11 +155,12 @@ CellResult sample_cell() {
 
 // ---------------------------------------------------------- fault points
 
-TEST(RobustnessFault, RegisteredTableIsTheDocumentedEight) {
-  const std::array<std::string_view, 8> expected = {
+TEST(RobustnessFault, RegisteredTableIsTheDocumentedTen) {
+  const std::array<std::string_view, 10> expected = {
       "durable.write",  "durable.append",   "ledger.append",
       "trace.write",    "timeline.write",   "checkpoint.shard",
-      "sweep.cell",     "arena.alloc",
+      "sweep.cell",     "arena.alloc",      "net.send",
+      "net.recv",
   };
   EXPECT_EQ(fault::registered_points(), expected);
 }

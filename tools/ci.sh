@@ -2,8 +2,8 @@
 # Tier-1 verify, exactly as CI runs it (usable locally too):
 # configure + build + ctest.  The build promotes warnings to errors for
 # the new scenario-API (src/api/), adaptive (src/adapt/), streaming
-# (src/stream/) and multipath (src/mpath/) subsystems via CMake source
-# properties; everything else builds with -Wall -Wextra.
+# (src/stream/), multipath (src/mpath/) and net (src/net/) subsystems via
+# CMake source properties; everything else builds with -Wall -Wextra.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -69,7 +69,7 @@ ctest --output-on-failure --no-tests=error \
 ./fecsched_cli list > /dev/null
 ./fecsched_cli list --describe=sliding-window > /dev/null
 ./fecsched_cli --version > /dev/null
-for sub in sweep plan universal limits fit adapt stream mpath run history compare list; do
+for sub in sweep plan universal limits fit adapt stream net mpath run history compare list; do
   if ./fecsched_cli "$sub" --definitely-not-a-flag=1 > /dev/null 2>&1; then
     echo "BUG: $sub accepted an unknown flag"; exit 1
   fi
@@ -309,3 +309,53 @@ if FECSCHED_FAULT=no.such.point:1 ./fecsched_cli list > /dev/null 2>&1; then
   echo "BUG: malformed FECSCHED_FAULT did not abort"; exit 1
 fi
 echo "robustness gate: kill-resume bit-identical on both backends, SIGINT drains, torn artifacts diagnosed"
+
+# Net gate (src/net/, -Werror via CMake — README "Real transport"):
+# 1. the net test suite (wire-format fuzz/property suite, transport
+#    semantics, impairment-shim substream identity, and the seven
+#    sim-vs-wire parity oracles);
+ctest --output-on-failure --no-tests=error -R 'Net'
+# 2. loopback smoke over real UDP sockets: the run must byte-verify every
+#    delivered source payload against the sender's ground truth and match
+#    its simulation twin exactly on every trial — under the default and
+#    forced-scalar GF backends (the wire carries codec output, so backend
+#    divergence would surface here as a payload mismatch);
+./fecsched_cli net --p=0.02 --q=0.4 --sources=800 --trials=3 \
+  --report-interval=200 --net-dump=BENCH_net_dump.json > BENCH_net_out.txt
+grep -q 'byte-verified payloads: .* (0 mismatches, 0 frames rejected)' \
+  BENCH_net_out.txt
+grep -q 'parity: 3/3 trials match the simulation twin exactly' \
+  BENCH_net_out.txt
+FECSCHED_GF_BACKEND=scalar ./fecsched_cli net --p=0.02 --q=0.4 \
+  --sources=800 --trials=3 --report-interval=200 > BENCH_net_scalar.txt
+grep -q 'parity: 3/3 trials match the simulation twin exactly' \
+  BENCH_net_scalar.txt
+# 3. the --net-dump artifact goes through durable::write_file (temp +
+#    fsync + rename), so a crash injected at the durable.write fault
+#    point must leave no dump file behind — and the successful run above
+#    must have produced a parseable per-trial document;
+grep -q '"engine": "net"' BENCH_net_dump.json
+rm -f BENCH_net_fault.json
+rc=0
+FECSCHED_FAULT=durable.write:1:exit ./fecsched_cli net --p=0.02 --q=0.4 \
+  --sources=400 --trials=1 --net-dump=BENCH_net_fault.json \
+  > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 41 ]; then
+  echo "BUG: injected durable.write crash exited $rc, want 41"; exit 1
+fi
+if [ -f BENCH_net_fault.json ]; then
+  echo "BUG: torn net dump left behind after injected crash"; exit 1
+fi
+# 4. the shipped scenario documents stay runnable: the net loopback spec
+#    (real sockets, parity on) and the CI-scaled paper Fig. 8 grid;
+./fecsched_cli run --spec=../scenarios/net_loopback.json > BENCH_net_spec.txt
+grep -q 'parity: 2/2 trials match the simulation twin exactly' \
+  BENCH_net_spec.txt
+./fecsched_cli run --spec=../scenarios/paper_fig8.json > /dev/null
+# 5. a reduced-scale packetize bench smoke (pack/unpack throughput and
+#    loopback RTT land in the ledger as a kind="bench" record).
+rm -f BENCH_net_ledger.jsonl
+./bench_packetize --k=2000 --trials=30 --ledger=BENCH_net_ledger.jsonl \
+  > /dev/null
+grep -q '"kind":"bench","label":"bench_packetize"' BENCH_net_ledger.jsonl
+echo "net gate: wire round-trips fuzz-clean, loopback matches simulation on both backends"

@@ -48,6 +48,23 @@
 //       full merged delay distribution (integer-slot histogram) per
 //       variant.
 //
+//   fecsched_cli net       [--p=P --q=Q | --pglobal=PG --burst=B]
+//                          [--scheme=... --sched=...] [--transport=udp|memory]
+//                          [--payload-bytes=64] [--report-interval=N]
+//                          [--no-parity] [--net-dump=<file.json>]
+//                          [--overhead=0.25 --window=64 --blockk=64]
+//                          [--sources=2000 --trials=4 --seed=N] [--json]
+//       One streaming variant replayed over a real datagram transport
+//       (src/net/): every surviving symbol is packed into a versioned
+//       wire frame, crosses a loopback socket, and is parsed back before
+//       decoding.  Losses come from the same channel model substream the
+//       simulation would draw, so the delivered-delay distribution
+//       matches `stream` EXACTLY — the parity cross-check re-runs every
+//       trial through the simulator and counts divergences (exit 1 on
+//       any).  Payloads are byte-verified against ground truth;
+//       receiver-side LossReports return over the wire into a live
+//       ChannelEstimator (the src/adapt/ loop, closed for real).
+//
 //   fecsched_cli mpath     [--p=P --q=Q | --pglobal=PG --burst=B]
 //                          [--delay=D ...] [--capacity=C ...]
 //                          [--scheduler=rr|weighted|split|earliest]
@@ -427,6 +444,29 @@ api::ScenarioSpec build_stream_spec(const Args& args) {
   spec.run.seed = args.integer("seed", 0x57e4a9edULL);
   if (const auto s = args.get("sched")) spec.tx.stream = *s;
   if (const auto s = args.get("scheme")) spec.code.name = *s;
+  apply_obs_flags(args, spec.obs);
+  return spec;
+}
+
+api::ScenarioSpec build_net_spec(const Args& args) {
+  api::ScenarioSpec spec;
+  spec.engine = "net";
+  build_channel(args, spec.channel, 0.01, 0.5, 0.02, 1.0);
+  spec.run.sources = static_cast<std::uint32_t>(args.integer("sources", 2000));
+  spec.code.overhead = args.number("overhead", 0.25);
+  spec.code.window = static_cast<std::uint32_t>(args.integer("window", 64));
+  spec.code.block_k = static_cast<std::uint32_t>(args.integer("blockk", 64));
+  spec.run.trials = static_cast<std::uint32_t>(args.integer("trials", 4));
+  spec.run.seed = args.integer("seed", 0x0e7f10adULL);
+  if (const auto s = args.get("sched")) spec.tx.stream = *s;
+  if (const auto s = args.get("scheme")) spec.code.name = *s;
+  if (const auto s = args.get("transport")) spec.net.transport = *s;
+  spec.net.payload_bytes =
+      static_cast<std::uint32_t>(args.integer("payload-bytes", 64));
+  spec.net.report_interval =
+      static_cast<std::uint32_t>(args.integer("report-interval", 0));
+  if (args.get("no-parity")) spec.net.parity = false;
+  if (const auto s = args.get("net-dump")) spec.net.dump = *s;
   apply_obs_flags(args, spec.obs);
   return spec;
 }
@@ -981,6 +1021,130 @@ int cmd_stream(const Args& args) {
   return print_stream_result(args, result);
 }
 
+// ---------------------------------------------------------------- net
+
+void write_net_json(std::ostream& os, const api::ScenarioResult& result) {
+  const net::NetTrialConfig& base = *result.net_base;
+  const api::NetRunStats& stats = *result.net;
+  const api::StreamOutcome& o = result.stream.front();
+  const double p = result.p, q = result.q;
+  const double t = o.trials ? static_cast<double>(o.trials) : 1.0;
+  os << "{\"sources\":" << base.stream.source_count << ",\"trials\":"
+     << result.trials << ",\"seed\":" << result.seed << ",\"p\":"
+     << format_fixed(p, 6) << ",\"q\":" << format_fixed(q, 6)
+     << ",\"p_global\":" << format_fixed(global_loss_probability(p, q), 4)
+     << ",\"overhead\":" << format_fixed(base.stream.overhead, 4)
+     << ",\"window\":" << base.stream.window << ",\"block_k\":"
+     << base.stream.block_k << ",\"scheme\":\""
+     << json_escape(to_string(base.stream.scheme)) << "\",\"scheduling\":\""
+     << json_escape(to_string(base.stream.scheduling)) << "\",\"transport\":\""
+     << json_escape(base.transport) << "\",\"payload_bytes\":"
+     << base.payload_bytes << ",\"wire\":{\"datagrams_sent\":"
+     << stats.datagrams_sent << ",\"datagrams_dropped\":"
+     << stats.datagrams_dropped << ",\"bytes_sent\":" << stats.bytes_sent
+     << ",\"sources_verified\":" << stats.sources_verified
+     << ",\"payload_mismatches\":" << stats.payload_mismatches
+     << ",\"frames_rejected\":" << stats.frames_rejected
+     << ",\"reports_received\":" << stats.reports_received
+     << ",\"parity_trials\":" << stats.parity_trials
+     << ",\"parity_failures\":" << stats.parity_failures << "}"
+     << ",\"estimate\":{\"p_global\":"
+     << format_fixed(stats.estimate.p_global, 6) << ",\"mean_burst\":"
+     << format_fixed(stats.estimate.mean_burst, 4) << ",\"observations\":"
+     << stats.estimate.observations << "}"
+     << ",\"overhead_actual\":" << format_fixed(o.overhead_actual_sum / t, 4)
+     << ",\"delay\":{\"delivered\":" << o.delivered << ",\"lost\":" << o.lost
+     << ",\"mean\":" << format_fixed(o.mean(), 4) << ",\"p50\":"
+     << format_fixed(sorted_percentile(o.delays, 0.50), 4) << ",\"p95\":"
+     << format_fixed(sorted_percentile(o.delays, 0.95), 4) << ",\"p99\":"
+     << format_fixed(sorted_percentile(o.delays, 0.99), 4) << ",\"max\":"
+     << format_fixed(o.delays.empty() ? 0.0 : o.delays.back(), 4) << "}"
+     << ",\"residual\":{\"lost\":" << o.lost << ",\"runs\":"
+     << o.residual_runs << ",\"mean_run_length\":"
+     << format_fixed(o.mean_residual_run(), 2) << ",\"max_run_length\":"
+     << o.residual_max_run << "}";
+  write_obs_json(os, result);
+  // write_histogram's trailing '}' closes the root object.
+  write_histogram(os, o.delays);
+  os << "\n";
+}
+
+int print_net_result(const Args& args, const api::ScenarioResult& result) {
+  const net::NetTrialConfig& base = *result.net_base;
+  const api::NetRunStats& stats = *result.net;
+  const api::StreamOutcome& o = result.stream.front();
+  if (args.get("json")) {
+    write_net_json(std::cout, result);
+    return 0;
+  }
+  const double p = result.p, q = result.q;
+  std::printf("net: %u sources over %s loopback, scheme %s/%s, overhead "
+              "%.3f, window %u, block_k %u, payload %u B, %u trials\n",
+              base.stream.source_count, base.transport.c_str(),
+              std::string(to_string(base.stream.scheme)).c_str(),
+              std::string(to_string(base.stream.scheduling)).c_str(),
+              base.stream.overhead, base.stream.window, base.stream.block_k,
+              base.payload_bytes, result.trials);
+  std::printf("channel (emulated at the sender): p=%.4f q=%.4f "
+              "(p_global=%.4f, mean burst %.2f)\n\n",
+              p, q, global_loss_probability(p, q), q > 0 ? 1.0 / q : 0.0);
+  std::printf("%-26s %9s %9s %9s %9s %10s %8s\n", "scheme+scheduling", "mean",
+              "p95", "p99", "max", "resid-run", "lost%");
+  const std::string label = std::string(to_string(o.variant.scheme)) + "/" +
+                            std::string(to_string(o.variant.scheduling));
+  std::printf("%-26s %9.2f %9.2f %9.2f %9.2f %10.2f %7.3f%%\n", label.c_str(),
+              o.mean(), sorted_percentile(o.delays, 0.95),
+              sorted_percentile(o.delays, 0.99),
+              o.delays.empty() ? 0.0 : o.delays.back(), o.mean_residual_run(),
+              100.0 * static_cast<double>(o.lost) /
+                  (static_cast<double>(o.delivered + o.lost)));
+  std::printf("\nwire: %llu datagrams sent, %llu dropped by the impairment "
+              "shim, %llu bytes framed\n",
+              static_cast<unsigned long long>(stats.datagrams_sent),
+              static_cast<unsigned long long>(stats.datagrams_dropped),
+              static_cast<unsigned long long>(stats.bytes_sent));
+  std::printf("byte-verified payloads: %llu/%llu delivered sources match "
+              "ground truth (%llu mismatches, %llu frames rejected)\n",
+              static_cast<unsigned long long>(stats.sources_verified),
+              static_cast<unsigned long long>(o.delivered),
+              static_cast<unsigned long long>(stats.payload_mismatches),
+              static_cast<unsigned long long>(stats.frames_rejected));
+  if (stats.parity_trials > 0)
+    std::printf("parity: %u/%u trials match the simulation twin exactly\n",
+                stats.parity_trials - stats.parity_failures,
+                stats.parity_trials);
+  else
+    std::printf("parity: skipped (--no-parity)\n");
+  if (stats.estimate.observations > 0)
+    std::printf("estimator (wire LossReports, %llu received): "
+                "p_global=%.4f mean_burst=%.2f over %llu observed slots\n",
+                static_cast<unsigned long long>(stats.reports_received),
+                stats.estimate.p_global, stats.estimate.mean_burst,
+                static_cast<unsigned long long>(stats.estimate.observations));
+  std::printf("\n(delays in channel packet slots; impairment above a "
+              "lossless transport => sim-exact distributions)\n");
+  print_observability(result);
+  return stats.payload_mismatches == 0 && stats.parity_failures == 0 ? 0 : 1;
+}
+
+int cmd_net(const Args& args) {
+  api::ScenarioResult result;
+  try {
+    api::ScenarioSpec spec = build_net_spec(args);
+    if (maybe_dump_spec(args, spec)) return 0;
+    const ObsOutputs outputs = parse_obs_outputs(args);
+    const api::RunControl control = parse_run_control(args);
+    const bool user_obs = spec.obs.enabled();
+    force_obs_collection(outputs, spec.obs);
+    result = run_scenario_with_outputs(spec, outputs, user_obs, control);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "net: %s\n", e.what());
+    return 2;
+  }
+  if (interrupt::interrupted()) return finish_interrupted("net");
+  return print_net_result(args, result);
+}
+
 // -------------------------------------------------------------- mpath
 
 void write_mpath_json(std::ostream& os, const api::ScenarioResult& result) {
@@ -1185,6 +1349,7 @@ int cmd_run(const Args& args) {
   if (engine == "grid") return print_grid_result(args, result);
   if (engine == "stream") return print_stream_result(args, result);
   if (engine == "mpath") return print_mpath_result(args, result);
+  if (engine == "net") return print_net_result(args, result);
   return print_adapt_result(args, result);
 }
 
@@ -1293,7 +1458,8 @@ int cmd_list(const Args& args) {
   const api::Registry& reg = api::registry();
   const api::RegistrySection sections[] = {
       api::RegistrySection::kCodes, api::RegistrySection::kChannels,
-      api::RegistrySection::kTxModels, api::RegistrySection::kPathSchedulers};
+      api::RegistrySection::kTxModels, api::RegistrySection::kPathSchedulers,
+      api::RegistrySection::kTransports};
 
   if (const auto name = args.get("describe")) {
     for (const api::RegistrySection section : sections) {
@@ -1317,7 +1483,7 @@ int cmd_list(const Args& args) {
   }
 
   std::printf("scenario registry (spec names; engines: grid, stream, mpath, "
-              "adaptive)\n");
+              "adaptive, net)\n");
   for (const api::RegistrySection section : sections) {
     std::printf("\n%s:\n", std::string(to_string(section)).c_str());
     for (const api::RegistryEntry& listed : reg.list(section)) {
@@ -1341,7 +1507,7 @@ int cmd_list(const Args& args) {
 void usage(std::FILE* out) {
   std::fprintf(out,
                "usage: fecsched_cli "
-               "<sweep|plan|universal|limits|fit|adapt|stream|mpath|run|"
+               "<sweep|plan|universal|limits|fit|adapt|stream|net|mpath|run|"
                "history|compare|list> [--key=value ...]\n"
                "\n"
                "  sweep      paper 14x14 (p, q) inefficiency table for one "
@@ -1356,6 +1522,14 @@ void usage(std::FILE* out) {
                "(src/adapt/)\n"
                "  stream     streaming delay / residual-loss comparison "
                "(src/stream/)\n"
+               "  net        one streaming variant replayed over a real "
+               "loopback transport (src/net/);\n"
+               "             channel-model impairment at the sender, "
+               "byte-verified payloads,\n"
+               "             sim-vs-wire parity cross-check "
+               "(--transport=udp|memory --payload-bytes=N\n"
+               "             --report-interval=N --no-parity "
+               "--net-dump=<file.json>)\n"
                "  mpath      multipath packet-to-path scheduling comparison "
                "(src/mpath/)\n"
                "  run        execute a scenario spec JSON "
@@ -1368,7 +1542,8 @@ void usage(std::FILE* out) {
                "             --threshold=R --min-phase-ms=M --min-wall=S "
                "+ history's filters)\n"
                "  list       print the scenario registry (codes, channels, "
-               "tx models, path schedulers)\n"
+               "tx models, path schedulers,\n"
+               "             transports)\n"
                "\n"
                "  --version  print the library version\n"
                "  every experiment subcommand accepts --dump-spec (print "
@@ -1426,6 +1601,11 @@ const Command kCommands[] = {
     {"stream", cmd_stream,
      {"p", "q", "pglobal", "burst", "scheme", "sched", "overhead", "window",
       "blockk", "sources", "trials", "seed", "json", "dump-spec",
+      "trial-timeout-ms", FECSCHED_OBS_FLAGS, FECSCHED_OBS_OUT_FLAGS}},
+    {"net", cmd_net,
+     {"p", "q", "pglobal", "burst", "scheme", "sched", "overhead", "window",
+      "blockk", "sources", "trials", "seed", "payload-bytes", "transport",
+      "report-interval", "no-parity", "net-dump", "json", "dump-spec",
       "trial-timeout-ms", FECSCHED_OBS_FLAGS, FECSCHED_OBS_OUT_FLAGS}},
     {"mpath", cmd_mpath,
      {"p", "q", "pglobal", "burst", "delay", "capacity", "scheduler",
